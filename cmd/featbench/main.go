@@ -1,0 +1,80 @@
+// Command featbench regenerates the tables and figures of the FeatGraph
+// paper's evaluation (§V) on synthetic stand-ins for its datasets.
+//
+// Usage:
+//
+//	featbench -list                 # show every experiment id
+//	featbench -exp table3a         # run one experiment
+//	featbench -exp all             # run the whole evaluation
+//	featbench -exp table4a -full   # closer-to-paper sizing (slow)
+//
+// CPU experiments report wall time; GPU experiments report simulated
+// cycles from the cudasim cost model (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"featgraph/internal/bench"
+	"featgraph/internal/graphgen"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		full    = flag.Bool("full", false, "run at larger, closer-to-paper scale")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		threads = flag.Int("threads", 16, "max CPU worker count")
+		reps    = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "featbench: pass -exp <id> or -list (see -h)")
+		os.Exit(2)
+	}
+
+	scale := graphgen.Quick
+	if *full {
+		scale = graphgen.Full
+	}
+	cfg := bench.DefaultConfig(scale, os.Stdout)
+	cfg.Seed = *seed
+	cfg.Threads = *threads
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "featbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

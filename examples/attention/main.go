@@ -1,0 +1,99 @@
+// Attention: dot-product attention on every edge — the generalized SDDMM
+// of §II-A — on the simulated GPU. Part 1 compares the tree-reduction
+// schedule of Figure 4a against the naive one-thread-per-edge strategy
+// (Figure 12's ablation); part 2 shows the expressiveness of the UDF
+// language with the multi-head edge function of Figure 4b.
+//
+// Run with: go run ./examples/attention
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"featgraph"
+)
+
+func main() {
+	const n, h, d = 2000, 4, 64
+	rng := rand.New(rand.NewSource(7))
+
+	var srcs, dsts []int32
+	for v := 0; v < n; v++ {
+		seen := map[int32]bool{}
+		for len(seen) < 16 {
+			u := int32(rng.Intn(n))
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			srcs = append(srcs, u)
+			dsts = append(dsts, int32(v))
+		}
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := featgraph.NewDevice(featgraph.DeviceConfig{})
+	fmt.Printf("simulated device: %d SMs, %d KiB shared memory per block\n",
+		dev.NumSMs(), dev.SharedMemPerBlock()/1024)
+
+	// Part 1: single-head dot attention (Figure 4a), scheduled two ways.
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+	udf := featgraph.DotAttention(n, d)
+	// The FDS needs the UDF's reduce axis: it is the last axis the
+	// builder declared.
+	redAxis := udf.Axes[len(udf.Axes)-1]
+
+	run := func(name string, fds *featgraph.FDS) *featgraph.Tensor {
+		kernel, err := featgraph.SDDMM(g, udf, []*featgraph.Tensor{x}, fds,
+			featgraph.Options{Target: featgraph.GPU, Device: dev})
+		if err != nil {
+			log.Fatal(err)
+		}
+		att := featgraph.NewTensor(g.NumEdges(), 1)
+		stats, err := kernel.Run(att)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.2f Mcycles (simulated)\n", name, float64(stats.SimCycles)/1e6)
+		return att
+	}
+	naive := run("one thread per edge:", nil)
+	tree := run("tree reduction (thread.x):", featgraph.NewFDS().TreeReduce(redAxis, featgraph.ThreadX))
+	if !naive.AllClose(tree, 1e-3) {
+		log.Fatalf("schedules disagree: max diff %v", naive.MaxAbsDiff(tree))
+	}
+
+	// Spot-check one edge against a direct computation.
+	e := 12345 % g.NumEdges()
+	var want float32
+	for f := 0; f < d; f++ {
+		want += x.At(int(srcs[e]), f) * x.At(int(dsts[e]), f)
+	}
+	fmt.Printf("edge %d: kernel=%.4f direct=%.4f\n", e, tree.At(e, 0), want)
+
+	// Part 2: the multi-head edge function of Figure 4b — one dot product
+	// per attention head — runs through the same template unchanged.
+	xh := featgraph.NewTensor(n, h, d)
+	xh.FillUniform(rng, -1, 1)
+	mh, err := featgraph.SDDMM(g, featgraph.MultiHeadDot(n, h, d), []*featgraph.Tensor{xh}, nil,
+		featgraph.Options{Target: featgraph.GPU, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attH := featgraph.NewTensor(g.NumEdges(), h)
+	if _, err := mh.Run(attH); err != nil {
+		log.Fatal(err)
+	}
+	var wantH float32
+	for f := 0; f < d; f++ {
+		wantH += xh.At(int(srcs[e]), 2, f) * xh.At(int(dsts[e]), 2, f)
+	}
+	fmt.Printf("edge %d head 2: kernel=%.4f direct=%.4f\n", e, attH.At(e, 2), wantH)
+	fmt.Println("OK: attention kernels verified")
+}

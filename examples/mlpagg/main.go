@@ -1,0 +1,95 @@
+// MLP aggregation: the motivating workload of the paper's Figure 1. Each
+// edge computes ReLU((x_src + x_dst) × W) and the destination takes the
+// elementwise maximum. The example expresses the message function as a
+// custom UDF, then sweeps the feature dimension schedule to show how the
+// FDS knob interacts with the template (Figures 8 and 14).
+//
+// Run with: go run ./examples/mlpagg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"featgraph"
+)
+
+func main() {
+	const n, d1, d2 = 3000, 8, 128
+	rng := rand.New(rand.NewSource(3))
+
+	var srcs, dsts []int32
+	for v := 0; v < n; v++ {
+		seen := map[int32]bool{}
+		for len(seen) < 20 {
+			u := int32(rng.Intn(n))
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			srcs = append(srcs, u)
+			dsts = append(dsts, int32(v))
+		}
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := featgraph.NewTensor(n, d1)
+	w := featgraph.NewTensor(d1, d2)
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -1, 1)
+
+	// The message function, written out as an expression — identical in
+	// structure to the paper's Figure 3b code.
+	b := featgraph.NewBuilder()
+	xp := b.Placeholder("X", n, d1)
+	wp := b.Placeholder("W", d1, d2)
+	i := b.OutAxis("i", d2)
+	k := b.ReduceAxis("k", d1)
+	msg := featgraph.Max(
+		featgraph.Sum(k, featgraph.Mul(
+			featgraph.Add(xp.At(featgraph.Src, k), xp.At(featgraph.Dst, k)),
+			wp.At(k, i))),
+		featgraph.C(0))
+	udf := b.UDF(msg, i)
+
+	fmt.Printf("UDF: %s\n", udf)
+
+	// Sweep the FDS tiling factor for the output axis.
+	var ref *featgraph.Tensor
+	for _, tile := range []int{0, 8, 32, 64} {
+		fds := featgraph.NewFDS()
+		label := "untiled"
+		if tile > 0 {
+			fds.Split(i, tile)
+			label = fmt.Sprintf("split(i, %d)", tile)
+		}
+		kernel, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x, w}, featgraph.AggMax, fds,
+			featgraph.Options{Target: featgraph.CPU, GraphPartitions: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := featgraph.NewTensor(n, d2)
+		if _, err := kernel.Run(out); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		start := time.Now()
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			if _, err := kernel.Run(out); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("fds %-14s pattern=%-12s %8.2fms/run\n",
+			label, kernel.Pattern(), time.Since(start).Seconds()*1e3/reps)
+		if ref == nil {
+			ref = out.Clone()
+		} else if !out.AllClose(ref, 1e-3) {
+			log.Fatalf("schedule changed the result! max diff %v", out.MaxAbsDiff(ref))
+		}
+	}
+	fmt.Println("OK: every schedule computes the same MLP aggregation")
+}

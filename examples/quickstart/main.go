@@ -1,0 +1,77 @@
+// Quickstart: express GCN aggregation (the vanilla SpMM of §II-A) with the
+// FeatGraph public API, run it on CPU with a feature dimension schedule,
+// and check the result against a hand-rolled reference.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"featgraph"
+)
+
+func main() {
+	const n, d = 1000, 64
+	rng := rand.New(rand.NewSource(1))
+
+	// A random directed graph: every vertex receives 8 edges.
+	var srcs, dsts []int32
+	for v := 0; v < n; v++ {
+		seen := map[int32]bool{}
+		for len(seen) < 8 {
+			u := int32(rng.Intn(n))
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			srcs = append(srcs, u)
+			dsts = append(dsts, int32(v))
+		}
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, avg degree %.1f\n",
+		g.NumVertices(), g.NumEdges(), g.AvgDegree())
+
+	// Vertex features.
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+
+	// The message function (copy source features) and its schedule: tile
+	// the feature dimension by 16 for cache locality, exactly the FDS of
+	// the paper's Figure 3a.
+	udf := featgraph.CopySrc(n, d)
+	fds := featgraph.NewFDS().Split(udf.OutAxes[0], 16)
+
+	// Build the kernel — FeatGraph's per-topology compilation — and run it.
+	kernel, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds,
+		featgraph.Options{Target: featgraph.CPU, GraphPartitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := featgraph.NewTensor(n, d)
+	if _, err := kernel.Run(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel pattern: %s\n", kernel.Pattern())
+
+	// Verify against a direct per-edge reference.
+	want := featgraph.NewTensor(n, d)
+	for e := range srcs {
+		wrow := want.Row(int(dsts[e]))
+		xrow := x.Row(int(srcs[e]))
+		for f := range wrow {
+			wrow[f] += xrow[f]
+		}
+	}
+	fmt.Printf("max |kernel - reference| = %.2g\n", out.MaxAbsDiff(want))
+	if !out.AllClose(want, 1e-4) {
+		log.Fatal("mismatch!")
+	}
+	fmt.Println("OK: fused SpMM kernel matches the reference")
+}

@@ -1,0 +1,221 @@
+// Package featgraph is a flexible and efficient backend for graph neural
+// network systems: a Go reproduction of "FeatGraph: A Flexible and Efficient
+// Backend for Graph Neural Network Systems" (Hu et al., SC 2020).
+//
+// FeatGraph expresses GNN kernels by composing coarse-grained sparse
+// templates with fine-grained user-defined functions (UDFs) on each
+// vertex/edge, optimized by a feature dimension schedule (FDS):
+//
+//	g, _ := featgraph.NewGraph(n, srcs, dsts)
+//	x := featgraph.NewTensor(n, d)
+//
+//	// GCN aggregation: copy source features, aggregate by sum.
+//	udf := featgraph.CopySrc(n, d)
+//	fds := featgraph.NewFDS().Split(udf.OutAxes[0], 8) // tile features
+//	k, _ := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum,
+//	        fds, featgraph.Options{Target: featgraph.CPU, GraphPartitions: 16})
+//	out := featgraph.NewTensor(n, d)
+//	k.Run(out)
+//
+// The two templates are generalized SpMM (vertex-wise aggregation,
+// Equation 1 of the paper) and generalized SDDMM (edge-wise computation,
+// Equation 2). Custom UDFs are written with a Builder in a small tensor
+// expression language; see the examples directory.
+//
+// Building a kernel performs FeatGraph's "compilation" for a specific graph
+// topology — UDF lowering, pattern recognition, graph partitioning — whose
+// cost is amortized over the many executions of a training run.
+package featgraph
+
+import (
+	"fmt"
+
+	"featgraph/internal/core"
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Re-exported types. Aliases keep the public surface in one import path
+// while the implementation lives in focused internal packages.
+type (
+	// Tensor is a dense row-major float32 tensor.
+	Tensor = tensor.Tensor
+	// UDF is a user-defined per-vertex/per-edge feature computation.
+	UDF = expr.UDF
+	// Axis is an iteration axis of a UDF.
+	Axis = expr.Axis
+	// Builder constructs custom UDFs in the tensor expression language.
+	Builder = expr.Builder
+	// Expr is a node of the UDF expression language.
+	Expr = expr.Expr
+	// Placeholder names a UDF input tensor.
+	Placeholder = expr.Placeholder
+	// FDS is a feature dimension schedule.
+	FDS = schedule.FDS
+	// Options carries the coarse-grained template scheduling parameters.
+	Options = core.Options
+	// RunStats reports per-run statistics (simulated cycles on GPU).
+	RunStats = core.RunStats
+	// SpMMKernel is a built generalized-SpMM kernel.
+	SpMMKernel = core.SpMMKernel
+	// SDDMMKernel is a built generalized-SDDMM kernel.
+	SDDMMKernel = core.SDDMMKernel
+	// AggOp is an aggregation operator for SpMM.
+	AggOp = core.AggOp
+	// Target selects CPU or simulated-GPU execution.
+	Target = core.Target
+	// Device is a simulated GPU device.
+	Device = cudasim.Device
+	// DeviceConfig configures a simulated GPU device.
+	DeviceConfig = cudasim.Config
+	// Resource is a GPU execution resource an axis can bind to.
+	Resource = schedule.Resource
+)
+
+// Re-exported constants.
+const (
+	CPU = core.CPU
+	GPU = core.GPU
+
+	AggSum  = core.AggSum
+	AggMax  = core.AggMax
+	AggMin  = core.AggMin
+	AggMean = core.AggMean
+
+	BlockX  = schedule.BlockX
+	ThreadX = schedule.ThreadX
+
+	// Src, Dst and EID are the special per-edge index variables available
+	// inside UDFs.
+	Src = expr.Src
+	Dst = expr.Dst
+	EID = expr.EID
+)
+
+// NewTensor returns a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data (retained, not copied) in a tensor.
+func TensorFromSlice(data []float32, shape ...int) *Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// NewBuilder returns a UDF builder.
+func NewBuilder() *Builder { return expr.NewBuilder() }
+
+// NewFDS returns an empty feature dimension schedule.
+func NewFDS() *FDS { return schedule.New() }
+
+// NewDevice creates a simulated GPU device.
+func NewDevice(cfg DeviceConfig) *Device { return cudasim.NewDevice(cfg) }
+
+// Expression constructors for custom UDFs.
+var (
+	// Add returns a+b.
+	Add = expr.Add
+	// Sub returns a-b.
+	Sub = expr.Sub
+	// Mul returns a*b.
+	Mul = expr.Mul
+	// Div returns a/b.
+	Div = expr.Div
+	// Max returns max(a,b); Max(x, C(0)) is ReLU.
+	Max = expr.Max
+	// Min returns min(a,b).
+	Min = expr.Min
+	// C returns a scalar constant.
+	C = expr.C
+	// Sum reduces an expression over a reduce axis with +.
+	Sum = expr.Sum
+	// MaxOver reduces an expression over a reduce axis with max.
+	MaxOver = expr.MaxOver
+)
+
+// Built-in UDF library, mirroring DGL's builtin message/edge functions.
+var (
+	// CopySrc is the GCN-aggregation message: out[i] = X[src,i].
+	CopySrc = expr.CopySrc
+	// CopyDst copies destination features.
+	CopyDst = expr.CopyDst
+	// CopyEdge copies edge features.
+	CopyEdge = expr.CopyEdge
+	// AddSrcDst adds source and destination features.
+	AddSrcDst = expr.AddSrcDst
+	// SrcMulEdge multiplies source features by edge features elementwise.
+	SrcMulEdge = expr.SrcMulEdge
+	// SrcMulEdgeScalar scales source features by a scalar edge weight.
+	SrcMulEdgeScalar = expr.SrcMulEdgeScalar
+	// DotAttention is the dot-product attention edge function.
+	DotAttention = expr.DotAttention
+	// MultiHeadDot is multi-head dot-product attention.
+	MultiHeadDot = expr.MultiHeadDot
+	// MLPMessage is the MLP aggregation message function of Figure 3b.
+	MLPMessage = expr.MLPMessage
+)
+
+// Graph is a directed graph with stable edge ids, the sparse operand of
+// the templates. Edge i of the constructing edge list has edge id i.
+type Graph struct {
+	csr *sparse.CSR
+}
+
+// NewGraph builds a graph with numVertices vertices and one edge
+// srcs[i]→dsts[i] per position. Duplicate edges and out-of-range endpoints
+// are rejected.
+func NewGraph(numVertices int, srcs, dsts []int32) (*Graph, error) {
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("featgraph: %d sources but %d destinations", len(srcs), len(dsts))
+	}
+	csr, err := sparse.FromCOO(&sparse.COO{
+		NumRows: numVertices,
+		NumCols: numVertices,
+		Row:     dsts,
+		Col:     srcs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: csr}, nil
+}
+
+// GraphFromCSR wraps an existing adjacency matrix (rows = destinations,
+// columns = sources). The matrix is validated and retained, not copied.
+func GraphFromCSR(csr *sparse.CSR) (*Graph, error) {
+	if err := csr.Validate(); err != nil {
+		return nil, err
+	}
+	return &Graph{csr: csr}, nil
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.csr.NumRows }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.csr.NNZ() }
+
+// AvgDegree returns the average in-degree.
+func (g *Graph) AvgDegree() float64 { return g.csr.AvgDegree() }
+
+// InDegree returns the in-degree of vertex v.
+func (g *Graph) InDegree(v int) int { return g.csr.RowDegree(v) }
+
+// CSR exposes the underlying adjacency matrix for interoperation with the
+// lower-level packages.
+func (g *Graph) CSR() *sparse.CSR { return g.csr }
+
+// SpMM builds a generalized SpMM kernel over g: for every vertex v,
+// out[v] = agg over in-edges (u→v, e) of udf(u, v, e). This is the paper's
+// featgraph.spmm(A, msgfunc, aggregation, target, fds).
+func SpMM(g *Graph, udf *UDF, inputs []*Tensor, agg AggOp, fds *FDS, opts Options) (*SpMMKernel, error) {
+	return core.BuildSpMM(g.csr, udf, inputs, agg, fds, opts)
+}
+
+// SDDMM builds a generalized SDDMM kernel over g: for every edge u→v with
+// id e, out[e] = udf(u, v, e). This is the paper's
+// featgraph.sddmm(A, edgefunc, target, fds).
+func SDDMM(g *Graph, udf *UDF, inputs []*Tensor, fds *FDS, opts Options) (*SDDMMKernel, error) {
+	return core.BuildSDDMM(g.csr, udf, inputs, fds, opts)
+}

@@ -1,0 +1,195 @@
+package featgraph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"featgraph"
+)
+
+// chain builds the graph 0→1→2→…→(n-1).
+func chain(t *testing.T, n int) *featgraph.Graph {
+	t.Helper()
+	srcs := make([]int32, n-1)
+	dsts := make([]int32, n-1)
+	for i := range srcs {
+		srcs[i] = int32(i)
+		dsts[i] = int32(i + 1)
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := featgraph.NewGraph(3, []int32{0, 1}, []int32{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := featgraph.NewGraph(3, []int32{0, 5}, []int32{1, 2}); err == nil {
+		t.Error("out-of-range vertex should error")
+	}
+	if _, err := featgraph.NewGraph(3, []int32{0, 0}, []int32{1, 1}); err == nil {
+		t.Error("duplicate edge should error")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := chain(t, 5)
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("vertices=%d edges=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.InDegree(0) != 0 || g.InDegree(1) != 1 {
+		t.Fatal("in-degrees wrong")
+	}
+	if g.AvgDegree() != 0.8 {
+		t.Fatalf("AvgDegree = %v", g.AvgDegree())
+	}
+	if g.CSR() == nil {
+		t.Fatal("CSR accessor nil")
+	}
+	if _, err := featgraph.GraphFromCSR(g.CSR()); err != nil {
+		t.Fatalf("GraphFromCSR: %v", err)
+	}
+}
+
+func TestQuickstartGCNAggregation(t *testing.T) {
+	// The package-doc example: GCN aggregation on a small graph.
+	const n, d = 6, 8
+	g := chain(t, n)
+	rng := rand.New(rand.NewSource(1))
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+
+	udf := featgraph.CopySrc(n, d)
+	fds := featgraph.NewFDS().Split(udf.OutAxes[0], 4)
+	k, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds,
+		featgraph.Options{Target: featgraph.CPU, GraphPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := featgraph.NewTensor(n, d)
+	if _, err := k.Run(out); err != nil {
+		t.Fatal(err)
+	}
+	// On a chain, out[v] = x[v-1] and out[0] = 0.
+	for f := 0; f < d; f++ {
+		if out.At(0, f) != 0 {
+			t.Fatalf("vertex 0 should aggregate to zero, got %v", out.Row(0))
+		}
+	}
+	for v := 1; v < n; v++ {
+		for f := 0; f < d; f++ {
+			if out.At(v, f) != x.At(v-1, f) {
+				t.Fatalf("out[%d,%d] = %v, want %v", v, f, out.At(v, f), x.At(v-1, f))
+			}
+		}
+	}
+}
+
+func TestPublicSDDMMDotAttention(t *testing.T) {
+	const n, d = 6, 4
+	g := chain(t, n)
+	rng := rand.New(rand.NewSource(2))
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+
+	k, err := featgraph.SDDMM(g, featgraph.DotAttention(n, d), []*featgraph.Tensor{x}, nil,
+		featgraph.Options{Target: featgraph.CPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := featgraph.NewTensor(g.NumEdges(), 1)
+	if _, err := k.Run(out); err != nil {
+		t.Fatal(err)
+	}
+	// Edge i is i→i+1 with eid i.
+	for e := 0; e < g.NumEdges(); e++ {
+		var want float32
+		for f := 0; f < d; f++ {
+			want += x.At(e, f) * x.At(e+1, f)
+		}
+		if math.Abs(float64(out.At(e, 0)-want)) > 1e-5 {
+			t.Fatalf("edge %d attention = %v, want %v", e, out.At(e, 0), want)
+		}
+	}
+}
+
+func TestCustomUDFThroughPublicAPI(t *testing.T) {
+	// A custom edge function: ReLU(src·dst + 1).
+	const n, d = 5, 4
+	g := chain(t, n)
+	rng := rand.New(rand.NewSource(3))
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+
+	b := featgraph.NewBuilder()
+	xp := b.Placeholder("X", n, d)
+	i := b.OutAxis("i", 1)
+	kx := b.ReduceAxis("k", d)
+	body := featgraph.Max(
+		featgraph.Add(featgraph.Sum(kx, featgraph.Mul(xp.At(featgraph.Src, kx), xp.At(featgraph.Dst, kx))), featgraph.C(1)),
+		featgraph.C(0))
+	udf := b.UDF(body, i)
+
+	k, err := featgraph.SDDMM(g, udf, []*featgraph.Tensor{x}, nil, featgraph.Options{Target: featgraph.CPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := featgraph.NewTensor(g.NumEdges(), 1)
+	if _, err := k.Run(out); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		var dot float32
+		for f := 0; f < d; f++ {
+			dot += x.At(e, f) * x.At(e+1, f)
+		}
+		want := dot + 1
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(float64(out.At(e, 0)-want)) > 1e-5 {
+			t.Fatalf("edge %d = %v, want %v", e, out.At(e, 0), want)
+		}
+	}
+}
+
+func TestPublicGPUTarget(t *testing.T) {
+	const n, d = 8, 16
+	g := chain(t, n)
+	rng := rand.New(rand.NewSource(4))
+	x := featgraph.NewTensor(n, d)
+	x.FillUniform(rng, -1, 1)
+
+	udf := featgraph.CopySrc(n, d)
+	fds := featgraph.NewFDS().Bind(udf.OutAxes[0], featgraph.ThreadX)
+	dev := featgraph.NewDevice(featgraph.DeviceConfig{NumSMs: 2})
+	k, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds,
+		featgraph.Options{Target: featgraph.GPU, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := featgraph.NewTensor(n, d)
+	stats, err := k.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimCycles == 0 {
+		t.Fatal("GPU run should report cycles")
+	}
+	for v := 1; v < n; v++ {
+		if out.At(v, 0) != x.At(v-1, 0) {
+			t.Fatalf("GPU result wrong at vertex %d", v)
+		}
+	}
+}
+
+func TestTensorFromSlice(t *testing.T) {
+	x := featgraph.TensorFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if x.At(1, 1) != 4 {
+		t.Fatal("TensorFromSlice wrong")
+	}
+}

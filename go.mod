@@ -1,0 +1,3 @@
+module featgraph
+
+go 1.24

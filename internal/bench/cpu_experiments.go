@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"fmt"
+
+	"featgraph/internal/core"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/ligra"
+	"featgraph/internal/mkl"
+	"featgraph/internal/tensor"
+	"featgraph/internal/tuner"
+)
+
+func init() {
+	register("table3a", "Table III(a): single-threaded CPU, GCN aggregation (Ligra vs MKL vs FeatGraph)", table3a)
+	register("table3b", "Table III(b): single-threaded CPU, MLP aggregation (Ligra vs FeatGraph)", table3b)
+	register("table3c", "Table III(c): single-threaded CPU, dot-product attention (Ligra vs FeatGraph)", table3c)
+	register("fig10", "Figure 10: multi-threaded scalability, GCN aggregation on reddit-like", fig10)
+	register("fig11", "Figure 11: ablation of graph partitioning × feature tiling (CPU GCN aggregation, reddit-like)", fig11)
+	register("fig14", "Figure 14: sensitivity to partitioning factors (CPU GCN aggregation, reddit-like)", fig14)
+	register("table5", "Table V: sensitivity to graph sparsity vs MKL (CPU GCN aggregation, uniform graph)", table5)
+}
+
+// table3a compares single-threaded GCN aggregation across the three
+// systems on all three datasets over the feature-length sweep.
+func table3a(cfg *Config) error {
+	tbl := &Table{
+		Title:   "GCN aggregation, 1 thread (wall time; best in paper: FeatGraph)",
+		Columns: []string{"dataset", "d", "Ligra", "MKL", "FeatGraph", "FG vs Ligra", "FG vs MKL"},
+	}
+	for _, ds := range cfg.Datasets() {
+		lg := ligra.NewGraph(ds.Adj)
+		for _, d := range cfg.FeatLens {
+			x := randX(cfg.Seed, ds.Adj.NumRows, d)
+			out := tensor.New(ds.Adj.NumRows, d)
+
+			tLigra, err := timeIt(cfg.Reps, func() error {
+				ligra.GCNAggregation(lg, x, out, 1)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			tMKL, err := timeIt(cfg.Reps, func() error {
+				return mkl.CSRMM(ds.Adj, x, out, 1)
+			})
+			if err != nil {
+				return err
+			}
+			k, err := bestSpMM(cpuCandidates(d), func(gp, tile int) (*core.SpMMKernel, error) {
+				return buildGCNCPU(ds.Adj, x, 1, gp, tile)
+			})
+			if err != nil {
+				return err
+			}
+			tFG, err := timeIt(cfg.Reps, func() error {
+				_, err := k.Run(out)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				ds.Name, fmt.Sprint(d), secs(tLigra), secs(tMKL), secs(tFG),
+				ratio(tLigra, tFG), ratio(tMKL, tFG),
+			})
+		}
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}
+
+// table3b compares single-threaded MLP aggregation (d1 = 8, sweeping d2).
+func table3b(cfg *Config) error {
+	const d1 = 8
+	tbl := &Table{
+		Title:   "MLP aggregation, 1 thread (d1=8; MKL cannot express this kernel)",
+		Columns: []string{"dataset", "d2", "Ligra", "FeatGraph", "FG vs Ligra"},
+	}
+	for _, ds := range cfg.Datasets() {
+		lg := ligra.NewGraph(ds.Adj)
+		x := randX(cfg.Seed, ds.Adj.NumRows, d1)
+		for _, d2 := range cfg.FeatLens {
+			w := randX(cfg.Seed+1, d1, d2)
+			out := tensor.New(ds.Adj.NumRows, d2)
+
+			tLigra, err := timeIt(cfg.Reps, func() error {
+				ligra.MLPAggregation(lg, x, w, out, 1)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			k, err := bestSpMM(cpuCandidates(d2), func(gp, tile int) (*core.SpMMKernel, error) {
+				return buildMLPCPU(ds.Adj, x, w, 1, gp, tile)
+			})
+			if err != nil {
+				return err
+			}
+			tFG, err := timeIt(cfg.Reps, func() error {
+				_, err := k.Run(out)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				ds.Name, fmt.Sprint(d2), secs(tLigra), secs(tFG), ratio(tLigra, tFG),
+			})
+		}
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}
+
+// table3c compares single-threaded dot-product attention.
+func table3c(cfg *Config) error {
+	tbl := &Table{
+		Title:   "Dot-product attention, 1 thread (MKL cannot express this kernel)",
+		Columns: []string{"dataset", "d", "Ligra", "FeatGraph", "FG vs Ligra"},
+	}
+	for _, ds := range cfg.Datasets() {
+		lg := ligra.NewGraph(ds.Adj)
+		for _, d := range cfg.FeatLens {
+			x := randX(cfg.Seed, ds.Adj.NumRows, d)
+			att := tensor.New(ds.Adj.NNZ(), 1)
+
+			tLigra, err := timeIt(cfg.Reps, func() error {
+				ligra.DotAttention(lg, x, att, 1)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			k, err := bestSDDMM([]func() (*core.SDDMMKernel, error){
+				func() (*core.SDDMMKernel, error) { return buildDotCPU(ds.Adj, x, 1, false, 0) },
+				func() (*core.SDDMMKernel, error) { return buildDotCPU(ds.Adj, x, 1, true, 0) },
+				func() (*core.SDDMMKernel, error) { return buildDotCPU(ds.Adj, x, 1, true, tunedTile(d)) },
+			})
+			if err != nil {
+				return err
+			}
+			tFG, err := timeIt(cfg.Reps, func() error {
+				_, err := k.Run(att)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				ds.Name, fmt.Sprint(d), secs(tLigra), secs(tFG), ratio(tLigra, tFG),
+			})
+		}
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}
+
+// fig10 measures self-relative scalability of the three systems on GCN
+// aggregation (reddit-like, largest feature length).
+func fig10(cfg *Config) error {
+	ds := cfg.Datasets()[1] // reddit-like
+	d := cfg.FeatLens[len(cfg.FeatLens)-1]
+	x := randX(cfg.Seed, ds.Adj.NumRows, d)
+	out := tensor.New(ds.Adj.NumRows, d)
+	lg := ligra.NewGraph(ds.Adj)
+
+	threadCounts := []int{1, 2, 4, 8, 16}
+	for len(threadCounts) > 1 && threadCounts[len(threadCounts)-1] > cfg.Threads {
+		threadCounts = threadCounts[:len(threadCounts)-1]
+	}
+
+	tbl := &Table{
+		Title:   fmt.Sprintf("Scalability on %s, d=%d (speedup over own 1-thread run)", ds.Name, d),
+		Columns: []string{"threads", "FeatGraph", "Ligra", "MKL"},
+	}
+	base := map[string]float64{}
+	for _, th := range threadCounts {
+		k, err := buildGCNCPU(ds.Adj, x, th, tunedGraphPartitions, tunedTile(d))
+		if err != nil {
+			return err
+		}
+		tFG, err := timeIt(cfg.Reps, func() error { _, err := k.Run(out); return err })
+		if err != nil {
+			return err
+		}
+		tLigra, err := timeIt(cfg.Reps, func() error { ligra.GCNAggregation(lg, x, out, th); return nil })
+		if err != nil {
+			return err
+		}
+		tMKL, err := timeIt(cfg.Reps, func() error { return mkl.CSRMM(ds.Adj, x, out, th) })
+		if err != nil {
+			return err
+		}
+		if th == 1 {
+			base["fg"], base["ligra"], base["mkl"] = tFG, tLigra, tMKL
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(th), ratio(base["fg"], tFG), ratio(base["ligra"], tLigra), ratio(base["mkl"], tMKL),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}
+
+// fig11 ablates feature tiling and graph partitioning on CPU GCN
+// aggregation, reporting speedup over the unoptimized template.
+func fig11(cfg *Config) error {
+	ds := cfg.Datasets()[1] // reddit-like
+	tbl := &Table{
+		Title:   fmt.Sprintf("Optimization ablation on %s (speedup over baseline)", ds.Name),
+		Columns: []string{"d", "baseline", "feature tiling", "graph partitioning", "tiling+partitioning"},
+	}
+	for _, d := range cfg.FeatLens {
+		x := randX(cfg.Seed, ds.Adj.NumRows, d)
+		out := tensor.New(ds.Adj.NumRows, d)
+		variants := []struct {
+			gp, tile int
+		}{
+			{1, 0},                               // baseline
+			{1, tunedTile(d)},                    // tiling only
+			{tunedGraphPartitions, 0},            // partitioning only
+			{tunedGraphPartitions, tunedTile(d)}, // both
+		}
+		times := make([]float64, len(variants))
+		for i, v := range variants {
+			k, err := buildGCNCPU(ds.Adj, x, 1, v.gp, v.tile)
+			if err != nil {
+				return err
+			}
+			times[i], err = timeIt(cfg.Reps, func() error { _, err := k.Run(out); return err })
+			if err != nil {
+				return err
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(d), "1.0x", ratio(times[0], times[1]), ratio(times[0], times[2]), ratio(times[0], times[3]),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}
+
+// fig14 sweeps the (graph partitions × feature partitions) grid via the
+// tuner and prints the time heat-grid.
+func fig14(cfg *Config) error {
+	ds := cfg.Datasets()[1] // reddit-like
+	d := 128
+	x := randX(cfg.Seed, ds.Adj.NumRows, d)
+	gps := []int{1, 4, 16, 64}
+	featParts := []int{1, 2, 4, 8}
+	tiles := make([]int, len(featParts))
+	for i, fp := range featParts {
+		if fp == 1 {
+			tiles[i] = 0
+		} else {
+			tiles[i] = d / fp
+		}
+	}
+	cells, best, err := tuner.GridCPU(ds.Adj, x, gps, tiles, 1, cfg.Reps)
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Partitioning-factor sensitivity on %s, d=%d (cell = time)", ds.Name, d),
+		Columns: append([]string{"graph parts \\ feat parts"}, intHeaders(featParts)...),
+	}
+	idx := 0
+	for _, gp := range gps {
+		row := []string{fmt.Sprint(gp)}
+		for range featParts {
+			row = append(row, secs(cells[idx].Seconds))
+			idx++
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "best: %d graph partitions, tile %d (%s)\n", best.GraphPartitions, best.FeatureTile, secs(best.Seconds))
+	return nil
+}
+
+func intHeaders(vals []int) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// table5 sweeps graph sparsity on a uniform graph against MKL.
+func table5(cfg *Config) error {
+	n := 4000
+	if cfg.Scale == graphgen.Full {
+		n = 10000
+	}
+	d := 128
+	sparsities := []float64{0.9995, 0.995, 0.95}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Sparsity sensitivity, uniform graph |V|=%d, d=%d, 1 thread", n, d),
+		Columns: []string{"sparsity", "MKL", "FeatGraph", "speedup"},
+	}
+	for _, sp := range sparsities {
+		deg := int(float64(n) * (1 - sp))
+		if deg < 1 {
+			deg = 1
+		}
+		rng := newRNG(cfg.Seed + int64(deg))
+		adj := graphgen.Uniform(rng, n, deg)
+		x := randX(cfg.Seed, n, d)
+		out := tensor.New(n, d)
+
+		tMKL, err := timeIt(cfg.Reps, func() error { return mkl.CSRMM(adj, x, out, 1) })
+		if err != nil {
+			return err
+		}
+		k, err := bestSpMM(cpuCandidates(d), func(gp, tile int) (*core.SpMMKernel, error) {
+			return buildGCNCPU(adj, x, 1, gp, tile)
+		})
+		if err != nil {
+			return err
+		}
+		tFG, err := timeIt(cfg.Reps, func() error { _, err := k.Run(out); return err })
+		if err != nil {
+			return err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f%%", sp*100), secs(tMKL), secs(tFG), ratio(tMKL, tFG),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	return nil
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"math/rand"
+
+	"featgraph/internal/core"
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Kernel builders shared by the experiments. The "tuned" CPU parameters
+// follow the paper's findings (Figure 14: ~16 graph partitions, ~4 feature
+// partitions, i.e. a tile of d/4), and the GPU defaults follow §III-C2
+// (blocks = rows, feature axis bound to thread.x, tree reduction for dots).
+
+const tunedGraphPartitions = 16
+
+// tunedTile returns the feature tiling factor for a d-wide feature axis:
+// four feature partitions, but never tiles below 8 elements.
+func tunedTile(d int) int {
+	t := d / 4
+	if t < 8 {
+		return 0 // too narrow to be worth tiling
+	}
+	return t
+}
+
+func randX(seed int64, n, d int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, d)
+	x.FillUniform(rng, -1, 1)
+	return x
+}
+
+// buildGCNCPU builds the FeatGraph CPU GCN-aggregation kernel.
+func buildGCNCPU(adj *sparse.CSR, x *tensor.Tensor, threads, gp, tile int) (*core.SpMMKernel, error) {
+	n, d := adj.NumRows, x.Dim(1)
+	udf := expr.CopySrc(n, d)
+	fds := schedule.New()
+	if tile > 0 {
+		fds.Split(udf.OutAxes[0], tile)
+	}
+	return core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
+		core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: gp})
+}
+
+// buildMLPCPU builds the FeatGraph CPU MLP-aggregation kernel
+// (max aggregation, per Figure 1).
+func buildMLPCPU(adj *sparse.CSR, x, w *tensor.Tensor, threads, gp, tile int) (*core.SpMMKernel, error) {
+	n := adj.NumRows
+	d1, d2 := w.Dim(0), w.Dim(1)
+	udf := expr.MLPMessage(n, d1, d2)
+	fds := schedule.New()
+	if tile > 0 {
+		fds.Split(udf.OutAxes[0], tile)
+	}
+	return core.BuildSpMM(adj, udf, []*tensor.Tensor{x, w}, core.AggMax, fds,
+		core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: gp})
+}
+
+// buildDotCPU builds the FeatGraph CPU dot-product attention kernel with
+// Hilbert traversal and optional reduce-axis tiling.
+func buildDotCPU(adj *sparse.CSR, x *tensor.Tensor, threads int, hilbert bool, redTile int) (*core.SDDMMKernel, error) {
+	n, d := adj.NumRows, x.Dim(1)
+	udf := expr.DotAttention(n, d)
+	fds := schedule.New()
+	if redTile > 0 {
+		if ax := dotReduceAxis(udf); ax != nil {
+			fds.Split(ax, redTile)
+		}
+	}
+	return core.BuildSDDMM(adj, udf, []*tensor.Tensor{x}, fds,
+		core.Options{Target: core.CPU, NumThreads: threads, Hilbert: hilbert})
+}
+
+func dotReduceAxis(udf *expr.UDF) *expr.Axis {
+	if red, ok := udf.Body.(*expr.Reduce); ok {
+		return red.Axis
+	}
+	return nil
+}
+
+// buildGCNGPU builds the FeatGraph GPU GCN-aggregation kernel.
+func buildGCNGPU(dev *cudasim.Device, adj *sparse.CSR, x *tensor.Tensor, blocks int, hybridThreshold int32, tile int) (*core.SpMMKernel, error) {
+	n, d := adj.NumRows, x.Dim(1)
+	udf := expr.CopySrc(n, d)
+	fds := schedule.New().Bind(udf.OutAxes[0], schedule.ThreadX)
+	if tile > 0 {
+		fds.Split(udf.OutAxes[0], tile)
+	}
+	return core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
+		core.Options{Target: core.GPU, Device: dev, NumBlocks: blocks, HybridThreshold: hybridThreshold})
+}
+
+// buildMLPGPU builds the FeatGraph GPU MLP-aggregation kernel (Figure 9's
+// multi-level parallelization).
+func buildMLPGPU(dev *cudasim.Device, adj *sparse.CSR, x, w *tensor.Tensor) (*core.SpMMKernel, error) {
+	n := adj.NumRows
+	d1, d2 := w.Dim(0), w.Dim(1)
+	udf := expr.MLPMessage(n, d1, d2)
+	fds := schedule.New().Bind(udf.OutAxes[0], schedule.ThreadX)
+	return core.BuildSpMM(adj, udf, []*tensor.Tensor{x, w}, core.AggMax, fds,
+		core.Options{Target: core.GPU, Device: dev})
+}
+
+// buildDotGPU builds the FeatGraph GPU dot-attention kernel, with or
+// without tree reduction (Figure 12's ablation).
+func buildDotGPU(dev *cudasim.Device, adj *sparse.CSR, x *tensor.Tensor, treeReduce bool) (*core.SDDMMKernel, error) {
+	n, d := adj.NumRows, x.Dim(1)
+	udf := expr.DotAttention(n, d)
+	fds := schedule.New()
+	if treeReduce {
+		if ax := dotReduceAxis(udf); ax != nil {
+			fds.TreeReduce(ax, schedule.ThreadX)
+		}
+	}
+	return core.BuildSDDMM(adj, udf, []*tensor.Tensor{x}, fds,
+		core.Options{Target: core.GPU, Device: dev})
+}
+
+// runSpMM runs k once into a fresh output, returning the stats.
+func runSpMM(k *core.SpMMKernel) (core.RunStats, error) {
+	rows, cols := k.OutShape()
+	return k.Run(tensor.New(rows, cols))
+}
+
+// runSDDMM runs k once into a fresh output, returning the stats.
+func runSDDMM(k *core.SDDMMKernel) (core.RunStats, error) {
+	rows, cols := k.OutShape()
+	return k.Run(tensor.New(rows, cols))
+}
+
+// cpuConf is one point of the CPU template design space.
+type cpuConf struct {
+	gp, tile int
+}
+
+// cpuCandidates is the small grid the experiments search per input shape,
+// mirroring the paper's grid search (its cost is excluded from the
+// measurements, as in §V-E: tuning is amortized over epochs).
+func cpuCandidates(d int) []cpuConf {
+	confs := []cpuConf{{1, 0}, {4, 0}, {tunedGraphPartitions, 0}}
+	if t := tunedTile(d); t > 0 {
+		confs = append(confs, cpuConf{1, t}, cpuConf{tunedGraphPartitions, t})
+	}
+	return confs
+}
+
+// bestSpMM builds each candidate kernel, times one run, and returns the
+// fastest kernel.
+func bestSpMM(confs []cpuConf, build func(gp, tile int) (*core.SpMMKernel, error)) (*core.SpMMKernel, error) {
+	var best *core.SpMMKernel
+	bestSec := -1.0
+	for _, c := range confs {
+		k, err := build(c.gp, c.tile)
+		if err != nil {
+			return nil, err
+		}
+		sec, err := timeIt(1, func() error { _, err := runSpMM(k); return err })
+		if err != nil {
+			return nil, err
+		}
+		if bestSec < 0 || sec < bestSec {
+			best, bestSec = k, sec
+		}
+	}
+	return best, nil
+}
+
+// bestSDDMM is bestSpMM for SDDMM kernels over (hilbert × reduce-tile)
+// variants.
+func bestSDDMM(builds []func() (*core.SDDMMKernel, error)) (*core.SDDMMKernel, error) {
+	var best *core.SDDMMKernel
+	bestSec := -1.0
+	for _, build := range builds {
+		k, err := build()
+		if err != nil {
+			return nil, err
+		}
+		sec, err := timeIt(1, func() error { _, err := runSDDMM(k); return err })
+		if err != nil {
+			return nil, err
+		}
+		if bestSec < 0 || sec < bestSec {
+			best, bestSec = k, sec
+		}
+	}
+	return best, nil
+}

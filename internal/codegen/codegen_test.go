@@ -1,0 +1,429 @@
+package codegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/expr"
+	"featgraph/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillUniform(rng, -1, 1)
+	return t
+}
+
+func TestCompileRejectsBadInputs(t *testing.T) {
+	udf := expr.CopySrc(4, 8)
+	if _, err := Compile(udf, nil); err == nil {
+		t.Error("missing inputs should error")
+	}
+	if _, err := Compile(udf, []*tensor.Tensor{tensor.New(4, 9)}); err == nil {
+		t.Error("wrong dim should error")
+	}
+	if _, err := Compile(udf, []*tensor.Tensor{tensor.New(4, 8, 1)}); err == nil {
+		t.Error("wrong rank should error")
+	}
+}
+
+func TestCopySrcEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 5, 8)
+	c, err := Compile(expr.CopySrc(5, 8), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.NewEnv()
+	out := make([]float32, 8)
+	c.EvalAll(env, 3, 0, 0, out)
+	for i, v := range out {
+		if v != x.At(3, i) {
+			t.Fatalf("out[%d] = %v, want %v", i, v, x.At(3, i))
+		}
+	}
+}
+
+func TestCopyDstAndEdgeEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 5, 4)
+	e := randTensor(rng, 9, 4)
+
+	cd, err := Compile(expr.CopyDst(5, 4), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 4)
+	cd.EvalAll(cd.NewEnv(), 0, 2, 0, out)
+	for i := range out {
+		if out[i] != x.At(2, i) {
+			t.Fatalf("CopyDst out[%d] = %v", i, out[i])
+		}
+	}
+
+	ce, err := Compile(expr.CopyEdge(9, 4), []*tensor.Tensor{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.EvalAll(ce.NewEnv(), 0, 0, 7, out)
+	for i := range out {
+		if out[i] != e.At(7, i) {
+			t.Fatalf("CopyEdge out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestDotAttentionEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 6, 16)
+	c, err := Compile(expr.DotAttention(6, 16), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 1)
+	c.EvalAll(c.NewEnv(), 4, 1, 0, out)
+	want := tensor.Dot(x.Row(4), x.Row(1))
+	if math.Abs(float64(out[0]-want)) > 1e-5 {
+		t.Fatalf("dot = %v, want %v", out[0], want)
+	}
+}
+
+func TestMultiHeadDotEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, h, d = 5, 3, 8
+	x := randTensor(rng, n, h, d)
+	c, err := Compile(expr.MultiHeadDot(n, h, d), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, h)
+	c.EvalAll(c.NewEnv(), 2, 4, 0, out)
+	for head := 0; head < h; head++ {
+		var want float32
+		for k := 0; k < d; k++ {
+			want += x.At(2, head, k) * x.At(4, head, k)
+		}
+		if math.Abs(float64(out[head]-want)) > 1e-5 {
+			t.Fatalf("head %d = %v, want %v", head, out[head], want)
+		}
+	}
+}
+
+func TestMLPMessageEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, d1, d2 = 4, 8, 6
+	x := randTensor(rng, n, d1)
+	w := randTensor(rng, d1, d2)
+	c, err := Compile(expr.MLPMessage(n, d1, d2), []*tensor.Tensor{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, d2)
+	c.EvalAll(c.NewEnv(), 1, 3, 0, out)
+	for i := 0; i < d2; i++ {
+		var s float32
+		for k := 0; k < d1; k++ {
+			s += (x.At(1, k) + x.At(3, k)) * w.At(k, i)
+		}
+		if s < 0 {
+			s = 0
+		}
+		if math.Abs(float64(out[i]-s)) > 1e-4 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], s)
+		}
+	}
+}
+
+func TestSrcMulEdgeScalarEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randTensor(rng, 4, 5)
+	e := randTensor(rng, 7, 1)
+	c, err := Compile(expr.SrcMulEdgeScalar(4, 7, 5), []*tensor.Tensor{x, e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutLen() != 5 {
+		t.Fatalf("OutLen = %d, want 5", c.OutLen())
+	}
+	out := make([]float32, 5)
+	c.EvalAll(c.NewEnv(), 2, 0, 6, out)
+	for i := range out {
+		want := x.At(2, i) * e.At(6, 0)
+		if math.Abs(float64(out[i]-want)) > 1e-6 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestSubRangeEvalMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, d1, d2 = 4, 8, 10
+	x := randTensor(rng, n, d1)
+	w := randTensor(rng, d1, d2)
+	c, err := Compile(expr.MLPMessage(n, d1, d2), []*tensor.Tensor{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.NewEnv()
+	full := make([]float32, d2)
+	c.EvalAll(env, 0, 2, 0, full)
+	for lo := 0; lo < d2; lo += 3 {
+		hi := min(lo+3, d2)
+		part := make([]float32, hi-lo)
+		c.Eval(env, 0, 2, 0, part, lo, hi)
+		for i := range part {
+			if part[i] != full[lo+i] {
+				t.Fatalf("sub-range [%d,%d) element %d = %v, want %v", lo, hi, i, part[i], full[lo+i])
+			}
+		}
+	}
+}
+
+func TestEvalRangeMismatchPanics(t *testing.T) {
+	c, err := Compile(expr.CopySrc(4, 8), []*tensor.Tensor{tensor.New(4, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("range/out mismatch should panic")
+		}
+	}()
+	c.Eval(c.NewEnv(), 0, 0, 0, make([]float32, 3), 0, 8)
+}
+
+func TestAllBinaryOpsAndReduceMax(t *testing.T) {
+	// out[i] = max_k( min(X[src,k], 2) / max(X[dst,k], 0.5) - W[k,i] )
+	b := expr.NewBuilder()
+	x := b.Placeholder("X", 3, 4)
+	w := b.Placeholder("W", 4, 2)
+	i := b.OutAxis("i", 2)
+	k := b.ReduceAxis("k", 4)
+	body := expr.MaxOver(k,
+		expr.Sub(
+			expr.Div(expr.Min(x.At(expr.Src, k), expr.C(2)), expr.Max(x.At(expr.Dst, k), expr.C(0.5))),
+			w.At(k, i)))
+	udf := b.UDF(body, i)
+
+	rng := rand.New(rand.NewSource(8))
+	xt := randTensor(rng, 3, 4)
+	wt := randTensor(rng, 4, 2)
+	c, err := Compile(udf, []*tensor.Tensor{xt, wt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2)
+	c.EvalAll(c.NewEnv(), 1, 2, 0, out)
+	for ii := 0; ii < 2; ii++ {
+		want := float32(math.Inf(-1))
+		for kk := 0; kk < 4; kk++ {
+			num := xt.At(1, kk)
+			if num > 2 {
+				num = 2
+			}
+			den := xt.At(2, kk)
+			if den < 0.5 {
+				den = 0.5
+			}
+			v := num/den - wt.At(kk, ii)
+			if v > want {
+				want = v
+			}
+		}
+		if math.Abs(float64(out[ii]-want)) > 1e-5 {
+			t.Fatalf("out[%d] = %v, want %v", ii, out[ii], want)
+		}
+	}
+}
+
+func TestRecognizePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randTensor(rng, 4, 8)
+	e := randTensor(rng, 9, 8)
+	e1 := randTensor(rng, 9, 1)
+	w := randTensor(rng, 8, 2)
+
+	cases := []struct {
+		name    string
+		udf     *expr.UDF
+		inputs  []*tensor.Tensor
+		pattern Pattern
+	}{
+		{"CopySrc", expr.CopySrc(4, 8), []*tensor.Tensor{x}, CopySrc},
+		{"CopyDst", expr.CopyDst(4, 8), []*tensor.Tensor{x}, CopyDst},
+		{"CopyEdge", expr.CopyEdge(9, 8), []*tensor.Tensor{e}, CopyEdge},
+		{"SrcMulEdgeVec", expr.SrcMulEdge(4, 9, 8), []*tensor.Tensor{x, e}, SrcMulEdgeVec},
+		{"SrcMulEdgeScalar", expr.SrcMulEdgeScalar(4, 9, 8), []*tensor.Tensor{x, e1}, SrcMulEdgeScalar},
+		{"DotSrcDst", expr.DotAttention(4, 8), []*tensor.Tensor{x}, DotSrcDst},
+		{"AddSrcDst is generic", expr.AddSrcDst(4, 8), []*tensor.Tensor{x}, Generic},
+		{"MLP", expr.MLPMessage(4, 8, 2), []*tensor.Tensor{x, w}, MLPSrcDst},
+		{"MultiHeadDot is generic", expr.MultiHeadDot(4, 2, 8), []*tensor.Tensor{randTensor(rng, 4, 2, 8)}, Generic},
+	}
+	for _, tc := range cases {
+		m := Recognize(tc.udf, tc.inputs)
+		if m.Pattern != tc.pattern {
+			t.Errorf("%s: pattern = %v, want %v", tc.name, m.Pattern, tc.pattern)
+		}
+	}
+}
+
+func TestRecognizeBindsRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randTensor(rng, 4, 8)
+	m := Recognize(expr.CopySrc(4, 8), []*tensor.Tensor{x})
+	if m.X != x {
+		t.Fatal("CopySrc should bind X")
+	}
+	e1 := randTensor(rng, 9, 1)
+	m = Recognize(expr.SrcMulEdgeScalar(4, 9, 8), []*tensor.Tensor{x, e1})
+	if m.X != x || m.E != e1 {
+		t.Fatal("SrcMulEdgeScalar should bind X and E")
+	}
+	m = Recognize(expr.DotAttention(4, 8), []*tensor.Tensor{x})
+	if m.X != x || m.Y != x {
+		t.Fatal("DotSrcDst should bind X and Y")
+	}
+}
+
+func TestRecognizeDotReversedOperands(t *testing.T) {
+	// Σ_k X[dst,k] * X[src,k] should also be recognized as DotSrcDst.
+	b := expr.NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	i := b.OutAxis("i", 1)
+	k := b.ReduceAxis("k", 8)
+	udf := b.UDF(expr.Sum(k, expr.Mul(x.At(expr.Dst, k), x.At(expr.Src, k))), i)
+	rng := rand.New(rand.NewSource(11))
+	xt := randTensor(rng, 4, 8)
+	m := Recognize(udf, []*tensor.Tensor{xt})
+	if m.Pattern != DotSrcDst {
+		t.Fatalf("reversed dot pattern = %v", m.Pattern)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p := Generic; p <= DotSrcDst; p++ {
+		if p.String() == "unknown" || p.String() == "" {
+			t.Errorf("pattern %d has no name", int(p))
+		}
+	}
+}
+
+func TestEstimateCostPerElem(t *testing.T) {
+	// CopySrc: one load = 4.
+	if got := EstimateCostPerElem(expr.CopySrc(4, 8)); got != 4 {
+		t.Fatalf("CopySrc cost = %d, want 4", got)
+	}
+	// DotAttention over k=8: 8 * (load+load+mul + reduce-add) = 8*(4+4+1+1) = 80.
+	if got := EstimateCostPerElem(expr.DotAttention(4, 8)); got != 80 {
+		t.Fatalf("DotAttention cost = %d, want 80", got)
+	}
+	// MLP message cost grows with the reduction extent.
+	small := EstimateCostPerElem(expr.MLPMessage(4, 4, 2))
+	large := EstimateCostPerElem(expr.MLPMessage(4, 64, 2))
+	if large <= small {
+		t.Fatalf("MLP cost should grow with d1: %d vs %d", small, large)
+	}
+}
+
+func TestRecognizeMLPVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const n, d1, d2 = 4, 8, 6
+	x := randTensor(rng, n, d1)
+	w := randTensor(rng, d1, d2)
+
+	// With ReLU.
+	m := Recognize(expr.MLPMessage(n, d1, d2), []*tensor.Tensor{x, w})
+	if m.Pattern != MLPSrcDst || !m.Relu || m.X != x || m.W != w {
+		t.Fatalf("MLPMessage match = %+v", m)
+	}
+
+	// Without ReLU: plain affine message.
+	b := expr.NewBuilder()
+	xp := b.Placeholder("X", n, d1)
+	wp := b.Placeholder("W", d1, d2)
+	i := b.OutAxis("i", d2)
+	k := b.ReduceAxis("k", d1)
+	udf := b.UDF(expr.Sum(k, expr.Mul(expr.Add(xp.At(expr.Src, k), xp.At(expr.Dst, k)), wp.At(k, i))), i)
+	m = Recognize(udf, []*tensor.Tensor{x, w})
+	if m.Pattern != MLPSrcDst || m.Relu {
+		t.Fatalf("affine match = %+v", m)
+	}
+
+	// Dst+Src operand order also matches.
+	b2 := expr.NewBuilder()
+	xp2 := b2.Placeholder("X", n, d1)
+	wp2 := b2.Placeholder("W", d1, d2)
+	i2 := b2.OutAxis("i", d2)
+	k2 := b2.ReduceAxis("k", d1)
+	udf2 := b2.UDF(expr.Max(expr.C(0),
+		expr.Sum(k2, expr.Mul(wp2.At(k2, i2), expr.Add(xp2.At(expr.Dst, k2), xp2.At(expr.Src, k2))))), i2)
+	m = Recognize(udf2, []*tensor.Tensor{x, w})
+	if m.Pattern != MLPSrcDst || !m.Relu {
+		t.Fatalf("reversed match = %+v", m)
+	}
+
+	// Src+Src (not Src+Dst) must NOT match.
+	b3 := expr.NewBuilder()
+	xp3 := b3.Placeholder("X", n, d1)
+	wp3 := b3.Placeholder("W", d1, d2)
+	i3 := b3.OutAxis("i", d2)
+	k3 := b3.ReduceAxis("k", d1)
+	udf3 := b3.UDF(expr.Sum(k3, expr.Mul(expr.Add(xp3.At(expr.Src, k3), xp3.At(expr.Src, k3)), wp3.At(k3, i3))), i3)
+	if m := Recognize(udf3, []*tensor.Tensor{x, w}); m.Pattern != Generic {
+		t.Fatalf("src+src should be generic, got %v", m.Pattern)
+	}
+}
+
+func TestUnaryOpsEval(t *testing.T) {
+	// out[i] = sigmoid(X[src,i]) + tanh(X[dst,i]) - exp(-|X[src,i]|) +
+	//          log(sqrt(X[dst,i]^2 + 1))
+	b := expr.NewBuilder()
+	x := b.Placeholder("X", 3, 4)
+	i := b.OutAxis("i", 4)
+	xs := x.At(expr.Src, i)
+	xd := x.At(expr.Dst, i)
+	body := expr.Add(
+		expr.Sub(
+			expr.Add(expr.Sigmoid(xs), expr.Tanh(xd)),
+			expr.Exp(expr.Neg(expr.Abs(xs)))),
+		expr.Log(expr.Sqrt(expr.Add(expr.Mul(xd, xd), expr.C(1)))))
+	udf := b.UDF(body, i)
+
+	rng := rand.New(rand.NewSource(42))
+	xt := randTensor(rng, 3, 4)
+	c, err := Compile(udf, []*tensor.Tensor{xt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 4)
+	c.EvalAll(c.NewEnv(), 1, 2, 0, out)
+	for f := 0; f < 4; f++ {
+		vs := float64(xt.At(1, f))
+		vd := float64(xt.At(2, f))
+		want := 1/(1+math.Exp(-vs)) + math.Tanh(vd) - math.Exp(-math.Abs(vs)) + math.Log(math.Sqrt(vd*vd+1))
+		if math.Abs(float64(out[f])-want) > 1e-5 {
+			t.Fatalf("out[%d] = %v, want %v", f, out[f], want)
+		}
+	}
+	// Unary-wrapped bodies are not a fast-path pattern.
+	if m := Recognize(udf, []*tensor.Tensor{xt}); m.Pattern != Generic {
+		t.Fatalf("pattern = %v, want generic", m.Pattern)
+	}
+	// Cost estimation covers unary nodes.
+	if EstimateCostPerElem(udf) == 0 {
+		t.Fatal("unary cost should be nonzero")
+	}
+}
+
+func TestUnaryStrings(t *testing.T) {
+	for op := expr.OpNeg; op <= expr.OpTanh; op++ {
+		if op.String() == "" {
+			t.Fatalf("unary op %d has no name", int(op))
+		}
+	}
+	s := expr.Exp(expr.C(1)).String()
+	if s != "exp(1)" {
+		t.Fatalf("Exp string = %q", s)
+	}
+}

@@ -1,0 +1,234 @@
+package codegen
+
+import (
+	"featgraph/internal/expr"
+	"featgraph/internal/tensor"
+)
+
+// Pattern classifies a UDF into one of the shapes for which the templates
+// have hand-scheduled fast paths, or Generic for everything else.
+type Pattern int
+
+// Recognized UDF patterns.
+const (
+	// Generic requires the compiled-closure path.
+	Generic Pattern = iota
+	// CopySrc is out[i] = X[src, i]: vanilla SpMM messages (GCN).
+	CopySrc
+	// CopyDst is out[i] = X[dst, i].
+	CopyDst
+	// CopyEdge is out[i] = E[eid, i].
+	CopyEdge
+	// SrcMulEdgeScalar is out[i] = X[src, i] * E[eid, 0]: attention-
+	// weighted source features (GAT aggregation).
+	SrcMulEdgeScalar
+	// SrcMulEdgeVec is out[i] = X[src, i] * E[eid, i].
+	SrcMulEdgeVec
+	// DotSrcDst is out[0] = Σ_k X[src, k] * Y[dst, k]: vanilla SDDMM
+	// (dot-product attention).
+	DotSrcDst
+	// MLPSrcDst is out[i] = act(Σ_k (X[src,k] + X[dst,k]) * W[k,i]), the
+	// MLP aggregation message of Figure 3b, with act either ReLU
+	// (Match.Relu true) or identity.
+	MLPSrcDst
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Generic:
+		return "generic"
+	case CopySrc:
+		return "copy-src"
+	case CopyDst:
+		return "copy-dst"
+	case CopyEdge:
+		return "copy-edge"
+	case SrcMulEdgeScalar:
+		return "src-mul-edge-scalar"
+	case SrcMulEdgeVec:
+		return "src-mul-edge-vec"
+	case DotSrcDst:
+		return "dot-src-dst"
+	case MLPSrcDst:
+		return "mlp-src-dst"
+	}
+	return "unknown"
+}
+
+// Match describes a recognized UDF: the pattern plus which bound input
+// tensors play each role. Nil tensors mean the role is unused.
+type Match struct {
+	Pattern Pattern
+	X       *tensor.Tensor // vertex features read via Src (or Dst for CopyDst)
+	Y       *tensor.Tensor // second vertex operand (DotSrcDst's dst side)
+	E       *tensor.Tensor // edge features read via EID
+	W       *tensor.Tensor // weight matrix (MLPSrcDst)
+	Relu    bool           // MLPSrcDst: apply ReLU to the message
+}
+
+// Recognize classifies udf against the fast-path patterns, resolving
+// placeholder roles to the bound inputs. inputs must be positionally
+// aligned with udf.Inputs, as in Compile.
+func Recognize(udf *expr.UDF, inputs []*tensor.Tensor) Match {
+	get := func(p *expr.Placeholder) *tensor.Tensor { return inputs[p.ID()] }
+
+	// Single output axis patterns (d-length outputs).
+	if len(udf.OutAxes) >= 1 {
+		i := udf.OutAxes[0]
+
+		// copy patterns: Load(P, [special, i])
+		if ld, ok := udf.Body.(*expr.Load); ok && len(ld.Idx) == 2 {
+			if sp, ok := ld.Idx[0].(expr.Special); ok && ld.Idx[1] == expr.Index(i) && unitTrailingAxes(udf) {
+				switch sp {
+				case expr.Src:
+					return Match{Pattern: CopySrc, X: get(ld.P)}
+				case expr.Dst:
+					return Match{Pattern: CopyDst, X: get(ld.P)}
+				case expr.EID:
+					return Match{Pattern: CopyEdge, E: get(ld.P)}
+				}
+			}
+		}
+
+		// mul patterns: Mul(Load(X,[Src,i]), Load(E,[EID,·]))
+		if bin, ok := udf.Body.(*expr.Binary); ok && bin.Op == expr.OpMul && unitTrailingAxes(udf) {
+			if m, ok := matchSrcMulEdge(bin, i, get); ok {
+				return m
+			}
+		}
+
+		// MLP message: act(Σ_k (X[src,k] + X[dst,k]) * W[k,i]).
+		if unitTrailingAxes(udf) {
+			body := udf.Body
+			relu := false
+			if bin, ok := body.(*expr.Binary); ok && bin.Op == expr.OpMax {
+				if c, ok := bin.B.(expr.Const); ok && float32(c) == 0 {
+					body, relu = bin.A, true
+				} else if c, ok := bin.A.(expr.Const); ok && float32(c) == 0 {
+					body, relu = bin.B, true
+				}
+			}
+			if m, ok := matchMLP(body, i, relu, get); ok {
+				return m
+			}
+		}
+	}
+
+	// DotSrcDst: Reduce(sum, k, Mul(Load(X,[Src,k]), Load(Y,[Dst,k]))),
+	// with a scalar output (all output axes unit extent).
+	if udf.OutLen() == 1 {
+		if red, ok := udf.Body.(*expr.Reduce); ok && red.Op == expr.ReduceSum {
+			if bin, ok := red.Body.(*expr.Binary); ok && bin.Op == expr.OpMul {
+				la, okA := bin.A.(*expr.Load)
+				lb, okB := bin.B.(*expr.Load)
+				if okA && okB && len(la.Idx) == 2 && len(lb.Idx) == 2 &&
+					la.Idx[1] == expr.Index(red.Axis) && lb.Idx[1] == expr.Index(red.Axis) {
+					spA, okSA := la.Idx[0].(expr.Special)
+					spB, okSB := lb.Idx[0].(expr.Special)
+					if okSA && okSB {
+						if spA == expr.Src && spB == expr.Dst {
+							return Match{Pattern: DotSrcDst, X: get(la.P), Y: get(lb.P)}
+						}
+						if spA == expr.Dst && spB == expr.Src {
+							return Match{Pattern: DotSrcDst, X: get(lb.P), Y: get(la.P)}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	return Match{Pattern: Generic}
+}
+
+// matchSrcMulEdge matches Mul(X[src,i], E[eid,i]) and Mul(X[src,i], E[eid,c])
+// with c a unit axis, in either operand order.
+func matchSrcMulEdge(bin *expr.Binary, i *expr.Axis, get func(*expr.Placeholder) *tensor.Tensor) (Match, bool) {
+	la, okA := bin.A.(*expr.Load)
+	lb, okB := bin.B.(*expr.Load)
+	if !okA || !okB {
+		return Match{}, false
+	}
+	try := func(x, e *expr.Load) (Match, bool) {
+		if len(x.Idx) != 2 || len(e.Idx) != 2 {
+			return Match{}, false
+		}
+		spx, ok := x.Idx[0].(expr.Special)
+		if !ok || spx != expr.Src || x.Idx[1] != expr.Index(i) {
+			return Match{}, false
+		}
+		spe, ok := e.Idx[0].(expr.Special)
+		if !ok || spe != expr.EID {
+			return Match{}, false
+		}
+		if e.Idx[1] == expr.Index(i) {
+			return Match{Pattern: SrcMulEdgeVec, X: get(x.P), E: get(e.P)}, true
+		}
+		if ax, ok := e.Idx[1].(*expr.Axis); ok && ax.Extent == 1 {
+			return Match{Pattern: SrcMulEdgeScalar, X: get(x.P), E: get(e.P)}, true
+		}
+		return Match{}, false
+	}
+	if m, ok := try(la, lb); ok {
+		return m, true
+	}
+	return try(lb, la)
+}
+
+// matchMLP matches Σ_k (X[src,k] + X[dst,k]) * W[k,i] for output axis i.
+func matchMLP(body expr.Expr, i *expr.Axis, relu bool, get func(*expr.Placeholder) *tensor.Tensor) (Match, bool) {
+	red, ok := body.(*expr.Reduce)
+	if !ok || red.Op != expr.ReduceSum {
+		return Match{}, false
+	}
+	k := red.Axis
+	mul, ok := red.Body.(*expr.Binary)
+	if !ok || mul.Op != expr.OpMul {
+		return Match{}, false
+	}
+	try := func(sum, w expr.Expr) (Match, bool) {
+		add, ok := sum.(*expr.Binary)
+		if !ok || add.Op != expr.OpAdd {
+			return Match{}, false
+		}
+		la, okA := add.A.(*expr.Load)
+		lb, okB := add.B.(*expr.Load)
+		lw, okW := w.(*expr.Load)
+		if !okA || !okB || !okW {
+			return Match{}, false
+		}
+		if len(la.Idx) != 2 || len(lb.Idx) != 2 || len(lw.Idx) != 2 {
+			return Match{}, false
+		}
+		if la.P != lb.P || la.Idx[1] != expr.Index(k) || lb.Idx[1] != expr.Index(k) {
+			return Match{}, false
+		}
+		spA, okSA := la.Idx[0].(expr.Special)
+		spB, okSB := lb.Idx[0].(expr.Special)
+		if !okSA || !okSB {
+			return Match{}, false
+		}
+		if !((spA == expr.Src && spB == expr.Dst) || (spA == expr.Dst && spB == expr.Src)) {
+			return Match{}, false
+		}
+		if lw.Idx[0] != expr.Index(k) || lw.Idx[1] != expr.Index(i) {
+			return Match{}, false
+		}
+		return Match{Pattern: MLPSrcDst, X: get(la.P), W: get(lw.P), Relu: relu}, true
+	}
+	if m, ok := try(mul.A, mul.B); ok {
+		return m, true
+	}
+	return try(mul.B, mul.A)
+}
+
+// unitTrailingAxes reports whether every output axis after the first has
+// extent 1, so the flattened output is indexed purely by the first axis.
+func unitTrailingAxes(udf *expr.UDF) bool {
+	for _, a := range udf.OutAxes[1:] {
+		if a.Extent != 1 {
+			return false
+		}
+	}
+	return true
+}

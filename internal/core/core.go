@@ -1,0 +1,256 @@
+// Package core implements the paper's primary contribution: the generalized
+// SpMM and SDDMM sparse templates that, fused with user-defined functions
+// (UDFs) and feature dimension schedules (FDS), form FeatGraph's kernels.
+//
+// A kernel is built once per (graph, UDF, FDS, options) tuple — the analogue
+// of the paper's per-topology compilation, whose cost is amortized over the
+// hundreds of epochs of a training run — and then executed many times:
+//
+//	k, err := core.BuildSpMM(adj, udf, inputs, core.AggSum, fds, opts)
+//	stats, err := k.Run(out)
+//
+// The templates own the coarse-grained graph traversal optimizations
+// (§III-C): 1D graph partitioning and feature dimension tiling on CPU,
+// row-per-block/feature-across-threads parallelization, tree reduction and
+// hybrid degree partitioning on the simulated GPU, and Hilbert-curve edge
+// traversal for edge-wise computations. The fine-grained UDF optimizations
+// come from the FDS. Both fast-path (pattern-recognized) and generic
+// (compiled-expression) lowerings produce identical results.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Target selects the execution backend.
+type Target int
+
+// Execution targets.
+const (
+	// CPU runs multi-threaded host code with cache-oriented partitioning.
+	CPU Target = iota
+	// GPU runs on the cudasim simulated device with CUDA-style scheduling.
+	GPU
+)
+
+func (t Target) String() string {
+	if t == CPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// AggOp is the commutative aggregation applied across a vertex's incoming
+// messages by the SpMM template.
+type AggOp int
+
+// Aggregation operators. Vertices with no in-edges aggregate to zero for
+// every operator (DGL's convention).
+const (
+	AggSum AggOp = iota
+	AggMax
+	AggMin
+	AggMean
+)
+
+func (a AggOp) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggMean:
+		return "mean"
+	}
+	return fmt.Sprintf("AggOp(%d)", int(a))
+}
+
+// identity returns the aggregation identity element.
+func (a AggOp) identity() float32 {
+	switch a {
+	case AggMax:
+		return float32(math.Inf(-1))
+	case AggMin:
+		return float32(math.Inf(1))
+	default:
+		return 0
+	}
+}
+
+// Options carries the coarse-grained scheduling parameters of the sparse
+// templates — the template half of the design space the paper's grid
+// search tunes (number of graph partitions, number of CUDA blocks, ...).
+type Options struct {
+	Target Target
+
+	// NumThreads is the CPU worker count; 0 or 1 means single-threaded.
+	// Threads work collectively on one graph partition at a time to avoid
+	// LLC contention (§IV-A).
+	NumThreads int
+	// GraphPartitions is the number of 1D source-vertex partitions on
+	// CPU; 0 or 1 disables graph partitioning.
+	GraphPartitions int
+	// Hilbert enables Hilbert-curve edge traversal for CPU SDDMM.
+	Hilbert bool
+
+	// Device is the simulated GPU; nil uses a process-wide default.
+	Device *cudasim.Device
+	// NumBlocks is the CUDA grid size; 0 derives it from the workload
+	// (rows for SpMM, edge groups for SDDMM).
+	NumBlocks int
+	// ThreadsPerBlock is the CUDA block size; 0 derives it from the
+	// feature tile length.
+	ThreadsPerBlock int
+	// HybridThreshold enables hybrid degree partitioning on GPU: source
+	// vertices with out-degree >= the threshold are staged through shared
+	// memory. 0 disables hybrid partitioning.
+	HybridThreshold int32
+}
+
+// RunStats reports per-run execution statistics. SimCycles is nonzero only
+// for GPU runs; see the cudasim package for the cost model.
+type RunStats struct {
+	SimCycles uint64
+}
+
+var (
+	defaultDeviceOnce sync.Once
+	defaultDevice     *cudasim.Device
+)
+
+// device resolves the simulated device for a GPU kernel.
+func (o *Options) device() *cudasim.Device {
+	if o.Device != nil {
+		return o.Device
+	}
+	defaultDeviceOnce.Do(func() {
+		defaultDevice = cudasim.NewDevice(cudasim.Config{})
+	})
+	return defaultDevice
+}
+
+// validateBindings checks that every placeholder indexed by a special
+// variable has a leading dimension compatible with the graph: Src indexes
+// source vertices (adjacency columns), Dst destination vertices (rows),
+// and EID edge ids (nnz).
+func validateBindings(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor) error {
+	var err error
+	walkLoads(udf.Body, func(l *expr.Load) {
+		if err != nil {
+			return
+		}
+		sp, ok := l.Idx[0].(expr.Special)
+		if !ok {
+			return
+		}
+		dim0 := inputs[l.P.ID()].Dim(0)
+		switch sp {
+		case expr.Src:
+			if dim0 != adj.NumCols {
+				err = fmt.Errorf("core: %s indexed by src has %d rows, graph has %d source vertices", l.P.Name, dim0, adj.NumCols)
+			}
+		case expr.Dst:
+			if dim0 != adj.NumRows {
+				err = fmt.Errorf("core: %s indexed by dst has %d rows, graph has %d destination vertices", l.P.Name, dim0, adj.NumRows)
+			}
+		case expr.EID:
+			if dim0 < adj.NNZ() {
+				err = fmt.Errorf("core: %s indexed by eid has %d rows, graph has %d edges", l.P.Name, dim0, adj.NNZ())
+			}
+		}
+	})
+	return err
+}
+
+func walkLoads(e expr.Expr, f func(*expr.Load)) {
+	switch n := e.(type) {
+	case *expr.Load:
+		f(n)
+	case *expr.Unary:
+		walkLoads(n.A, f)
+	case *expr.Binary:
+		walkLoads(n.A, f)
+		walkLoads(n.B, f)
+	case *expr.Reduce:
+		walkLoads(n.Body, f)
+	}
+}
+
+// parallelFor splits [0, n) into numWorkers contiguous chunks and runs body
+// on each concurrently. numWorkers <= 1 runs inline. body receives the
+// worker index and its half-open range.
+func parallelFor(n, numWorkers int, body func(worker, lo, hi int)) {
+	if numWorkers <= 1 || n <= 1 {
+		body(0, 0, n)
+		return
+	}
+	if numWorkers > n {
+		numWorkers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		lo := w * n / numWorkers
+		hi := (w + 1) * n / numWorkers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// aggInto folds msg into acc elementwise with op. Mean accumulates like sum
+// and is normalized at the end of the run.
+func aggInto(op AggOp, acc, msg []float32) {
+	switch op {
+	case AggSum, AggMean:
+		for i := range acc {
+			acc[i] += msg[i]
+		}
+	case AggMax:
+		for i := range acc {
+			if msg[i] > acc[i] {
+				acc[i] = msg[i]
+			}
+		}
+	case AggMin:
+		for i := range acc {
+			if msg[i] < acc[i] {
+				acc[i] = msg[i]
+			}
+		}
+	}
+}
+
+// finalizeAgg fixes up aggregate rows after all edges are processed:
+// isolated vertices become zero for every operator, and mean divides by
+// the in-degree.
+func finalizeAgg(op AggOp, out *tensor.Tensor, adj *sparse.CSR, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		deg := adj.RowPtr[r+1] - adj.RowPtr[r]
+		row := out.Row(r)
+		if deg == 0 {
+			clear(row)
+			continue
+		}
+		if op == AggMean {
+			inv := 1 / float32(deg)
+			for i := range row {
+				row[i] *= inv
+			}
+		}
+	}
+}

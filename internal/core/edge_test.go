@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func emptyGraph(t *testing.T, n int) *sparse.CSR {
+	t.Helper()
+	csr, err := sparse.FromCOO(&sparse.COO{NumRows: n, NumCols: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr
+}
+
+func TestSpMMEmptyGraph(t *testing.T) {
+	adj := emptyGraph(t, 5)
+	x := tensor.New(5, 4)
+	x.Fill(3)
+	for _, opts := range []Options{{Target: CPU}, {Target: GPU, Device: cudasim.NewDevice(cudasim.Config{NumSMs: 2})}} {
+		k, err := BuildSpMM(adj, expr.CopySrc(5, 4), []*tensor.Tensor{x}, AggMax, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tensor.New(5, 4)
+		out.Fill(9)
+		if _, err := k.Run(out); err != nil {
+			t.Fatalf("%v: %v", opts.Target, err)
+		}
+		for _, v := range out.Data() {
+			if v != 0 {
+				t.Fatalf("%v: empty graph should aggregate to zeros, got %v", opts.Target, out.Data())
+			}
+		}
+	}
+}
+
+func TestSDDMMEmptyGraph(t *testing.T) {
+	adj := emptyGraph(t, 5)
+	x := tensor.New(5, 4)
+	for _, opts := range []Options{{Target: CPU}, {Target: CPU, Hilbert: true}, {Target: GPU, Device: cudasim.NewDevice(cudasim.Config{NumSMs: 2})}} {
+		k, err := BuildSDDMM(adj, expr.DotAttention(5, 4), []*tensor.Tensor{x}, nil, opts)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		out := tensor.New(0, 1)
+		if _, err := k.Run(out); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+	}
+}
+
+func TestSingleVertexSelfLoop(t *testing.T) {
+	csr, err := sparse.FromCOO(&sparse.COO{NumRows: 1, NumCols: 1, Row: []int32{0}, Col: []int32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1, 2, 3}, 1, 3)
+	k, err := BuildSpMM(csr, expr.CopySrc(1, 3), []*tensor.Tensor{x}, AggSum, nil, Options{Target: CPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tensor.New(1, 3)
+	if _, err := k.Run(out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllClose(x, 0) {
+		t.Fatalf("self-loop copy = %v", out)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Property-based testing over randomly generated UDFs: every lowering path
+// (generic CPU, tiled, partitioned, multi-threaded, GPU) must agree with
+// the reference evaluation regardless of the expression's shape. This is
+// the broadest guard against codegen or template bugs.
+
+// udfCase is a randomly generated UDF with bound inputs.
+type udfCase struct {
+	udf    *expr.UDF
+	inputs []*tensor.Tensor
+}
+
+// genUDF builds a random UDF over vertex features X [n,d], edge features
+// E [m,d], and a weight matrix W [d,d2]. With probability ~1/2 the body is
+// an elementwise tree over the feature axis; otherwise it reduces over a
+// k axis through W.
+func genUDF(rng *rand.Rand, n, m, d int) udfCase {
+	b := expr.NewBuilder()
+	x := b.Placeholder("X", n, d)
+	e := b.Placeholder("E", m, d)
+
+	mk := func(shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		// Values in [0.5, 1.5] keep Div well-conditioned.
+		t.FillUniform(rng, 0.5, 1.5)
+		return t
+	}
+	xt, et := mk(n, d), mk(m, d)
+
+	if rng.Intn(2) == 0 {
+		// Elementwise UDF over output axis i.
+		i := b.OutAxis("i", d)
+		atoms := []expr.Expr{
+			x.At(expr.Src, i),
+			x.At(expr.Dst, i),
+			e.At(expr.EID, i),
+			expr.C(rng.Float32() + 0.5),
+		}
+		body := randTree(rng, atoms, 3)
+		return udfCase{b.UDF(body, i), []*tensor.Tensor{xt, et}}
+	}
+
+	// Reduction UDF: out[i] = reduce_k(tree(k) * W[k,i]), optionally
+	// post-processed elementwise.
+	d2 := 1 + rng.Intn(6)
+	w := b.Placeholder("W", d, d2)
+	wt := mk(d, d2)
+	i := b.OutAxis("i", d2)
+	k := b.ReduceAxis("k", d)
+	atoms := []expr.Expr{
+		x.At(expr.Src, k),
+		x.At(expr.Dst, k),
+		e.At(expr.EID, k),
+	}
+	inner := expr.Mul(randTree(rng, atoms, 2), w.At(k, i))
+	var body expr.Expr
+	if rng.Intn(2) == 0 {
+		body = expr.Sum(k, inner)
+	} else {
+		body = expr.MaxOver(k, inner)
+	}
+	if rng.Intn(2) == 0 {
+		body = expr.Max(body, expr.C(0))
+	}
+	return udfCase{b.UDF(body, i), []*tensor.Tensor{xt, et, wt}}
+}
+
+// randTree builds a random binary expression tree of the given depth over
+// the atom set. Division is restricted to constant divisors to avoid
+// blow-ups.
+func randTree(rng *rand.Rand, atoms []expr.Expr, depth int) expr.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return atoms[rng.Intn(len(atoms))]
+	}
+	a := randTree(rng, atoms, depth-1)
+	b := randTree(rng, atoms, depth-1)
+	var node expr.Expr
+	switch rng.Intn(5) {
+	case 0:
+		node = expr.Add(a, b)
+	case 1:
+		node = expr.Sub(a, b)
+	case 2:
+		node = expr.Mul(a, b)
+	case 3:
+		node = expr.Max(a, b)
+	default:
+		node = expr.Min(a, b)
+	}
+	// Occasionally wrap in a total (never-NaN) unary.
+	switch rng.Intn(8) {
+	case 0:
+		node = expr.Neg(node)
+	case 1:
+		node = expr.Abs(node)
+	case 2:
+		node = expr.Sigmoid(node)
+	case 3:
+		node = expr.Tanh(node)
+	}
+	return node
+}
+
+func TestRandomUDFSpMMAllPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dev := cudasim.NewDevice(cudasim.Config{NumSMs: 2})
+	aggs := []AggOp{AggSum, AggMax, AggMin, AggMean}
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(20)
+		adj := sparse.Random(rng, n, n, 1+rng.Intn(5))
+		d := []int{4, 8, 12}[rng.Intn(3)]
+		c := genUDF(rng, n, adj.NNZ(), d)
+		agg := aggs[rng.Intn(len(aggs))]
+
+		want, err := ReferenceSpMM(adj, c.udf, c.inputs, agg)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		outAxis := c.udf.OutAxes[0]
+		configs := []struct {
+			name string
+			fds  *schedule.FDS
+			opts Options
+		}{
+			{"cpu-plain", nil, Options{Target: CPU}},
+			{"cpu-tiled", schedule.New().Split(outAxis, 1+rng.Intn(4)), Options{Target: CPU}},
+			{"cpu-part-mt", nil, Options{Target: CPU, GraphPartitions: 1 + rng.Intn(5), NumThreads: 1 + rng.Intn(4)}},
+			{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX), Options{Target: GPU, Device: dev}},
+		}
+		for _, cfg := range configs {
+			k, err := BuildSpMM(adj, c.udf, c.inputs, agg, cfg.fds, cfg.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: build: %v\nudf: %s", trial, cfg.name, err, c.udf)
+			}
+			out := tensor.New(adj.NumRows, c.udf.OutLen())
+			if _, err := k.Run(out); err != nil {
+				t.Fatalf("trial %d %s: run: %v", trial, cfg.name, err)
+			}
+			if !out.AllClose(want, 1e-2) {
+				t.Fatalf("trial %d %s (agg %v, pattern %s): max diff %v\nudf: %s",
+					trial, cfg.name, agg, k.Pattern(), out.MaxAbsDiff(want), c.udf)
+			}
+		}
+	}
+}
+
+func TestRandomUDFSDDMMAllPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	dev := cudasim.NewDevice(cudasim.Config{NumSMs: 2})
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(20)
+		adj := sparse.Random(rng, n, n, 1+rng.Intn(5))
+		d := []int{4, 8, 12}[rng.Intn(3)]
+		c := genUDF(rng, n, adj.NNZ(), d)
+
+		want, err := ReferenceSDDMM(adj, c.udf, c.inputs)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		outAxis := c.udf.OutAxes[0]
+		configs := []struct {
+			name string
+			fds  *schedule.FDS
+			opts Options
+		}{
+			{"cpu-plain", nil, Options{Target: CPU}},
+			{"cpu-hilbert-mt", nil, Options{Target: CPU, Hilbert: true, NumThreads: 1 + rng.Intn(4)}},
+			{"cpu-tiled", schedule.New().Split(outAxis, 1+rng.Intn(4)), Options{Target: CPU}},
+			{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX), Options{Target: GPU, Device: dev}},
+		}
+		for _, cfg := range configs {
+			k, err := BuildSDDMM(adj, c.udf, c.inputs, cfg.fds, cfg.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: build: %v\nudf: %s", trial, cfg.name, err, c.udf)
+			}
+			out := tensor.New(adj.NNZ(), c.udf.OutLen())
+			if _, err := k.Run(out); err != nil {
+				t.Fatalf("trial %d %s: run: %v", trial, cfg.name, err)
+			}
+			if !out.AllClose(want, 1e-2) {
+				t.Fatalf("trial %d %s (pattern %s): max diff %v\nudf: %s",
+					trial, cfg.name, k.Pattern(), out.MaxAbsDiff(want), c.udf)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"featgraph/internal/codegen"
+	"featgraph/internal/expr"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Reference implementations: straightforward single-threaded evaluations of
+// the generalized SpMM/SDDMM semantics with no scheduling. Every optimized
+// path in this package is tested against these.
+
+// ReferenceSpMM computes out[v] = agg over in-edges (u→v, eid e) of
+// udf(u, v, e), with isolated vertices aggregating to zero.
+func ReferenceSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp) (*tensor.Tensor, error) {
+	if err := validateBindings(adj, udf, inputs); err != nil {
+		return nil, err
+	}
+	c, err := codegen.Compile(udf, inputs)
+	if err != nil {
+		return nil, err
+	}
+	outLen := c.OutLen()
+	out := tensor.New(adj.NumRows, outLen)
+	out.Fill(agg.identity())
+	env := c.NewEnv()
+	msg := make([]float32, outLen)
+	for r := 0; r < adj.NumRows; r++ {
+		for p := adj.RowPtr[r]; p < adj.RowPtr[r+1]; p++ {
+			c.EvalAll(env, adj.ColIdx[p], int32(r), adj.EID[p], msg)
+			aggInto(agg, out.Row(r), msg)
+		}
+	}
+	finalizeAgg(agg, out, adj, 0, adj.NumRows)
+	return out, nil
+}
+
+// ReferenceSDDMM computes out[e] = udf(u, v, e) for every edge u→v with id
+// e, producing an |E|×outLen tensor indexed by global edge id.
+func ReferenceSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := validateBindings(adj, udf, inputs); err != nil {
+		return nil, err
+	}
+	c, err := codegen.Compile(udf, inputs)
+	if err != nil {
+		return nil, err
+	}
+	outLen := c.OutLen()
+	out := tensor.New(adj.NNZ(), outLen)
+	env := c.NewEnv()
+	for r := 0; r < adj.NumRows; r++ {
+		for p := adj.RowPtr[r]; p < adj.RowPtr[r+1]; p++ {
+			eid := adj.EID[p]
+			c.EvalAll(env, adj.ColIdx[p], int32(r), eid, out.Row(int(eid)))
+		}
+	}
+	return out, nil
+}

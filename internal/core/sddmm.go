@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"featgraph/internal/codegen"
+	"featgraph/internal/expr"
+	"featgraph/internal/partition"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// SDDMMKernel is a built generalized-SDDMM kernel: the paper's
+// featgraph.sddmm(A, edgefunc, target, fds). It computes a new feature for
+// every edge — out[e] = edgefunc(src, dst, e) — producing an |E|×outLen
+// tensor indexed by global edge id.
+type SDDMMKernel struct {
+	adj    *sparse.CSR
+	opts   Options
+	outLen int
+
+	compiled *codegen.CompiledUDF
+	match    codegen.Match
+
+	edges    *partition.HilbertEdges // traversal order (Hilbert or row-major)
+	tiles    []partition.Range       // output-axis tiles
+	redTiles []partition.Range       // reduce-axis tiles (dot fast path only)
+	redAxis  *expr.Axis              // the dot pattern's reduction axis
+
+	gpu *sddmmGPU
+}
+
+// BuildSDDMM builds a generalized SDDMM kernel. fds may be nil.
+func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options) (*SDDMMKernel, error) {
+	if err := adj.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid adjacency: %w", err)
+	}
+	if len(udf.OutAxes) == 0 {
+		return nil, fmt.Errorf("core: UDF must have at least one output axis")
+	}
+	if err := fds.Validate(udf); err != nil {
+		return nil, err
+	}
+	if err := validateBindings(adj, udf, inputs); err != nil {
+		return nil, err
+	}
+	compiled, err := codegen.Compile(udf, inputs)
+	if err != nil {
+		return nil, err
+	}
+	k := &SDDMMKernel{
+		adj:      adj,
+		opts:     opts,
+		outLen:   compiled.OutLen(),
+		compiled: compiled,
+		match:    codegen.Recognize(udf, inputs),
+	}
+	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
+
+	// Reduce-axis tiling applies to the dot fast path: processing k in
+	// tiles keeps both operands' working sets cache-resident (Figure 8's
+	// reduce-axis split).
+	k.redAxis = findReduceAxis(udf.Body)
+	d := 0
+	if k.redAxis != nil {
+		d = k.redAxis.Extent
+	}
+	if k.match.Pattern == codegen.DotSrcDst && d > 0 {
+		k.redTiles = partition.FeatureTiles(d, fds.SplitFactor(k.redAxis))
+	}
+
+	switch opts.Target {
+	case CPU:
+		if opts.Hilbert {
+			k.edges = partition.Hilbert(adj)
+		} else {
+			k.edges = partition.RowMajorEdges(adj)
+		}
+	case GPU:
+		k.edges = partition.RowMajorEdges(adj)
+		k.gpu = buildSDDMMGPU(k, udf, fds)
+	default:
+		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
+	}
+	return k, nil
+}
+
+// findReduceAxis returns the axis of the outermost Reduce node, or nil.
+func findReduceAxis(e expr.Expr) *expr.Axis {
+	switch n := e.(type) {
+	case *expr.Reduce:
+		return n.Axis
+	case *expr.Unary:
+		return findReduceAxis(n.A)
+	case *expr.Binary:
+		if a := findReduceAxis(n.A); a != nil {
+			return a
+		}
+		return findReduceAxis(n.B)
+	}
+	return nil
+}
+
+// OutShape returns the required output tensor shape.
+func (k *SDDMMKernel) OutShape() (rows, cols int) { return k.adj.NNZ(), k.outLen }
+
+// Pattern returns the recognized UDF pattern.
+func (k *SDDMMKernel) Pattern() string { return k.match.Pattern.String() }
+
+// Run executes the kernel into out, an [NNZ, outLen] tensor.
+func (k *SDDMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
+	if out.Dim(0) != k.adj.NNZ() || out.Len() != k.adj.NNZ()*k.outLen {
+		return RunStats{}, fmt.Errorf("core: SDDMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NNZ(), k.outLen)
+	}
+	if k.opts.Target == GPU {
+		return k.runGPU(out)
+	}
+	k.runCPU(out)
+	return RunStats{}, nil
+}
+
+func (k *SDDMMKernel) runCPU(out *tensor.Tensor) {
+	threads := max(k.opts.NumThreads, 1)
+	nnz := k.adj.NNZ()
+	ed := k.edges
+
+	if k.match.Pattern == codegen.DotSrcDst {
+		// Dot fast path with reduce-axis tiling: tiles outer, edges
+		// inner, accumulating partial dot products into the output.
+		x, y := k.match.X, k.match.Y
+		xd, xs := x.Data(), x.RowStride()
+		yd, ys := y.Data(), y.RowStride()
+		odata := out.Data()
+		out.Zero()
+		for _, kt := range k.redTiles {
+			klo, khi := kt.Lo, kt.Hi
+			parallelFor(nnz, threads, func(_, elo, ehi int) {
+				for i := elo; i < ehi; i++ {
+					u, v := int(ed.Col[i]), int(ed.Row[i])
+					xrow := xd[u*xs+klo : u*xs+khi]
+					yrow := yd[v*ys+klo : v*ys+khi]
+					var s float32
+					for f := range xrow {
+						s += xrow[f] * yrow[f]
+					}
+					odata[ed.EID[i]] += s
+				}
+			})
+		}
+		return
+	}
+
+	// Generic path: evaluate the compiled UDF per edge per output tile,
+	// writing directly into the edge's output row (no aggregation in
+	// SDDMM).
+	ostride := out.RowStride()
+	odata := out.Data()
+	for _, tile := range k.tiles {
+		lo, hi := tile.Lo, tile.Hi
+		parallelFor(nnz, threads, func(_, elo, ehi int) {
+			env := k.compiled.NewEnv()
+			for i := elo; i < ehi; i++ {
+				eid := int(ed.EID[i])
+				k.compiled.Eval(env, ed.Col[i], ed.Row[i], ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
+			}
+		})
+	}
+}

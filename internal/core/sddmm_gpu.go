@@ -1,0 +1,142 @@
+package core
+
+import (
+	"featgraph/internal/codegen"
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/tensor"
+)
+
+// sddmmGPU holds the GPU-side schedule of an SDDMM kernel: the edge
+// parallelization of Figure 7b, where each block processes a set of edges
+// (non-zeros) and the threads of a block cooperate on each edge's feature
+// computation — by tree reduction for dot products when the FDS asks for
+// it (Figure 4a), or across output elements otherwise.
+type sddmmGPU struct {
+	dev        *cudasim.Device
+	treeReduce bool
+	featPar    bool
+	bodyCost   uint64
+}
+
+func buildSDDMMGPU(k *SDDMMKernel, udf *expr.UDF, fds *schedule.FDS) *sddmmGPU {
+	g := &sddmmGPU{
+		dev:      k.opts.device(),
+		bodyCost: codegen.EstimateCostPerElem(udf),
+	}
+	if k.redAxis != nil && fds.HasTreeReduce(k.redAxis) {
+		g.treeReduce = true
+	}
+	if r, ok := fds.Binding(udf.OutAxes[0]); ok && r == schedule.ThreadX {
+		g.featPar = true
+	}
+	return g
+}
+
+// gpuLaunchDims resolves the SDDMM grid: blocks cover edge groups, threads
+// cover the reduction width (tree reduction) or the output tile.
+func (k *SDDMMKernel) gpuLaunchDims() (blocks, threads int) {
+	nnz := k.adj.NNZ()
+	blocks = k.opts.NumBlocks
+	if blocks <= 0 {
+		blocks = min(nnz, 4096)
+	}
+	blocks = min(blocks, nnz)
+	threads = k.opts.ThreadsPerBlock
+	if threads <= 0 {
+		switch {
+		case k.gpu.treeReduce && k.redAxis != nil:
+			threads = min(nextPow2(k.redAxis.Extent), 256)
+		case k.gpu.featPar:
+			threads = min(nextPow2(k.outLen), 256)
+		default:
+			threads = 32
+		}
+	}
+	return blocks, min(threads, 1024)
+}
+
+func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
+	nnz := k.adj.NNZ()
+	if nnz == 0 {
+		return RunStats{}, nil
+	}
+	blocks, threads := k.gpuLaunchDims()
+	ed := k.edges
+	odata, ostride := out.Data(), out.RowStride()
+	var total uint64
+
+	if k.match.Pattern == codegen.DotSrcDst {
+		x, y := k.match.X, k.match.Y
+		xd, xs := x.Data(), x.RowStride()
+		yd, ys := y.Data(), y.RowStride()
+		d := k.redAxis.Extent
+		tree := k.gpu.treeReduce
+		stats, err := k.gpu.dev.Launch(cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
+			var partials []float32
+			if tree {
+				partials = make([]float32, b.Dim())
+			}
+			for e := b.Idx(); e < nnz; e += blocks {
+				u, v := int(ed.Col[e]), int(ed.Row[e])
+				xrow := xd[u*xs : u*xs+d]
+				yrow := yd[v*ys : v*ys+d]
+				var s float32
+				if tree {
+					// Threads accumulate strided partials, then combine
+					// with the log-depth tree (Figure 7b).
+					clear(partials)
+					dim := b.Dim()
+					for t := 0; t < dim; t++ {
+						var p float32
+						for f := t; f < d; f += dim {
+							p += xrow[f] * yrow[f]
+						}
+						partials[t] = p
+					}
+					s = cudasim.TreeReduceSum(partials)
+					b.ChargeParallel(d, 2*cudasim.CostGlobal+cudasim.CostFLOP)
+					b.ChargeTreeReduce(b.Dim())
+				} else {
+					// The naive strategy: the whole dot product on one
+					// thread (what Gunrock does; Figure 12's baseline).
+					for f := 0; f < d; f++ {
+						s += xrow[f] * yrow[f]
+					}
+					b.Charge(uint64(d) * (2*cudasim.CostGlobal + cudasim.CostFLOP))
+				}
+				odata[ed.EID[e]] = s
+				b.Charge(cudasim.CostGlobal)
+			}
+		})
+		if err != nil {
+			return RunStats{}, err
+		}
+		total += stats.SimCycles
+		return RunStats{SimCycles: total}, nil
+	}
+
+	// Generic path: each block evaluates its edges' UDF, output elements
+	// across threads when the FDS binds the output axis.
+	featPar := k.gpu.featPar
+	bodyCost := k.gpu.bodyCost
+	outLen := k.outLen
+	stats, err := k.gpu.dev.Launch(cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
+		env := k.compiled.NewEnv()
+		for e := b.Idx(); e < nnz; e += blocks {
+			eid := int(ed.EID[e])
+			k.compiled.Eval(env, ed.Col[e], ed.Row[e], ed.EID[e], odata[eid*ostride:eid*ostride+outLen], 0, outLen)
+			if featPar {
+				b.ChargeParallel(outLen, bodyCost+cudasim.CostGlobal)
+			} else {
+				b.Charge(uint64(outLen) * (bodyCost + cudasim.CostGlobal))
+			}
+		}
+	})
+	if err != nil {
+		return RunStats{}, err
+	}
+	total += stats.SimCycles
+	return RunStats{SimCycles: total}, nil
+}

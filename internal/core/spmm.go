@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"featgraph/internal/codegen"
+	"featgraph/internal/expr"
+	"featgraph/internal/partition"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// SpMMKernel is a built generalized-SpMM kernel: the paper's
+// featgraph.spmm(A, msgfunc, aggregation, target, fds). Building performs
+// the "compilation": FDS validation, UDF lowering, pattern recognition,
+// graph partitioning, and scheduling-parameter resolution. Run executes it.
+//
+// A kernel may be Run concurrently only with distinct output tensors on the
+// CPU target; GPU kernels serialize internally per device.
+type SpMMKernel struct {
+	adj    *sparse.CSR
+	agg    AggOp
+	opts   Options
+	outLen int
+
+	compiled *codegen.CompiledUDF
+	match    codegen.Match
+
+	tiles []partition.Range
+
+	// CPU state.
+	parts []*sparse.CSR // 1D column partitions (length 1 when disabled)
+
+	// GPU state (see spmm_gpu.go).
+	gpu *spmmGPU
+}
+
+// BuildSpMM builds a generalized SpMM kernel over adjacency matrix adj.
+// udf is the per-edge message function with inputs bound positionally;
+// agg is the aggregation operator; fds may be nil for the unscheduled
+// degradation the paper describes in §III-B.
+func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp, fds *schedule.FDS, opts Options) (*SpMMKernel, error) {
+	if err := adj.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid adjacency: %w", err)
+	}
+	if len(udf.OutAxes) == 0 {
+		return nil, fmt.Errorf("core: UDF must have at least one output axis")
+	}
+	if err := fds.Validate(udf); err != nil {
+		return nil, err
+	}
+	if err := validateBindings(adj, udf, inputs); err != nil {
+		return nil, err
+	}
+	compiled, err := codegen.Compile(udf, inputs)
+	if err != nil {
+		return nil, err
+	}
+	k := &SpMMKernel{
+		adj:      adj,
+		agg:      agg,
+		opts:     opts,
+		outLen:   compiled.OutLen(),
+		compiled: compiled,
+		match:    codegen.Recognize(udf, inputs),
+	}
+	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
+
+	switch opts.Target {
+	case CPU:
+		if opts.GraphPartitions > 1 {
+			k.parts = partition.OneD(adj, opts.GraphPartitions).Parts
+		} else {
+			k.parts = []*sparse.CSR{adj}
+		}
+	case GPU:
+		k.gpu, err = buildSpMMGPU(k, udf, fds)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
+	}
+	return k, nil
+}
+
+// OutShape returns the required output tensor shape.
+func (k *SpMMKernel) OutShape() (rows, cols int) { return k.adj.NumRows, k.outLen }
+
+// Pattern returns the recognized UDF pattern ("generic" when the compiled
+// path is used).
+func (k *SpMMKernel) Pattern() string { return k.match.Pattern.String() }
+
+// Run executes the kernel into out, which must be a [NumRows, outLen]
+// tensor (or any shape with matching leading dimension and total size).
+func (k *SpMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
+	if out.Dim(0) != k.adj.NumRows || out.Len() != k.adj.NumRows*k.outLen {
+		return RunStats{}, fmt.Errorf("core: SpMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NumRows, k.outLen)
+	}
+	if k.opts.Target == GPU {
+		return k.runGPU(out)
+	}
+	k.runCPU(out)
+	return RunStats{}, nil
+}
+
+// runCPU executes the tiled, partitioned, multi-threaded CPU schedule:
+// feature tiles outermost (each tile re-traverses the topology, the
+// trade-off of Figure 6), graph partitions next (all threads cooperate on
+// one partition at a time, §IV-A), rows split across threads innermost.
+func (k *SpMMKernel) runCPU(out *tensor.Tensor) {
+	threads := max(k.opts.NumThreads, 1)
+	out.Fill(k.agg.identity())
+
+	// Per-worker scratch: env and message buffer for the generic path,
+	// plus a combined-feature buffer for the MLP fast path.
+	scratch := make([]*spmmScratch, threads)
+	maxTile := 0
+	for _, t := range k.tiles {
+		maxTile = max(maxTile, t.Len())
+	}
+	tmpLen := 0
+	if k.match.Pattern == codegen.MLPSrcDst {
+		tmpLen = k.match.W.Dim(0)
+	}
+	for w := range scratch {
+		scratch[w] = &spmmScratch{
+			env: k.compiled.NewEnv(),
+			msg: make([]float32, maxTile),
+			tmp: make([]float32, tmpLen),
+		}
+	}
+
+	for _, tile := range k.tiles {
+		for _, part := range k.parts {
+			parallelFor(k.adj.NumRows, threads, func(w, rlo, rhi int) {
+				k.cpuRows(out, part, tile, scratch[w], rlo, rhi)
+			})
+		}
+	}
+	parallelFor(k.adj.NumRows, threads, func(_, rlo, rhi int) {
+		finalizeAgg(k.agg, out, k.adj, rlo, rhi)
+	})
+}
+
+// spmmScratch is per-worker evaluation state.
+type spmmScratch struct {
+	env *codegen.Env
+	msg []float32 // message buffer (one feature tile)
+	tmp []float32 // x_src + x_dst buffer for the MLP fast path
+}
+
+// cpuRows processes rows [rlo, rhi) of one partition for one feature tile.
+func (k *SpMMKernel) cpuRows(out *tensor.Tensor, part *sparse.CSR, tile partition.Range, sc *spmmScratch, rlo, rhi int) {
+	lo, hi := tile.Lo, tile.Hi
+	tl := hi - lo
+	ostride := out.RowStride()
+	odata := out.Data()
+
+	switch {
+	case k.match.Pattern == codegen.CopySrc && (k.agg == AggSum || k.agg == AggMean):
+		// Mean accumulates like sum; finalizeAgg divides by the degree.
+		x := k.match.X
+		xd, xs := x.Data(), x.RowStride()
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				c := int(part.ColIdx[p])
+				xrow := xd[c*xs+lo : c*xs+hi]
+				for f := range orow {
+					orow[f] += xrow[f]
+				}
+			}
+		}
+
+	case k.match.Pattern == codegen.CopySrc && (k.agg == AggMax || k.agg == AggMin):
+		x := k.match.X
+		xd, xs := x.Data(), x.RowStride()
+		isMax := k.agg == AggMax
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				c := int(part.ColIdx[p])
+				xrow := xd[c*xs+lo : c*xs+hi]
+				if isMax {
+					for f := range orow {
+						if xrow[f] > orow[f] {
+							orow[f] = xrow[f]
+						}
+					}
+				} else {
+					for f := range orow {
+						if xrow[f] < orow[f] {
+							orow[f] = xrow[f]
+						}
+					}
+				}
+			}
+		}
+
+	case k.match.Pattern == codegen.SrcMulEdgeScalar && (k.agg == AggSum || k.agg == AggMean):
+		x, e := k.match.X, k.match.E
+		xd, xs := x.Data(), x.RowStride()
+		ed := e.Data()
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				c := int(part.ColIdx[p])
+				wgt := ed[part.EID[p]]
+				xrow := xd[c*xs+lo : c*xs+hi]
+				for f := range orow {
+					orow[f] += wgt * xrow[f]
+				}
+			}
+		}
+
+	case k.match.Pattern == codegen.CopyEdge && (k.agg == AggSum || k.agg == AggMean):
+		e := k.match.E
+		ed, es := e.Data(), e.RowStride()
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				eid := int(part.EID[p])
+				erow := ed[eid*es+lo : eid*es+hi]
+				for f := range orow {
+					orow[f] += erow[f]
+				}
+			}
+		}
+
+	case k.match.Pattern == codegen.MLPSrcDst:
+		// MLP aggregation with the scheduled loop order: the combined
+		// feature x_src+x_dst is computed once per edge, then the matrix
+		// product streams rows of W (contiguous) instead of columns —
+		// the optimization the blackbox baselines cannot apply.
+		x, w := k.match.X, k.match.W
+		xd, xs := x.Data(), x.RowStride()
+		wd, ws := w.Data(), w.RowStride()
+		d1 := w.Dim(0)
+		tmp := sc.tmp[:d1]
+		msg := sc.msg[:tl]
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			xv := xd[r*xs : r*xs+d1]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				c := int(part.ColIdx[p])
+				xu := xd[c*xs : c*xs+d1]
+				for kk := range tmp {
+					tmp[kk] = xu[kk] + xv[kk]
+				}
+				clear(msg)
+				for kk, a := range tmp {
+					if a == 0 {
+						continue
+					}
+					wrow := wd[kk*ws+lo : kk*ws+hi]
+					for f := range msg {
+						msg[f] += a * wrow[f]
+					}
+				}
+				if k.match.Relu {
+					for f := range msg {
+						if msg[f] < 0 {
+							msg[f] = 0
+						}
+					}
+				}
+				aggInto(k.agg, orow, msg)
+			}
+		}
+
+	default:
+		// Generic path: evaluate the compiled UDF per edge over the tile
+		// sub-range, then fold with the aggregation operator.
+		msg := sc.msg[:tl]
+		for r := rlo; r < rhi; r++ {
+			orow := odata[r*ostride+lo : r*ostride+hi]
+			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
+				k.compiled.Eval(sc.env, part.ColIdx[p], int32(r), part.EID[p], msg, lo, hi)
+				aggInto(k.agg, orow, msg)
+			}
+		}
+	}
+}

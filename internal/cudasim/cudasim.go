@@ -1,0 +1,383 @@
+// Package cudasim provides a CUDA-like execution model on the host CPU,
+// substituting for the NVIDIA GPU used in the paper's evaluation (see
+// DESIGN.md, substitution table).
+//
+// The model keeps the properties that drive the paper's GPU results:
+//
+//   - A kernel launch is a grid of blocks consumed by a fixed pool of
+//     simulated SMs (worker goroutines), so block-level parallelism and
+//     load imbalance behave as on a real device.
+//   - Each block has a bounded shared memory allocation; exceeding the
+//     configured capacity fails the launch, so shared-memory-sized
+//     partitioning (hybrid partitioning, §III-C3) is a real constraint.
+//   - Threads within a block execute as a sequential SIMT loop
+//     (ForEachThread); consecutive thread ids touching consecutive
+//     addresses turn into streaming host loops, the analogue of coalesced
+//     access, while scattered per-thread work stays scattered.
+//   - Global-memory float atomics are real CAS loops, so algorithms that
+//     rely on per-edge atomic reductions (Gunrock-style advance) pay the
+//     contention cost the paper attributes to them.
+//   - TreeReduce reproduces the numerics and log-depth shape of the
+//     classic CUDA tree reduction.
+package cudasim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Config describes a simulated device.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors the simulated
+	// time model distributes blocks over. 0 means 80 (a Tesla V100, the
+	// paper's device). This is independent of how many host goroutines
+	// actually execute the blocks.
+	NumSMs int
+	// SharedMemPerBlock is the shared memory capacity in bytes available
+	// to each block. 0 means the CUDA default of 48 KiB.
+	SharedMemPerBlock int
+}
+
+// DefaultNumSMs is the simulated SM count when unspecified (Tesla V100).
+const DefaultNumSMs = 80
+
+// WarpWidth is the effective parallel width of per-thread work in the
+// cost model. Blocks may have up to 1024 threads, but memory transactions
+// and issue slots serialize at warp granularity, so parallel charges
+// divide by at most this width; a loop over d elements spread across
+// threads costs ceil(d/32) transaction slots, which is what makes kernel
+// time scale with the feature length as on real hardware.
+const WarpWidth = 32
+
+// Device is a simulated GPU. Devices are safe for concurrent use; each
+// Launch runs to completion before returning (synchronous launches, as the
+// paper's kernel benchmarks measure).
+type Device struct {
+	numSMs    int
+	sharedCap int
+}
+
+// DefaultSharedMem is the default per-block shared memory capacity (48 KiB,
+// the V100 default; configurable up to 96 KiB on the real device).
+const DefaultSharedMem = 48 << 10
+
+// NewDevice creates a simulated device.
+func NewDevice(cfg Config) *Device {
+	n := cfg.NumSMs
+	if n <= 0 {
+		n = DefaultNumSMs
+	}
+	cap := cfg.SharedMemPerBlock
+	if cap <= 0 {
+		cap = DefaultSharedMem
+	}
+	return &Device{numSMs: n, sharedCap: cap}
+}
+
+// NumSMs returns the number of concurrently executing blocks.
+func (d *Device) NumSMs() int { return d.numSMs }
+
+// SharedMemPerBlock returns the per-block shared memory capacity in bytes.
+func (d *Device) SharedMemPerBlock() int { return d.sharedCap }
+
+// SharedFloats returns how many float32 values fit in one block's shared
+// memory, the quantity hybrid partitioning sizes its chunks against.
+func (d *Device) SharedFloats() int { return d.sharedCap / 4 }
+
+// LaunchConfig describes one kernel launch.
+type LaunchConfig struct {
+	Blocks          int
+	ThreadsPerBlock int
+}
+
+// Block is the per-block execution context handed to a kernel.
+type Block struct {
+	idx        int
+	dim        int
+	dev        *Device
+	sharedUsed int
+	scratch    []float32 // reused shared-memory arena across blocks on one SM
+	cycles     uint64    // simulated cycles charged by the kernel
+}
+
+// Idx returns the block index within the grid.
+func (b *Block) Idx() int { return b.idx }
+
+// Dim returns the number of threads per block.
+func (b *Block) Dim() int { return b.dim }
+
+// Shared allocates n float32 values of shared memory for this block. The
+// allocation is zeroed. If the block's total shared usage would exceed the
+// device capacity, the launch fails with a *SharedMemError.
+func (b *Block) Shared(n int) []float32 {
+	need := b.sharedUsed + 4*n
+	if need > b.dev.sharedCap {
+		panic(&SharedMemError{Requested: need, Capacity: b.dev.sharedCap, Block: b.idx})
+	}
+	if b.scratch == nil {
+		b.scratch = make([]float32, b.dev.sharedCap/4)
+	}
+	buf := b.scratch[b.sharedUsed/4 : need/4]
+	b.sharedUsed = need
+	clear(buf)
+	return buf
+}
+
+// ForEachThread runs body(tid) for tid in [0, Dim()), modelling the SIMT
+// execution of one block's threads. Bodies run sequentially; per-thread
+// work that touches consecutive memory becomes a streaming loop, the host
+// analogue of coalesced access.
+func (b *Block) ForEachThread(body func(tid int)) {
+	for t := 0; t < b.dim; t++ {
+		body(t)
+	}
+}
+
+// Strided runs body(i) for every i in [0, n) assigned to threads in a
+// block-strided pattern (i = tid, tid+Dim, ...), the common CUDA idiom for
+// covering a range larger than the thread count.
+func (b *Block) Strided(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+// Sync is a block-wide barrier. Threads execute sequentially in the
+// simulator, so this is a no-op kept for kernel-source fidelity.
+func (b *Block) Sync() {}
+
+// Simulated-time cost model. Host threads within a block execute
+// sequentially, so wall-clock time cannot express the performance effect of
+// thread-level parallelism (feature-across-threads layouts, tree
+// reductions). Kernels therefore charge simulated cycles for the work they
+// do, and Launch reports the makespan: the maximum, over SMs, of the cycles
+// of the blocks each SM executed. The per-operation costs are deliberately
+// coarse — the paper's GPU comparisons are driven by order-of-magnitude
+// algorithmic differences (atomics vs none, serial vs parallel feature
+// loops), not by precise latencies.
+const (
+	// CostGlobal is the per-element cost of a global memory access.
+	CostGlobal = 6
+	// CostShared is the per-element cost of a shared memory access.
+	CostShared = 1
+	// CostFLOP is the cost of one arithmetic operation.
+	CostFLOP = 1
+	// CostAtomic is the cost of one global atomic read-modify-write.
+	CostAtomic = 16
+)
+
+// Charge adds n simulated cycles of block-serial work.
+func (b *Block) Charge(n uint64) { b.cycles += n }
+
+// ChargeParallel charges for elems units of work of the given per-element
+// cost spread across the block's threads, at most WarpWidth-wide: the
+// block advances by ceil(elems/min(Dim, WarpWidth)) * cost cycles.
+func (b *Block) ChargeParallel(elems int, cost uint64) {
+	if elems <= 0 {
+		return
+	}
+	width := min(b.dim, WarpWidth)
+	iters := uint64((elems + width - 1) / width)
+	b.cycles += iters * cost
+}
+
+// ChargeTreeReduce charges a log-depth tree reduction of width values
+// across the block's threads.
+func (b *Block) ChargeTreeReduce(width int) {
+	if width <= 1 {
+		return
+	}
+	depth := uint64(0)
+	for w := 1; w < width; w <<= 1 {
+		depth++
+	}
+	b.cycles += depth * (CostShared + CostFLOP)
+}
+
+// SharedMemError reports a shared memory over-allocation.
+type SharedMemError struct {
+	Requested int
+	Capacity  int
+	Block     int
+}
+
+func (e *SharedMemError) Error() string {
+	return fmt.Sprintf("cudasim: block %d requested %d bytes shared memory, capacity %d", e.Block, e.Requested, e.Capacity)
+}
+
+// LaunchStats reports the simulated-time accounting of one launch.
+type LaunchStats struct {
+	// SimCycles is the makespan in simulated cycles: blocks are assigned
+	// greedily (in index order, to the least-loaded SM — the behaviour of
+	// the hardware block dispatcher) across the device's NumSMs simulated
+	// SMs, and the makespan is the busiest SM's total. Zero if the kernel
+	// charged nothing.
+	SimCycles uint64
+}
+
+// Launch executes kernel for every block in the grid and returns
+// simulated-time statistics. Host execution uses up to GOMAXPROCS worker
+// goroutines; the simulated-time model is independent of the host worker
+// count. Launch returns an error if the configuration is invalid, if a
+// block over-allocates shared memory, or if the kernel panics.
+func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
+	var stats LaunchStats
+	if cfg.Blocks <= 0 {
+		return stats, fmt.Errorf("cudasim: launch with %d blocks", cfg.Blocks)
+	}
+	if cfg.ThreadsPerBlock <= 0 || cfg.ThreadsPerBlock > 1024 {
+		return stats, fmt.Errorf("cudasim: threads per block %d outside [1,1024]", cfg.ThreadsPerBlock)
+	}
+	workers := min(runtime.GOMAXPROCS(0), cfg.Blocks)
+	blockCycles := make([]uint64, cfg.Blocks)
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blk := &Block{dim: cfg.ThreadsPerBlock, dev: d}
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Blocks) {
+					return
+				}
+				blk.idx = int(i)
+				blk.sharedUsed = 0
+				blk.cycles = 0
+				if err := runBlock(blk, kernel); err != nil {
+					errs[w] = err
+					return
+				}
+				blockCycles[i] = blk.cycles
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	stats.SimCycles = makespan(blockCycles, d.numSMs)
+	return stats, nil
+}
+
+// makespan assigns block cycle counts to sms simulated SMs with greedy
+// least-loaded dispatch and returns the busiest SM's total.
+func makespan(blockCycles []uint64, sms int) uint64 {
+	if sms < 1 {
+		sms = 1
+	}
+	load := make([]uint64, min(sms, len(blockCycles)))
+	if len(load) == 0 {
+		return 0
+	}
+	for _, c := range blockCycles {
+		minIdx := 0
+		for s := 1; s < len(load); s++ {
+			if load[s] < load[minIdx] {
+				minIdx = s
+			}
+		}
+		load[minIdx] += c
+	}
+	var max uint64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// KernelPanicError reports a panic raised inside a kernel body. Panics
+// cannot be re-raised on the caller's goroutine (blocks run on worker
+// goroutines), so Launch surfaces them as errors instead.
+type KernelPanicError struct {
+	Block int
+	Value any
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("cudasim: kernel panic in block %d: %v", e.Block, e.Value)
+}
+
+// runBlock executes one block, converting panics — shared-memory
+// over-allocation and kernel bugs alike — into errors, because the block
+// runs on a worker goroutine where an unrecovered panic would kill the
+// process rather than unwind to the caller.
+func runBlock(blk *Block, kernel func(b *Block)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sme, ok := r.(*SharedMemError); ok {
+				err = sme
+				return
+			}
+			err = &KernelPanicError{Block: blk.idx, Value: r}
+		}
+	}()
+	kernel(blk)
+	return nil
+}
+
+// AtomicAddFloat32 atomically adds v to buf[i] with a CAS loop, the way a
+// pre-Kepler GPU (or a contended modern one) performs float atomics. This
+// is the primitive behind Gunrock-style per-edge vertex reductions, and
+// its contention cost is part of what the paper measures.
+func AtomicAddFloat32(buf []float32, i int, v float32) {
+	addr := (*uint32)(unsafe.Pointer(&buf[i]))
+	for {
+		old := atomic.LoadUint32(addr)
+		nw := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(addr, old, nw) {
+			return
+		}
+	}
+}
+
+// AtomicMaxFloat32 atomically sets buf[i] = max(buf[i], v).
+func AtomicMaxFloat32(buf []float32, i int, v float32) {
+	addr := (*uint32)(unsafe.Pointer(&buf[i]))
+	for {
+		old := atomic.LoadUint32(addr)
+		cur := math.Float32frombits(old)
+		if cur >= v {
+			return
+		}
+		if atomic.CompareAndSwapUint32(addr, old, math.Float32bits(v)) {
+			return
+		}
+	}
+}
+
+// TreeReduceSum reduces vals in place with the log-depth pairwise tree the
+// classic CUDA reduction uses, returning the total. The tree shape (not a
+// left-to-right fold) is kept so numerics match a real device.
+func TreeReduceSum(vals []float32) float32 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	// Round up to power of two by folding the tail once.
+	for stride := nextPow2(n) / 2; stride > 0; stride /= 2 {
+		for i := 0; i < stride && i+stride < n; i++ {
+			vals[i] += vals[i+stride]
+		}
+		n = min(n, stride)
+	}
+	return vals[0]
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

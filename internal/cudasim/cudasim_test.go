@@ -1,0 +1,291 @@
+package cudasim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaunchCoversAllBlocksOnce(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 4})
+	const blocks = 100
+	counts := make([]int32, blocks)
+	_, err := dev.Launch(LaunchConfig{Blocks: blocks, ThreadsPerBlock: 8}, func(b *Block) {
+		atomic.AddInt32(&counts[b.Idx()], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("block %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestLaunchConfigValidation(t *testing.T) {
+	dev := NewDevice(Config{})
+	if _, err := dev.Launch(LaunchConfig{Blocks: 0, ThreadsPerBlock: 32}, func(*Block) {}); err == nil {
+		t.Error("0 blocks should error")
+	}
+	if _, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 0}, func(*Block) {}); err == nil {
+		t.Error("0 threads should error")
+	}
+	if _, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 2048}, func(*Block) {}); err == nil {
+		t.Error("2048 threads should error")
+	}
+}
+
+func TestDeviceDefaults(t *testing.T) {
+	dev := NewDevice(Config{})
+	if dev.NumSMs() <= 0 {
+		t.Fatal("default NumSMs should be positive")
+	}
+	if dev.SharedMemPerBlock() != DefaultSharedMem {
+		t.Fatalf("default shared mem = %d", dev.SharedMemPerBlock())
+	}
+	if dev.SharedFloats() != DefaultSharedMem/4 {
+		t.Fatalf("SharedFloats = %d", dev.SharedFloats())
+	}
+}
+
+func TestForEachThreadRunsDimTimes(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 2})
+	var total atomic.Int64
+	_, err := dev.Launch(LaunchConfig{Blocks: 5, ThreadsPerBlock: 13}, func(b *Block) {
+		if b.Dim() != 13 {
+			t.Errorf("Dim = %d", b.Dim())
+		}
+		n := 0
+		b.ForEachThread(func(tid int) {
+			if tid != n {
+				t.Errorf("tid out of order: %d vs %d", tid, n)
+			}
+			n++
+		})
+		total.Add(int64(n))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 5*13 {
+		t.Fatalf("total thread executions = %d", total.Load())
+	}
+}
+
+func TestStridedCoversRange(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1})
+	seen := make([]bool, 37)
+	_, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 8}, func(b *Block) {
+		b.Strided(37, func(i int) { seen[i] = true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestSharedAllocationAndReuse(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1, SharedMemPerBlock: 1024})
+	_, err := dev.Launch(LaunchConfig{Blocks: 3, ThreadsPerBlock: 1}, func(b *Block) {
+		a := b.Shared(64)
+		for i := range a {
+			if a[i] != 0 {
+				t.Error("shared memory must be zeroed per block")
+			}
+			a[i] = float32(b.Idx() + 1)
+		}
+		c := b.Shared(64) // second allocation in same block
+		for i := range c {
+			if c[i] != 0 {
+				t.Error("second allocation must be zeroed and disjoint")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedOverAllocationFailsLaunch(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 2, SharedMemPerBlock: 256})
+	_, err := dev.Launch(LaunchConfig{Blocks: 4, ThreadsPerBlock: 1}, func(b *Block) {
+		b.Shared(65) // 260 bytes > 256
+	})
+	var sme *SharedMemError
+	if !errors.As(err, &sme) {
+		t.Fatalf("want SharedMemError, got %v", err)
+	}
+	if sme.Capacity != 256 || sme.Requested != 260 {
+		t.Fatalf("error fields: %+v", sme)
+	}
+	if sme.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestSharedCumulativeLimit(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1, SharedMemPerBlock: 256})
+	_, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 1}, func(b *Block) {
+		b.Shared(32) // 128 bytes
+		b.Shared(32) // 256 bytes: exactly at capacity, ok
+	})
+	if err != nil {
+		t.Fatalf("exact-capacity allocation should succeed: %v", err)
+	}
+	_, err = dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 1}, func(b *Block) {
+		b.Shared(32)
+		b.Shared(33) // 260 bytes total
+	})
+	if err == nil {
+		t.Fatal("cumulative over-allocation should fail")
+	}
+}
+
+func TestKernelPanicBecomesError(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1})
+	_, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 1}, func(b *Block) {
+		panic("kernel bug")
+	})
+	var kpe *KernelPanicError
+	if !errors.As(err, &kpe) {
+		t.Fatalf("want KernelPanicError, got %v", err)
+	}
+	if kpe.Value != "kernel bug" || kpe.Error() == "" {
+		t.Fatalf("error fields: %+v", kpe)
+	}
+}
+
+func TestAtomicAddFloat32UnderContention(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 8})
+	buf := make([]float32, 4)
+	const blocks, perBlock = 64, 100
+	_, err := dev.Launch(LaunchConfig{Blocks: blocks, ThreadsPerBlock: 1}, func(b *Block) {
+		for i := 0; i < perBlock; i++ {
+			AtomicAddFloat32(buf, b.Idx()%4, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != blocks/4*perBlock {
+			t.Fatalf("buf[%d] = %v, want %d", i, v, blocks/4*perBlock)
+		}
+	}
+}
+
+func TestAtomicMaxFloat32(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 8})
+	buf := []float32{float32(math.Inf(-1))}
+	_, err := dev.Launch(LaunchConfig{Blocks: 128, ThreadsPerBlock: 1}, func(b *Block) {
+		AtomicMaxFloat32(buf, 0, float32(b.Idx()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 127 {
+		t.Fatalf("max = %v, want 127", buf[0])
+	}
+}
+
+func TestTreeReduceSumMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		vals := make([]float32, n)
+		var seq float64
+		for i := range vals {
+			vals[i] = rng.Float32()*2 - 1
+			seq += float64(vals[i])
+		}
+		got := TreeReduceSum(vals)
+		return math.Abs(float64(got)-seq) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeReduceSumEdgeCases(t *testing.T) {
+	if got := TreeReduceSum(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := TreeReduceSum([]float32{42}); got != 42 {
+		t.Fatalf("single = %v", got)
+	}
+	if got := TreeReduceSum([]float32{1, 2, 3}); got != 6 {
+		t.Fatalf("non-power-of-two = %v", got)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestChargeAccountingMakespan(t *testing.T) {
+	// One SM: makespan is the sum of all block cycles.
+	dev := NewDevice(Config{NumSMs: 1})
+	stats, err := dev.Launch(LaunchConfig{Blocks: 4, ThreadsPerBlock: 8}, func(b *Block) {
+		b.Charge(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimCycles != 40 {
+		t.Fatalf("1 SM: SimCycles = %d, want 40", stats.SimCycles)
+	}
+	// Plenty of SMs: makespan is bounded below by one block's cycles and
+	// above by the serial total.
+	dev = NewDevice(Config{NumSMs: 4})
+	stats, err = dev.Launch(LaunchConfig{Blocks: 4, ThreadsPerBlock: 8}, func(b *Block) {
+		b.Charge(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimCycles != 10 {
+		t.Fatalf("4 SMs: SimCycles = %d, want 10 (greedy one block per SM)", stats.SimCycles)
+	}
+}
+
+func TestChargeParallelRoundsUp(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1})
+	stats, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 8}, func(b *Block) {
+		b.ChargeParallel(17, 2) // ceil(17/8)=3 iters * 2 = 6
+		b.ChargeParallel(0, 5)  // no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimCycles != 6 {
+		t.Fatalf("SimCycles = %d, want 6", stats.SimCycles)
+	}
+}
+
+func TestChargeTreeReduceDepth(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 1})
+	stats, err := dev.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 8}, func(b *Block) {
+		b.ChargeTreeReduce(8) // depth 3
+		b.ChargeTreeReduce(1) // no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(3 * (CostShared + CostFLOP))
+	if stats.SimCycles != want {
+		t.Fatalf("SimCycles = %d, want %d", stats.SimCycles, want)
+	}
+}

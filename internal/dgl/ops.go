@@ -1,0 +1,465 @@
+package dgl
+
+import (
+	"fmt"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/tensor"
+)
+
+// Message-passing operations. Each op is built once per model layer (kernel
+// compilation is per-topology, amortized over epochs, §IV-B) and applied
+// once per tape: FeatGraph-backend ops stage their inputs into buffers the
+// compiled kernels are bound to, so a second Apply on the same tape would
+// clobber state the backward pass still needs.
+
+// fdsFor builds the op's feature dimension schedule from the config: tile
+// the output axis on CPU, bind it to thread.x on GPU.
+func (g *Graph) fdsFor(udf *expr.UDF) *schedule.FDS {
+	fds := schedule.New()
+	if g.cfg.FeatureTileFactor > 0 {
+		fds.Split(udf.OutAxes[0], g.cfg.FeatureTileFactor)
+	}
+	if g.cfg.Target == core.GPU {
+		fds.Bind(udf.OutAxes[0], schedule.ThreadX)
+	}
+	return fds
+}
+
+// CopyAggOp aggregates source features into destinations:
+// out[v] = agg over u→v of x[u], with agg ∈ {sum, mean}.
+type CopyAggOp struct {
+	g    *Graph
+	d    int
+	mean bool
+
+	// FeatGraph backend state.
+	xbuf, gbuf *tensor.Tensor
+	invDegEdge *tensor.Tensor // per-edge 1/deg(dst) weights (mean backward)
+	fwd, bwd   *core.SpMMKernel
+}
+
+// NewCopySum builds a sum-aggregation op for d-dimensional features
+// (GCN aggregation).
+func (g *Graph) NewCopySum(d int) (*CopyAggOp, error) { return g.newCopyAgg(d, false) }
+
+// NewCopyMean builds a mean-aggregation op (GraphSage's aggregator).
+func (g *Graph) NewCopyMean(d int) (*CopyAggOp, error) { return g.newCopyAgg(d, true) }
+
+func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
+	op := &CopyAggOp{g: g, d: d, mean: mean}
+	if g.cfg.Backend != FeatGraph {
+		return op, nil
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	op.xbuf = tensor.New(n, d)
+	op.gbuf = tensor.New(n, d)
+	opts := g.coreOptions()
+
+	agg := core.AggSum
+	if mean {
+		agg = core.AggMean
+	}
+	fwdUDF := expr.CopySrc(n, d)
+	fwd, err := core.BuildSpMM(g.adj, fwdUDF, []*tensor.Tensor{op.xbuf}, agg, g.fdsFor(fwdUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: copy-agg forward: %w", err)
+	}
+	op.fwd = fwd
+
+	var bwd *core.SpMMKernel
+	if mean {
+		// dX[u] = Σ_{u→v} dOut[v] / deg(v): a weighted copy along the
+		// transposed edges with constant per-edge weights.
+		op.invDegEdge = tensor.New(m, 1)
+		wd := op.invDegEdge.Data()
+		for r := 0; r < n; r++ {
+			for p := g.adj.RowPtr[r]; p < g.adj.RowPtr[r+1]; p++ {
+				wd[g.adj.EID[p]] = g.invDeg[r]
+			}
+		}
+		bwdUDF := expr.SrcMulEdgeScalar(n, m, d)
+		bwd, err = core.BuildSpMM(g.adjT, bwdUDF, []*tensor.Tensor{op.gbuf, op.invDegEdge}, core.AggSum, g.fdsFor(bwdUDF), opts)
+	} else {
+		bwdUDF := expr.CopySrc(n, d)
+		bwd, err = core.BuildSpMM(g.adjT, bwdUDF, []*tensor.Tensor{op.gbuf}, core.AggSum, g.fdsFor(bwdUDF), opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dgl: copy-agg backward: %w", err)
+	}
+	op.bwd = bwd
+	return op, nil
+}
+
+// Apply records the aggregation on the tape.
+func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
+	g := op.g
+	n := g.NumVertices()
+	if g.cfg.Backend == FeatGraph {
+		return tp.Custom(
+			func() *tensor.Tensor {
+				copy(op.xbuf.Data(), x.Value.Data())
+				out := tensor.New(n, op.d)
+				stats, err := op.fwd.Run(out)
+				if err != nil {
+					panic("dgl: copy-agg forward: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				return out
+			},
+			func(dOut *tensor.Tensor) {
+				copy(op.gbuf.Data(), dOut.Data())
+				dx := tensor.New(n, op.d)
+				stats, err := op.bwd.Run(dx)
+				if err != nil {
+					panic("dgl: copy-agg backward: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				autodiff.SeedGrad(x, dx)
+			})
+	}
+	// Naive backend: materialize messages, then segment-reduce.
+	return tp.Custom(
+		func() *tensor.Tensor {
+			msg := g.naiveGather(g.adj, x.Value, nil, op.d)
+			out := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adj, msg, out, op.mean)
+			return out
+		},
+		func(dOut *tensor.Tensor) {
+			var scale []float32
+			if op.mean {
+				scale = g.invDeg // dMsg[e] = dOut[dst]/deg(dst)
+			}
+			dmsg := g.naiveGatherByDst(g.adj, dOut, scale, false, op.d)
+			dx := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adjT, dmsg, dx, false)
+			autodiff.SeedGrad(x, dx)
+		})
+}
+
+// WeightedSumOp computes out[v] = Σ_{u→v} w[e] * x[u] with a learnable
+// scalar weight per edge — GAT's attention-weighted aggregation. Its
+// weight gradient follows the SDDMM pattern, the paper's §II-A duality.
+type WeightedSumOp struct {
+	g *Graph
+	d int
+
+	xbuf, gbuf *tensor.Tensor
+	wbuf       *tensor.Tensor // [m,1] edge weights
+	fwd, bwdX  *core.SpMMKernel
+	bwdW       *core.SDDMMKernel
+}
+
+// NewWeightedSum builds a weighted-sum op for d-dimensional features.
+func (g *Graph) NewWeightedSum(d int) (*WeightedSumOp, error) {
+	op := &WeightedSumOp{g: g, d: d}
+	if g.cfg.Backend != FeatGraph {
+		return op, nil
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	op.xbuf = tensor.New(n, d)
+	op.gbuf = tensor.New(n, d)
+	op.wbuf = tensor.New(m, 1)
+	opts := g.coreOptions()
+
+	fwdUDF := expr.SrcMulEdgeScalar(n, m, d)
+	fwd, err := core.BuildSpMM(g.adj, fwdUDF, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(fwdUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: weighted-sum forward: %w", err)
+	}
+	op.fwd = fwd
+
+	bwdXUDF := expr.SrcMulEdgeScalar(n, m, d)
+	bwdX, err := core.BuildSpMM(g.adjT, bwdXUDF, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(bwdXUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: weighted-sum backward dX: %w", err)
+	}
+	op.bwdX = bwdX
+
+	// dW[e] = x[src] · dOut[dst]: an SDDMM.
+	bwdWUDF, inputs := dotUDF(n, d, op.xbuf, op.gbuf)
+	bwdW, err := core.BuildSDDMM(g.adj, bwdWUDF, inputs, sddmmFDS(g, bwdWUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: weighted-sum backward dW: %w", err)
+	}
+	op.bwdW = bwdW
+	return op, nil
+}
+
+// dotUDF builds the two-operand dot-product edge function
+// out[0] = Σ_k A[src,k] * B[dst,k].
+func dotUDF(n, d int, a, b *tensor.Tensor) (*expr.UDF, []*tensor.Tensor) {
+	bld := expr.NewBuilder()
+	ap := bld.Placeholder("A", n, d)
+	bp := bld.Placeholder("B", n, d)
+	i := bld.OutAxis("i", 1)
+	k := bld.ReduceAxis("k", d)
+	udf := bld.UDF(expr.Sum(k, expr.Mul(ap.At(expr.Src, k), bp.At(expr.Dst, k))), i)
+	return udf, []*tensor.Tensor{a, b}
+}
+
+// sddmmFDS gives SDDMM ops their schedule: tree reduction on GPU.
+func sddmmFDS(g *Graph, udf *expr.UDF) *schedule.FDS {
+	fds := schedule.New()
+	if g.cfg.Target == core.GPU {
+		if ax := reduceAxisOf(udf); ax != nil {
+			fds.TreeReduce(ax, schedule.ThreadX)
+		}
+	}
+	return fds
+}
+
+func reduceAxisOf(udf *expr.UDF) *expr.Axis {
+	if red, ok := udf.Body.(*expr.Reduce); ok {
+		return red.Axis
+	}
+	return nil
+}
+
+// Apply records out = Σ w[e]·x[src] on the tape. w must be an [m,1] Var.
+func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.Var {
+	g := op.g
+	n, m := g.NumVertices(), g.NumEdges()
+	if w.Value.Dim(0) != m {
+		panic(fmt.Sprintf("dgl: weighted-sum expects %d edge weights, got %d", m, w.Value.Dim(0)))
+	}
+	if g.cfg.Backend == FeatGraph {
+		return tp.Custom(
+			func() *tensor.Tensor {
+				copy(op.xbuf.Data(), x.Value.Data())
+				copy(op.wbuf.Data(), w.Value.Data())
+				out := tensor.New(n, op.d)
+				stats, err := op.fwd.Run(out)
+				if err != nil {
+					panic("dgl: weighted-sum forward: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				return out
+			},
+			func(dOut *tensor.Tensor) {
+				copy(op.gbuf.Data(), dOut.Data())
+				dx := tensor.New(n, op.d)
+				stats, err := op.bwdX.Run(dx)
+				if err != nil {
+					panic("dgl: weighted-sum backward dX: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				autodiff.SeedGrad(x, dx)
+
+				dw := tensor.New(m, 1)
+				stats, err = op.bwdW.Run(dw)
+				if err != nil {
+					panic("dgl: weighted-sum backward dW: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				autodiff.SeedGrad(w, dw)
+			})
+	}
+	return tp.Custom(
+		func() *tensor.Tensor {
+			msg := g.naiveGather(g.adj, x.Value, w.Value.Data(), op.d)
+			out := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adj, msg, out, false)
+			return out
+		},
+		func(dOut *tensor.Tensor) {
+			dmsg := g.naiveGatherByDst(g.adj, dOut, w.Value.Data(), true, op.d)
+			dx := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adjT, dmsg, dx, false)
+			autodiff.SeedGrad(x, dx)
+			dw := tensor.New(m, 1)
+			g.naiveEdgeDot(x.Value, dOut, dw)
+			autodiff.SeedGrad(w, dw)
+		})
+}
+
+// DotOp computes att[e] = x[src] · y[dst] for every edge — dot-product
+// attention (vanilla SDDMM). Its input gradients follow the SpMM pattern.
+type DotOp struct {
+	g *Graph
+	d int
+
+	xbuf, ybuf *tensor.Tensor
+	dattbuf    *tensor.Tensor
+	fwd        *core.SDDMMKernel
+	bwdX, bwdY *core.SpMMKernel
+}
+
+// NewDot builds a dot-product attention op for d-dimensional features.
+func (g *Graph) NewDot(d int) (*DotOp, error) {
+	op := &DotOp{g: g, d: d}
+	if g.cfg.Backend != FeatGraph {
+		return op, nil
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	op.xbuf = tensor.New(n, d)
+	op.ybuf = tensor.New(n, d)
+	op.dattbuf = tensor.New(m, 1)
+	opts := g.coreOptions()
+
+	fwdUDF, inputs := dotUDF(n, d, op.xbuf, op.ybuf)
+	fwd, err := core.BuildSDDMM(g.adj, fwdUDF, inputs, sddmmFDS(g, fwdUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: dot forward: %w", err)
+	}
+	op.fwd = fwd
+
+	// dX[u] = Σ_{u→v} dAtt[e]·y[v] (SpMM on the transpose);
+	// dY[v] = Σ_{u→v} dAtt[e]·x[u] (SpMM on the adjacency).
+	bwdXUDF := expr.SrcMulEdgeScalar(n, m, d)
+	bwdX, err := core.BuildSpMM(g.adjT, bwdXUDF, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(bwdXUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: dot backward dX: %w", err)
+	}
+	op.bwdX = bwdX
+	bwdYUDF := expr.SrcMulEdgeScalar(n, m, d)
+	bwdY, err := core.BuildSpMM(g.adj, bwdYUDF, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(bwdYUDF), opts)
+	if err != nil {
+		return nil, fmt.Errorf("dgl: dot backward dY: %w", err)
+	}
+	op.bwdY = bwdY
+	return op, nil
+}
+
+// Apply records att = x·y per edge. x and y may be the same Var (GAT).
+func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
+	g := op.g
+	n, m := g.NumVertices(), g.NumEdges()
+	if g.cfg.Backend == FeatGraph {
+		return tp.Custom(
+			func() *tensor.Tensor {
+				copy(op.xbuf.Data(), x.Value.Data())
+				copy(op.ybuf.Data(), y.Value.Data())
+				att := tensor.New(m, 1)
+				stats, err := op.fwd.Run(att)
+				if err != nil {
+					panic("dgl: dot forward: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				return att
+			},
+			func(dOut *tensor.Tensor) {
+				copy(op.dattbuf.Data(), dOut.Data())
+				dx := tensor.New(n, op.d)
+				stats, err := op.bwdX.Run(dx)
+				if err != nil {
+					panic("dgl: dot backward dX: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				autodiff.SeedGrad(x, dx)
+
+				dy := tensor.New(n, op.d)
+				stats, err = op.bwdY.Run(dy)
+				if err != nil {
+					panic("dgl: dot backward dY: " + err.Error())
+				}
+				g.charge(stats.SimCycles)
+				autodiff.SeedGrad(y, dy)
+			})
+	}
+	return tp.Custom(
+		func() *tensor.Tensor {
+			att := tensor.New(m, 1)
+			g.naiveEdgeDot(x.Value, y.Value, att)
+			return att
+		},
+		func(dOut *tensor.Tensor) {
+			datt := dOut.Data()
+			dmsgX := g.naiveGatherByDst(g.adj, y.Value, datt, true, op.d) // dAtt[e]·y[dst]
+			dx := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adjT, dmsgX, dx, false)
+			autodiff.SeedGrad(x, dx)
+
+			dmsgY := g.naiveGather(g.adj, x.Value, datt, op.d) // dAtt[e]·x[src]
+			dy := tensor.New(n, op.d)
+			g.naiveScatterAdd(g.adj, dmsgY, dy, false)
+			autodiff.SeedGrad(y, dy)
+		})
+}
+
+// EdgeSoftmax normalizes an [m,1] edge score tensor per destination
+// vertex: α_e = exp(att_e) / Σ_{e'∈in(dst(e))} exp(att_e'). Both backends
+// share this segment implementation (DGL ships it as a dedicated kernel);
+// the GPU cost model charges a few passes over the edges.
+func (g *Graph) EdgeSoftmax(tp *autodiff.Tape, att *autodiff.Var) *autodiff.Var {
+	m := g.NumEdges()
+	if att.Value.Dim(0) != m || att.Value.Len() != m {
+		panic(fmt.Sprintf("dgl: EdgeSoftmax expects [%d,1] scores, got %v", m, att.Value.Shape()))
+	}
+	adj := g.adj
+	probs := tensor.New(m, 1)
+	return tp.Custom(
+		func() *tensor.Tensor {
+			ad, pd := att.Value.Data(), probs.Data()
+			for v := 0; v < adj.NumRows; v++ {
+				lo, hi := adj.RowPtr[v], adj.RowPtr[v+1]
+				if lo == hi {
+					continue
+				}
+				maxv := float32(-3.4e38)
+				for p := lo; p < hi; p++ {
+					if s := ad[adj.EID[p]]; s > maxv {
+						maxv = s
+					}
+				}
+				var sum float64
+				for p := lo; p < hi; p++ {
+					e := adj.EID[p]
+					pd[e] = exp32(ad[e] - maxv)
+					sum += float64(pd[e])
+				}
+				inv := float32(1 / sum)
+				for p := lo; p < hi; p++ {
+					pd[adj.EID[p]] *= inv
+				}
+			}
+			g.charge(uint64(m) * 8)
+			return probs.Clone()
+		},
+		func(dOut *tensor.Tensor) {
+			datt := autodiff.EnsureGrad(att).Data()
+			pd, gd := probs.Data(), dOut.Data()
+			for v := 0; v < adj.NumRows; v++ {
+				lo, hi := adj.RowPtr[v], adj.RowPtr[v+1]
+				if lo == hi {
+					continue
+				}
+				var dot float64
+				for p := lo; p < hi; p++ {
+					e := adj.EID[p]
+					dot += float64(pd[e] * gd[e])
+				}
+				for p := lo; p < hi; p++ {
+					e := adj.EID[p]
+					datt[e] += pd[e] * (gd[e] - float32(dot))
+				}
+			}
+			g.charge(uint64(m) * 6)
+		})
+}
+
+func exp32(x float32) float32 {
+	// A float64 round-trip keeps accuracy; this is not a hot path compared
+	// to the sparse kernels.
+	return float32(exp64(float64(x)))
+}
+
+// DenseMatMul is tape.MatMul plus simulated-GPU accounting for the dense
+// work (forward 2mkn flops, backward twice that), so end-to-end GPU
+// timings include the models' dense layers, as the paper's Table VI does.
+func (g *Graph) DenseMatMul(tp *autodiff.Tape, a, b *autodiff.Var) *autodiff.Var {
+	m := a.Value.Dim(0)
+	kk := a.Value.Dim(1)
+	n := b.Value.Dim(1)
+	flops := 2 * uint64(m) * uint64(kk) * uint64(n)
+	g.ChargeDense(flops)
+	out := tp.MatMul(a, b)
+	// Backward computes two products of the same size; charge eagerly
+	// since the tape offers no backward hook for built-in ops.
+	g.ChargeDense(2 * flops)
+	return out
+}

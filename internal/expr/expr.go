@@ -1,0 +1,450 @@
+// Package expr implements the tensor expression IR in which FeatGraph
+// user-defined functions (UDFs) are written.
+//
+// The paper expresses fine-grained feature dimension computations on each
+// vertex/edge in TVM's tensor expression language; this package plays that
+// role. A UDF is a small expression DAG over feature placeholders, output
+// axes, reduction axes, and the three special edge variables Src, Dst and
+// EID. For example, the paper's Figure 3b message function for MLP
+// aggregation — ReLU((x_src + x_dst) × W) — is
+//
+//	b := expr.NewBuilder()
+//	XV := b.Placeholder("XV", n, d1)
+//	W := b.Placeholder("W", d1, d2)
+//	i := b.OutAxis("i", d2)
+//	k := b.ReduceAxis("k", d1)
+//	udf := b.UDF(expr.Max(
+//	        expr.Sum(k, expr.Mul(expr.Add(XV.At(expr.Src, k), XV.At(expr.Dst, k)), W.At(k, i))),
+//	        expr.C(0)), i)
+//
+// The codegen package lowers UDFs into executable loop nests, fusing them
+// into the SpMM/SDDMM templates, and recognizes common patterns (copy-src,
+// dot-product) for which it emits specialized fast paths.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BinOp enumerates elementwise binary operators.
+type BinOp int
+
+// Binary operator kinds.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMax
+	OpMin
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// ReduceOp enumerates reduction operators usable inside a UDF body.
+type ReduceOp int
+
+// Reduction operator kinds.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+)
+
+func (op ReduceOp) String() string {
+	if op == ReduceSum {
+		return "sum"
+	}
+	return "max"
+}
+
+// Special identifies one of the per-edge index variables available to a UDF.
+type Special int
+
+// The three special index variables: the source vertex id, the destination
+// vertex id, and the edge id of the edge currently being processed.
+const (
+	Src Special = iota
+	Dst
+	EID
+)
+
+func (s Special) String() string { return [...]string{"src", "dst", "eid"}[s] }
+
+func (Special) isIndex() {}
+
+// Index is a coordinate used to subscript a placeholder: either an iteration
+// Axis or a Special edge variable.
+type Index interface {
+	isIndex()
+	String() string
+}
+
+// Axis is an iteration variable with a fixed extent. Output axes enumerate
+// the UDF's result elements; reduce axes are private to a Reduce node.
+type Axis struct {
+	Name   string
+	Extent int
+	// slot is the environment slot assigned by the builder; the compiler
+	// reads axis values from a flat env array by this index.
+	slot int
+}
+
+func (a *Axis) isIndex()       {}
+func (a *Axis) String() string { return a.Name }
+
+// Slot returns the environment slot assigned to this axis by its Builder.
+func (a *Axis) Slot() int { return a.slot }
+
+// Placeholder names an input feature tensor, e.g. the |V|×d vertex feature
+// matrix or a d1×d2 weight matrix. The first dimension of a vertex (edge)
+// feature placeholder is indexed by Src/Dst (EID); remaining dimensions are
+// indexed by axes.
+type Placeholder struct {
+	Name  string
+	Shape []int
+	id    int
+}
+
+// ID returns the builder-assigned identity of the placeholder, used by the
+// compiler to bind concrete tensors positionally.
+func (p *Placeholder) ID() int { return p.id }
+
+// At builds a Load of this placeholder at the given indices. The number of
+// indices must equal the placeholder's rank.
+func (p *Placeholder) At(idx ...Index) Expr {
+	if len(idx) != len(p.Shape) {
+		panic(fmt.Sprintf("expr: %s has rank %d, indexed with %d indices", p.Name, len(p.Shape), len(idx)))
+	}
+	return &Load{P: p, Idx: idx}
+}
+
+// Expr is a node in a UDF expression DAG.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Load reads one element of a placeholder.
+type Load struct {
+	P   *Placeholder
+	Idx []Index
+}
+
+func (*Load) isExpr() {}
+func (l *Load) String() string {
+	parts := make([]string, len(l.Idx))
+	for i, ix := range l.Idx {
+		parts[i] = ix.String()
+	}
+	return fmt.Sprintf("%s[%s]", l.P.Name, strings.Join(parts, ","))
+}
+
+// Const is a literal scalar.
+type Const float32
+
+func (Const) isExpr()          {}
+func (c Const) String() string { return fmt.Sprintf("%g", float32(c)) }
+
+// Binary applies an elementwise binary operator.
+type Binary struct {
+	Op   BinOp
+	A, B Expr
+}
+
+func (*Binary) isExpr() {}
+func (b *Binary) String() string {
+	if b.Op == OpMax || b.Op == OpMin {
+		return fmt.Sprintf("%s(%s, %s)", b.Op, b.A, b.B)
+	}
+	return fmt.Sprintf("(%s %s %s)", b.A, b.Op, b.B)
+}
+
+// Reduce folds Body over Axis with the given operator. The identity is 0
+// for sum and -inf for max.
+type Reduce struct {
+	Op   ReduceOp
+	Axis *Axis
+	Body Expr
+}
+
+func (*Reduce) isExpr() {}
+func (r *Reduce) String() string {
+	return fmt.Sprintf("%s_{%s<%d}(%s)", r.Op, r.Axis.Name, r.Axis.Extent, r.Body)
+}
+
+// Convenience constructors.
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return &Binary{OpAdd, a, b} }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return &Binary{OpSub, a, b} }
+
+// Mul returns a*b.
+func Mul(a, b Expr) Expr { return &Binary{OpMul, a, b} }
+
+// Div returns a/b.
+func Div(a, b Expr) Expr { return &Binary{OpDiv, a, b} }
+
+// Max returns max(a,b); Max(x, C(0)) expresses ReLU.
+func Max(a, b Expr) Expr { return &Binary{OpMax, a, b} }
+
+// Min returns min(a,b).
+func Min(a, b Expr) Expr { return &Binary{OpMin, a, b} }
+
+// C returns a literal constant.
+func C(v float32) Expr { return Const(v) }
+
+// Sum reduces body over axis with +.
+func Sum(axis *Axis, body Expr) Expr { return &Reduce{ReduceSum, axis, body} }
+
+// MaxOver reduces body over axis with max.
+func MaxOver(axis *Axis, body Expr) Expr { return &Reduce{ReduceMax, axis, body} }
+
+// UDF is a complete user-defined function: an expression body evaluated at
+// every point of the output axes, for every edge the triggering template
+// visits. The flattened output length is the product of output axis extents.
+type UDF struct {
+	Body    Expr
+	OutAxes []*Axis
+	Inputs  []*Placeholder // in builder declaration order
+	Axes    []*Axis        // every axis the builder declared, by slot
+
+	// NumSlots is the size of the axis environment the compiler must
+	// allocate (output axes + reduce axes, as assigned by the Builder).
+	NumSlots int
+}
+
+// Owns reports whether axis a was declared by this UDF's builder.
+func (u *UDF) Owns(a *Axis) bool {
+	return a.slot < len(u.Axes) && u.Axes[a.slot] == a
+}
+
+// OutLen returns the flattened output element count.
+func (u *UDF) OutLen() int {
+	n := 1
+	for _, a := range u.OutAxes {
+		n *= a.Extent
+	}
+	return n
+}
+
+func (u *UDF) String() string {
+	axes := make([]string, len(u.OutAxes))
+	for i, a := range u.OutAxes {
+		axes[i] = fmt.Sprintf("%s<%d", a.Name, a.Extent)
+	}
+	return fmt.Sprintf("λ(%s). %s", strings.Join(axes, ","), u.Body)
+}
+
+// Builder constructs placeholders, axes and UDFs with consistent slot and
+// placeholder numbering. One builder per UDF.
+type Builder struct {
+	placeholders []*Placeholder
+	axes         []*Axis
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Placeholder declares an input tensor with the given shape.
+func (b *Builder) Placeholder(name string, shape ...int) *Placeholder {
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("expr: placeholder %s has non-positive dimension in %v", name, shape))
+		}
+	}
+	p := &Placeholder{Name: name, Shape: append([]int(nil), shape...), id: len(b.placeholders)}
+	b.placeholders = append(b.placeholders, p)
+	return p
+}
+
+// OutAxis declares an output iteration axis.
+func (b *Builder) OutAxis(name string, extent int) *Axis {
+	return b.axis(name, extent)
+}
+
+// ReduceAxis declares a reduction axis for use inside Sum/MaxOver.
+func (b *Builder) ReduceAxis(name string, extent int) *Axis {
+	return b.axis(name, extent)
+}
+
+func (b *Builder) axis(name string, extent int) *Axis {
+	if extent <= 0 {
+		panic(fmt.Sprintf("expr: axis %s has non-positive extent %d", name, extent))
+	}
+	a := &Axis{Name: name, Extent: extent, slot: len(b.axes)}
+	b.axes = append(b.axes, a)
+	return a
+}
+
+// UDF finalizes a UDF with the given body and output axes. It validates the
+// expression: every axis referenced must belong to this builder, reduce
+// axes must be bound by exactly one enclosing Reduce, and output axes must
+// not be reduced over.
+func (b *Builder) UDF(body Expr, outAxes ...*Axis) *UDF {
+	u := &UDF{Body: body, OutAxes: outAxes, Inputs: b.placeholders, Axes: b.axes, NumSlots: len(b.axes)}
+	out := make(map[*Axis]bool, len(outAxes))
+	for _, a := range outAxes {
+		if out[a] {
+			panic(fmt.Sprintf("expr: output axis %s listed twice", a.Name))
+		}
+		out[a] = true
+	}
+	bound := make(map[*Axis]bool)
+	for _, a := range outAxes {
+		bound[a] = true
+	}
+	validate(body, b, out, bound)
+	return u
+}
+
+func validate(e Expr, b *Builder, out, bound map[*Axis]bool) {
+	switch n := e.(type) {
+	case Const:
+	case *Load:
+		for pos, ix := range n.Idx {
+			if a, ok := ix.(*Axis); ok {
+				if !b.owns(a) {
+					panic(fmt.Sprintf("expr: axis %s is not from this builder", a.Name))
+				}
+				if !bound[a] {
+					panic(fmt.Sprintf("expr: axis %s used but not bound by an output axis or enclosing reduction", a.Name))
+				}
+				if a.Extent != n.P.Shape[pos] {
+					panic(fmt.Sprintf("expr: axis %s (extent %d) indexes dim %d of %s (extent %d)",
+						a.Name, a.Extent, pos, n.P.Name, n.P.Shape[pos]))
+				}
+			}
+		}
+	case *Unary:
+		validate(n.A, b, out, bound)
+	case *Binary:
+		validate(n.A, b, out, bound)
+		validate(n.B, b, out, bound)
+	case *Reduce:
+		if out[n.Axis] {
+			panic(fmt.Sprintf("expr: cannot reduce over output axis %s", n.Axis.Name))
+		}
+		if bound[n.Axis] {
+			panic(fmt.Sprintf("expr: axis %s bound by two enclosing reductions", n.Axis.Name))
+		}
+		bound[n.Axis] = true
+		validate(n.Body, b, out, bound)
+		delete(bound, n.Axis)
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func (b *Builder) owns(a *Axis) bool {
+	return a.slot < len(b.axes) && b.axes[a.slot] == a
+}
+
+// UsesSpecial reports whether the UDF reads the given special variable
+// (e.g. whether it touches destination features). Templates use this to
+// skip loading unused inputs.
+func (u *UDF) UsesSpecial(s Special) bool {
+	return usesSpecial(u.Body, s)
+}
+
+func usesSpecial(e Expr, s Special) bool {
+	switch n := e.(type) {
+	case *Load:
+		for _, ix := range n.Idx {
+			if sp, ok := ix.(Special); ok && sp == s {
+				return true
+			}
+		}
+	case *Unary:
+		return usesSpecial(n.A, s)
+	case *Binary:
+		return usesSpecial(n.A, s) || usesSpecial(n.B, s)
+	case *Reduce:
+		return usesSpecial(n.Body, s)
+	}
+	return false
+}
+
+// UnOp enumerates elementwise unary operators.
+type UnOp int
+
+// Unary operator kinds.
+const (
+	OpNeg UnOp = iota
+	OpAbs
+	OpExp
+	OpLog
+	OpSqrt
+	OpSigmoid
+	OpTanh
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "neg"
+	case OpAbs:
+		return "abs"
+	case OpExp:
+		return "exp"
+	case OpLog:
+		return "log"
+	case OpSqrt:
+		return "sqrt"
+	case OpSigmoid:
+		return "sigmoid"
+	case OpTanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("UnOp(%d)", int(op))
+}
+
+// Unary applies an elementwise unary operator.
+type Unary struct {
+	Op UnOp
+	A  Expr
+}
+
+func (*Unary) isExpr() {}
+func (u *Unary) String() string {
+	return fmt.Sprintf("%s(%s)", u.Op, u.A)
+}
+
+// Neg returns -a.
+func Neg(a Expr) Expr { return &Unary{OpNeg, a} }
+
+// Abs returns |a|.
+func Abs(a Expr) Expr { return &Unary{OpAbs, a} }
+
+// Exp returns e^a, e.g. for fused softmax numerators.
+func Exp(a Expr) Expr { return &Unary{OpExp, a} }
+
+// Log returns ln(a).
+func Log(a Expr) Expr { return &Unary{OpLog, a} }
+
+// Sqrt returns √a.
+func Sqrt(a Expr) Expr { return &Unary{OpSqrt, a} }
+
+// Sigmoid returns 1/(1+e^-a).
+func Sigmoid(a Expr) Expr { return &Unary{OpSigmoid, a} }
+
+// Tanh returns tanh(a).
+func Tanh(a Expr) Expr { return &Unary{OpTanh, a} }

@@ -1,0 +1,185 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderNumbering(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	w := b.Placeholder("W", 8, 2)
+	if x.ID() != 0 || w.ID() != 1 {
+		t.Fatalf("placeholder ids: %d, %d", x.ID(), w.ID())
+	}
+	i := b.OutAxis("i", 2)
+	k := b.ReduceAxis("k", 8)
+	if i.Slot() != 0 || k.Slot() != 1 {
+		t.Fatalf("axis slots: %d, %d", i.Slot(), k.Slot())
+	}
+	u := b.UDF(Sum(k, Mul(x.At(Src, k), w.At(k, i))), i)
+	if u.NumSlots != 2 {
+		t.Fatalf("NumSlots = %d, want 2", u.NumSlots)
+	}
+	if len(u.Inputs) != 2 {
+		t.Fatalf("Inputs = %d, want 2", len(u.Inputs))
+	}
+}
+
+func TestOutLen(t *testing.T) {
+	u := MultiHeadDot(10, 4, 16)
+	if u.OutLen() != 4 {
+		t.Fatalf("MultiHeadDot OutLen = %d, want 4", u.OutLen())
+	}
+	u2 := CopySrc(10, 32)
+	if u2.OutLen() != 32 {
+		t.Fatalf("CopySrc OutLen = %d, want 32", u2.OutLen())
+	}
+}
+
+func TestUsesSpecial(t *testing.T) {
+	if u := CopySrc(4, 8); !u.UsesSpecial(Src) || u.UsesSpecial(Dst) || u.UsesSpecial(EID) {
+		t.Fatal("CopySrc should use only Src")
+	}
+	if u := DotAttention(4, 8); !u.UsesSpecial(Src) || !u.UsesSpecial(Dst) {
+		t.Fatal("DotAttention should use Src and Dst")
+	}
+	if u := CopyEdge(9, 3); !u.UsesSpecial(EID) || u.UsesSpecial(Src) {
+		t.Fatal("CopyEdge should use only EID")
+	}
+	if u := MLPMessage(4, 8, 2); !u.UsesSpecial(Src) || !u.UsesSpecial(Dst) {
+		t.Fatal("MLPMessage should use Src and Dst")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	u := MLPMessage(4, 8, 2)
+	s := u.String()
+	for _, frag := range []string{"max", "sum", "X[src,k]", "W[k,i]"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("UDF string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestAtArityPanics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	defer expectPanic(t, "At with wrong arity")
+	x.At(Src)
+}
+
+func TestValidateRejectsUnboundAxis(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	k := b.ReduceAxis("k", 8)
+	i := b.OutAxis("i", 8)
+	defer expectPanic(t, "unbound reduce axis")
+	// k appears outside any Reduce node.
+	b.UDF(x.At(Src, k), i)
+}
+
+func TestValidateRejectsReducingOutputAxis(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	i := b.OutAxis("i", 8)
+	defer expectPanic(t, "reduce over output axis")
+	b.UDF(Sum(i, x.At(Src, i)), i)
+}
+
+func TestValidateRejectsDoubleReduce(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	i := b.OutAxis("i", 1)
+	k := b.ReduceAxis("k", 8)
+	defer expectPanic(t, "axis bound twice")
+	b.UDF(Sum(k, Sum(k, x.At(Src, k))), i)
+}
+
+func TestValidateRejectsExtentMismatch(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	i := b.OutAxis("i", 5) // extent 5 != dim extent 8
+	defer expectPanic(t, "axis extent mismatch")
+	b.UDF(x.At(Src, i), i)
+}
+
+func TestValidateRejectsForeignAxis(t *testing.T) {
+	b1 := NewBuilder()
+	b2 := NewBuilder()
+	x := b1.Placeholder("X", 4, 8)
+	i1 := b1.OutAxis("i", 8)
+	i2 := b2.OutAxis("i", 8)
+	_ = i1
+	defer expectPanic(t, "axis from another builder")
+	b1.UDF(x.At(Src, i2), i2)
+}
+
+func TestValidateRejectsDuplicateOutAxis(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("X", 4, 8)
+	i := b.OutAxis("i", 8)
+	defer expectPanic(t, "duplicate output axis")
+	b.UDF(x.At(Src, i), i, i)
+}
+
+func TestNonPositiveExtentsPanic(t *testing.T) {
+	b := NewBuilder()
+	t.Run("axis", func(t *testing.T) {
+		defer expectPanic(t, "zero-extent axis")
+		b.OutAxis("i", 0)
+	})
+	t.Run("placeholder", func(t *testing.T) {
+		defer expectPanic(t, "zero-dim placeholder")
+		b.Placeholder("X", 4, 0)
+	})
+}
+
+func TestBinOpStrings(t *testing.T) {
+	ops := map[BinOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMax: "max", OpMin: "min"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("BinOp %d String = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if ReduceSum.String() != "sum" || ReduceMax.String() != "max" {
+		t.Error("ReduceOp strings wrong")
+	}
+	if Src.String() != "src" || Dst.String() != "dst" || EID.String() != "eid" {
+		t.Error("Special strings wrong")
+	}
+}
+
+func TestBuiltinUDFShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		udf  *UDF
+		out  int
+		ins  int
+	}{
+		{"CopySrc", CopySrc(5, 7), 7, 1},
+		{"CopyDst", CopyDst(5, 7), 7, 1},
+		{"CopyEdge", CopyEdge(9, 3), 3, 1},
+		{"SrcMulEdge", SrcMulEdge(5, 9, 7), 7, 2},
+		{"SrcMulEdgeScalar", SrcMulEdgeScalar(5, 9, 7), 7, 2},
+		{"AddSrcDst", AddSrcDst(5, 7), 7, 1},
+		{"DotAttention", DotAttention(5, 7), 1, 1},
+		{"MultiHeadDot", MultiHeadDot(5, 4, 7), 4, 1},
+		{"MLPMessage", MLPMessage(5, 8, 3), 3, 2},
+	}
+	for _, tc := range cases {
+		if tc.udf.OutLen() != tc.out {
+			t.Errorf("%s OutLen = %d, want %d", tc.name, tc.udf.OutLen(), tc.out)
+		}
+		if len(tc.udf.Inputs) != tc.ins {
+			t.Errorf("%s Inputs = %d, want %d", tc.name, len(tc.udf.Inputs), tc.ins)
+		}
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("%s should panic", what)
+	}
+}

@@ -1,0 +1,106 @@
+package expr
+
+// This file provides the library of built-in UDFs corresponding to DGL's
+// builtin message and edge functions (§IV-B of the paper): copying vertex or
+// edge features, elementwise combinations of vertex and edge features, dot
+// products, and the MLP message function used throughout the evaluation.
+// Each constructor returns a fresh UDF built with its own Builder; the
+// placeholders appear in Inputs in the documented order.
+
+// CopySrc returns the GCN-aggregation message function: out[i] = X[src, i].
+// Inputs: X (|V|×d vertex features).
+func CopySrc(n, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	i := b.OutAxis("i", d)
+	return b.UDF(x.At(Src, i), i)
+}
+
+// CopyDst returns out[i] = X[dst, i]. Inputs: X.
+func CopyDst(n, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	i := b.OutAxis("i", d)
+	return b.UDF(x.At(Dst, i), i)
+}
+
+// CopyEdge returns out[i] = E[eid, i] for |E|×d edge features. Inputs: E.
+func CopyEdge(m, d int) *UDF {
+	b := NewBuilder()
+	e := b.Placeholder("E", m, d)
+	i := b.OutAxis("i", d)
+	return b.UDF(e.At(EID, i), i)
+}
+
+// SrcMulEdge returns out[i] = X[src,i] * E[eid,i], DGL's u_mul_e message
+// function (used by GAT aggregation: attention-weighted source features).
+// Inputs: X, E.
+func SrcMulEdge(n, m, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	e := b.Placeholder("E", m, d)
+	i := b.OutAxis("i", d)
+	return b.UDF(Mul(x.At(Src, i), e.At(EID, i)), i)
+}
+
+// SrcMulEdgeScalar returns out[i] = X[src,i] * E[eid,0]: a scalar edge
+// weight (attention coefficient) scaling a d-dimensional source feature.
+// Inputs: X (n×d), E (m×1).
+func SrcMulEdgeScalar(n, m, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	e := b.Placeholder("E", m, 1)
+	i := b.OutAxis("i", d)
+	k0 := b.OutAxisConstIndex()
+	// k0 is a unit-extent trailing output axis, so the flattened output is
+	// still d elements; it exists only to index E's width-1 column.
+	return b.UDF(Mul(x.At(Src, i), e.At(EID, k0)), i, k0)
+}
+
+// OutAxisConstIndex returns a unit-extent axis, used to index a dimension
+// of size 1 (e.g. a scalar edge-feature column).
+func (b *Builder) OutAxisConstIndex() *Axis {
+	return b.axis("_c0", 1)
+}
+
+// AddSrcDst returns out[i] = X[src,i] + X[dst,i] (DGL's u_add_v). Inputs: X.
+func AddSrcDst(n, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	i := b.OutAxis("i", d)
+	return b.UDF(Add(x.At(Src, i), x.At(Dst, i)), i)
+}
+
+// DotAttention returns the paper's Figure 4a edge function:
+// out[0] = Σ_k X[src,k] * X[dst,k]. Inputs: X.
+func DotAttention(n, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d)
+	i := b.OutAxis("i", 1)
+	k := b.ReduceAxis("k", d)
+	_ = i
+	return b.UDF(Sum(k, Mul(x.At(Src, k), x.At(Dst, k))), i)
+}
+
+// MultiHeadDot returns the paper's Figure 4b edge function for h heads:
+// out[i] = Σ_k X[src,i,k] * X[dst,i,k] with X shaped |V|×h×d. Inputs: X.
+func MultiHeadDot(n, h, d int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, h, d)
+	i := b.OutAxis("i", h)
+	k := b.ReduceAxis("k", d)
+	return b.UDF(Sum(k, Mul(x.At(Src, i, k), x.At(Dst, i, k))), i)
+}
+
+// MLPMessage returns the paper's Figure 3b message function:
+// out[i] = ReLU(Σ_k (X[src,k] + X[dst,k]) * W[k,i]) with X |V|×d1, W d1×d2.
+// Inputs: X, W.
+func MLPMessage(n, d1, d2 int) *UDF {
+	b := NewBuilder()
+	x := b.Placeholder("X", n, d1)
+	w := b.Placeholder("W", d1, d2)
+	i := b.OutAxis("i", d2)
+	k := b.ReduceAxis("k", d1)
+	mlp := Sum(k, Mul(Add(x.At(Src, k), x.At(Dst, k)), w.At(k, i)))
+	return b.UDF(Max(mlp, C(0)), i)
+}

@@ -1,0 +1,238 @@
+// Package graphgen generates the synthetic graphs the benchmarks run on,
+// substituting for the paper's datasets (see DESIGN.md): scaled-down
+// analogues of ogbn-proteins and reddit that preserve size class, density
+// and degree skew; the paper's own rand-100K two-tier recipe; uniform
+// graphs for the sparsity sensitivity study; and planted-community
+// classification datasets for the end-to-end accuracy experiments.
+package graphgen
+
+import (
+	"math/rand"
+
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Dataset is a named benchmark graph.
+type Dataset struct {
+	Name string
+	Adj  *sparse.CSR
+}
+
+// Uniform returns an n-vertex graph where every vertex has exactly avgDeg
+// in-edges with uniformly random sources — the paper's Table V synthetic
+// uniform graph.
+func Uniform(rng *rand.Rand, n, avgDeg int) *sparse.CSR {
+	return sparse.Random(rng, n, n, avgDeg)
+}
+
+// Skewed returns an n-vertex graph where every vertex has deg in-edges and
+// source vertices are drawn from a Zipf distribution, giving the
+// heavy-tailed column-degree skew of real social and biological graphs
+// (what makes hybrid partitioning pay off).
+func Skewed(rng *rand.Rand, n, deg int, s float64) *sparse.CSR {
+	if deg > n {
+		deg = n
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+	coo := &sparse.COO{NumRows: n, NumCols: n}
+	seen := make(map[int32]struct{}, deg)
+	for r := 0; r < n; r++ {
+		clear(seen)
+		for len(seen) < deg {
+			c := int32(zipf.Uint64())
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			coo.Row = append(coo.Row, int32(r))
+			coo.Col = append(coo.Col, c)
+		}
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic("graphgen: Skewed produced invalid COO: " + err.Error())
+	}
+	return csr
+}
+
+// TwoTier returns the paper's rand-100K recipe scaled to n vertices: a
+// highFrac fraction of source vertices have average out-degree highDeg and
+// the rest lowDeg. Implemented by sampling each edge's source from the
+// appropriate tier.
+func TwoTier(rng *rand.Rand, n int, highFrac float64, highDeg, lowDeg int) *sparse.CSR {
+	nHigh := int(float64(n) * highFrac)
+	if nHigh < 1 {
+		nHigh = 1
+	}
+	totalEdges := nHigh*highDeg + (n-nHigh)*lowDeg
+	// In-degree per destination is the total divided evenly; sources are
+	// drawn tier-weighted so column degrees are two-tiered.
+	inDeg := totalEdges / n
+	if inDeg < 1 {
+		inDeg = 1
+	}
+	pHigh := float64(nHigh*highDeg) / float64(totalEdges)
+	coo := &sparse.COO{NumRows: n, NumCols: n}
+	seen := make(map[int32]struct{}, inDeg)
+	for r := 0; r < n; r++ {
+		clear(seen)
+		for len(seen) < inDeg {
+			var c int32
+			if rng.Float64() < pHigh {
+				c = int32(rng.Intn(nHigh))
+			} else {
+				c = int32(nHigh + rng.Intn(n-nHigh))
+			}
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			coo.Row = append(coo.Row, int32(r))
+			coo.Col = append(coo.Col, c)
+		}
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic("graphgen: TwoTier produced invalid COO: " + err.Error())
+	}
+	return csr
+}
+
+// Scale selects benchmark sizing. Quick keeps the suite laptop-friendly;
+// Full is closer to (but still well below) paper scale.
+type Scale int
+
+// Benchmark scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// ProteinsLike returns the ogbn-proteins analogue: a biological-style
+// skewed graph. Paper: |V|=132.5K, avg degree 597. Quick: |V|=4K, avg
+// degree 120 (~480K edges); Full: |V|=16K, avg degree 300 (~4.8M edges).
+func ProteinsLike(rng *rand.Rand, sc Scale) Dataset {
+	if sc == Full {
+		return Dataset{"ogbn-proteins-like", Skewed(rng, 16000, 300, 1.5)}
+	}
+	return Dataset{"ogbn-proteins-like", Skewed(rng, 4000, 120, 1.5)}
+}
+
+// RedditLike returns the reddit analogue: a social-style skewed graph.
+// Paper: |V|=233K, avg degree 493. Quick: |V|=6K, avg degree 130 (~780K
+// edges); Full: |V|=24K, avg degree 260 (~6.2M edges).
+func RedditLike(rng *rand.Rand, sc Scale) Dataset {
+	if sc == Full {
+		return Dataset{"reddit-like", Skewed(rng, 24000, 260, 1.4)}
+	}
+	return Dataset{"reddit-like", Skewed(rng, 6000, 130, 1.4)}
+}
+
+// Rand100K returns the paper's rand-100K recipe (20% of vertices at 20×
+// the degree of the remaining 80%). Quick: |V|=5K with tiers 200/10
+// (~280K edges); Full: |V|=20K with tiers 400/20 (~2.2M edges).
+func Rand100K(rng *rand.Rand, sc Scale) Dataset {
+	if sc == Full {
+		return Dataset{"rand-100K-like", TwoTier(rng, 20000, 0.2, 400, 20)}
+	}
+	return Dataset{"rand-100K-like", TwoTier(rng, 5000, 0.2, 200, 10)}
+}
+
+// Benchmarks returns the three evaluation graphs of Tables III and IV.
+func Benchmarks(rng *rand.Rand, sc Scale) []Dataset {
+	return []Dataset{ProteinsLike(rng, sc), RedditLike(rng, sc), Rand100K(rng, sc)}
+}
+
+// Classified is a vertex-classification dataset for the end-to-end
+// experiments: a graph with planted communities, features carrying a noisy
+// class signal, labels, and train/validation/test splits (the paper's
+// reddit split ratios: ~66%/10%/24%).
+type Classified struct {
+	Adj        *sparse.CSR
+	Features   *tensor.Tensor
+	Labels     []int
+	NumClasses int
+	TrainMask  []bool
+	ValMask    []bool
+	TestMask   []bool
+}
+
+// PlantedCommunities builds an n-vertex, numClasses-community graph where
+// each vertex draws inDeg neighbours from its own community and outDeg
+// from others, with d-dimensional features equal to a class centroid plus
+// uniform noise.
+func PlantedCommunities(rng *rand.Rand, n, numClasses, inDeg, outDeg, d int) *Classified {
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v % numClasses
+	}
+	members := make([][]int32, numClasses)
+	for v := 0; v < n; v++ {
+		members[labels[v]] = append(members[labels[v]], int32(v))
+	}
+	coo := &sparse.COO{NumRows: n, NumCols: n}
+	seen := make(map[int32]struct{}, inDeg+outDeg)
+	for v := 0; v < n; v++ {
+		clear(seen)
+		own := members[labels[v]]
+		for len(seen) < inDeg {
+			c := own[rng.Intn(len(own))]
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			coo.Row = append(coo.Row, int32(v))
+			coo.Col = append(coo.Col, c)
+		}
+		for len(seen) < inDeg+outDeg {
+			c := int32(rng.Intn(n))
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			coo.Row = append(coo.Row, int32(v))
+			coo.Col = append(coo.Col, c)
+		}
+	}
+	adj, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic("graphgen: PlantedCommunities produced invalid COO: " + err.Error())
+	}
+
+	// Class centroids: orthogonal-ish random directions.
+	centroids := tensor.New(numClasses, d)
+	centroids.FillUniform(rng, -1, 1)
+	feats := tensor.New(n, d)
+	for v := 0; v < n; v++ {
+		row := feats.Row(v)
+		c := centroids.Row(labels[v])
+		for f := range row {
+			row[f] = c[f] + 0.9*(rng.Float32()*2-1)
+		}
+	}
+
+	ds := &Classified{
+		Adj:        adj,
+		Features:   feats,
+		Labels:     labels,
+		NumClasses: numClasses,
+		TrainMask:  make([]bool, n),
+		ValMask:    make([]bool, n),
+		TestMask:   make([]bool, n),
+	}
+	perm := rng.Perm(n)
+	nTrain := n * 66 / 100
+	nVal := n * 10 / 100
+	for i, v := range perm {
+		switch {
+		case i < nTrain:
+			ds.TrainMask[v] = true
+		case i < nTrain+nVal:
+			ds.ValMask[v] = true
+		default:
+			ds.TestMask[v] = true
+		}
+	}
+	return ds
+}

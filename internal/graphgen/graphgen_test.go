@@ -1,0 +1,147 @@
+package graphgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"featgraph/internal/partition"
+)
+
+func TestUniformDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Uniform(rng, 100, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < g.NumRows; r++ {
+		if g.RowDegree(r) != 7 {
+			t.Fatalf("row %d degree %d", r, g.RowDegree(r))
+		}
+	}
+}
+
+func TestSkewedHasHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Skewed(rng, 500, 20, 1.5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := partition.ColumnDegrees(g)
+	sorted := append([]int32(nil), deg...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	// Top 10% of columns should hold well over 10% of edges.
+	topSum := int32(0)
+	for _, d := range sorted[:50] {
+		topSum += d
+	}
+	if float64(topSum) < 0.3*float64(g.NNZ()) {
+		t.Fatalf("skew too weak: top 10%% hold %d of %d edges", topSum, g.NNZ())
+	}
+}
+
+func TestTwoTierColumnDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := TwoTier(rng, 1000, 0.2, 100, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := partition.ColumnDegrees(g)
+	nHigh := 200
+	var highSum, lowSum float64
+	for c, d := range deg {
+		if c < nHigh {
+			highSum += float64(d)
+		} else {
+			lowSum += float64(d)
+		}
+	}
+	highAvg := highSum / float64(nHigh)
+	lowAvg := lowSum / float64(1000-nHigh)
+	if highAvg < 5*lowAvg {
+		t.Fatalf("tier separation too weak: high avg %.1f, low avg %.1f", highAvg, lowAvg)
+	}
+}
+
+func TestNamedDatasets(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, ds := range Benchmarks(rng, Quick) {
+		if ds.Name == "" {
+			t.Fatal("dataset missing name")
+		}
+		if err := ds.Adj.Validate(); err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if ds.Adj.NNZ() < 100000 {
+			t.Fatalf("%s too small: %d edges", ds.Name, ds.Adj.NNZ())
+		}
+	}
+}
+
+func TestPlantedCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, classes, d = 300, 3, 16
+	ds := PlantedCommunities(rng, n, classes, 8, 2, d)
+	if err := ds.Adj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Labels) != n || ds.NumClasses != classes {
+		t.Fatal("labels wrong")
+	}
+	// Masks partition the vertices.
+	nTrain, nVal, nTest := 0, 0, 0
+	for v := 0; v < n; v++ {
+		c := 0
+		if ds.TrainMask[v] {
+			c++
+			nTrain++
+		}
+		if ds.ValMask[v] {
+			c++
+			nVal++
+		}
+		if ds.TestMask[v] {
+			c++
+			nTest++
+		}
+		if c != 1 {
+			t.Fatalf("vertex %d in %d masks", v, c)
+		}
+	}
+	if nTrain < n/2 || nVal == 0 || nTest == 0 {
+		t.Fatalf("split sizes %d/%d/%d", nTrain, nVal, nTest)
+	}
+	// Homophily: most edges connect same-class vertices.
+	same, diff := 0, 0
+	for r := 0; r < n; r++ {
+		for p := ds.Adj.RowPtr[r]; p < ds.Adj.RowPtr[r+1]; p++ {
+			if ds.Labels[r] == ds.Labels[ds.Adj.ColIdx[p]] {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if same <= 2*diff {
+		t.Fatalf("homophily too weak: %d same vs %d diff", same, diff)
+	}
+	// Features correlate with class: same-class vertices are closer to
+	// their centroid than to others on average — spot-check via feature
+	// dimension count.
+	if ds.Features.Dim(0) != n || ds.Features.Dim(1) != d {
+		t.Fatal("feature shape wrong")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Uniform(rand.New(rand.NewSource(7)), 50, 5)
+	b := Uniform(rand.New(rand.NewSource(7)), 50, 5)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("nondeterministic columns")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package graphio serializes graphs and feature tensors in a compact
+// binary format, so generated benchmark datasets can be produced once
+// (cmd/featgen) and reloaded across runs instead of being regenerated.
+//
+// Format (little-endian):
+//
+//	magic "FGG1" | numRows u32 | numCols u32 | nnz u32 |
+//	rowPtr [numRows+1]u32 | colIdx [nnz]u32 | eid [nnz]u32 | val [nnz]f32
+//
+// Tensors use magic "FGT1" followed by rank, dims and raw float32 data.
+// Readers validate structure and fail loudly on corruption.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+var (
+	graphMagic  = [4]byte{'F', 'G', 'G', '1'}
+	tensorMagic = [4]byte{'F', 'G', 'T', '1'}
+)
+
+// WriteGraph serializes a CSR matrix.
+func WriteGraph(w io.Writer, g *sparse.CSR) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("graphio: refusing to write invalid graph: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(graphMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(g.NumRows), uint32(g.NumCols), uint32(g.NNZ())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{g.RowPtr, g.ColIdx, g.EID} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Val); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadGraph deserializes a CSR matrix, validating structure.
+func ReadGraph(r io.Reader) (*sparse.CSR, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if magic != graphMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q (want %q)", magic, graphMagic)
+	}
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graphio: reading header: %w", err)
+	}
+	numRows, numCols, nnz := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	const maxDim = 1 << 30
+	if numRows > maxDim || numCols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("graphio: implausible header %v", hdr)
+	}
+	g := &sparse.CSR{
+		NumRows: numRows,
+		NumCols: numCols,
+		RowPtr:  make([]int32, numRows+1),
+		ColIdx:  make([]int32, nnz),
+		EID:     make([]int32, nnz),
+		Val:     make([]float32, nnz),
+	}
+	for _, arr := range [][]int32{g.RowPtr, g.ColIdx, g.EID} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("graphio: reading arrays: %w", err)
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Val); err != nil {
+		return nil, fmt.Errorf("graphio: reading values: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: corrupt graph: %w", err)
+	}
+	return g, nil
+}
+
+// WriteTensor serializes a dense tensor.
+func WriteTensor(w io.Writer, t *tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(tensorMagic[:]); err != nil {
+		return err
+	}
+	shape := t.Shape()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Data()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTensor deserializes a dense tensor.
+func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if magic != tensorMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q (want %q)", magic, tensorMagic)
+	}
+	var rank uint32
+	if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+		return nil, err
+	}
+	if rank > 8 {
+		return nil, fmt.Errorf("graphio: implausible rank %d", rank)
+	}
+	shape := make([]int, rank)
+	total := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d > 1<<30 || (total > 0 && int(d) > math.MaxInt32/max(total, 1)) {
+			return nil, fmt.Errorf("graphio: implausible dimension %d", d)
+		}
+		shape[i] = int(d)
+		total *= int(d)
+	}
+	t := tensor.New(shape...)
+	if err := binary.Read(br, binary.LittleEndian, t.Data()); err != nil {
+		return nil, fmt.Errorf("graphio: reading data: %w", err)
+	}
+	return t, nil
+}
+
+// SaveGraph writes a graph to a file.
+func SaveGraph(path string, g *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGraph reads a graph from a file.
+func LoadGraph(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// SaveTensor writes a tensor to a file.
+func SaveTensor(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTensor(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTensor reads a tensor from a file.
+func LoadTensor(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTensor(f)
+}

@@ -1,0 +1,162 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := sparse.Random(rng, 50, 40, 6)
+	for i := range g.Val {
+		g.Val[i] = rng.Float32()
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows != g.NumRows || got.NumCols != g.NumCols || got.NNZ() != g.NNZ() {
+		t.Fatal("dimensions changed")
+	}
+	for i := range g.ColIdx {
+		if got.ColIdx[i] != g.ColIdx[i] || got.EID[i] != g.EID[i] || got.Val[i] != g.Val[i] {
+			t.Fatalf("entry %d changed", i)
+		}
+	}
+}
+
+func TestGraphRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := sparse.Random(rng, 1+rng.Intn(30), 1+rng.Intn(30), 1+rng.Intn(4))
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		return got.NNZ() == g.NNZ() && got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(7, 3, 2)
+	x.FillUniform(rng, -5, 5)
+	var buf bytes.Buffer
+	if err := WriteTensor(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AllClose(x, 0) {
+		t.Fatal("tensor changed in round trip")
+	}
+	if got.Rank() != 3 || got.Dim(2) != 2 {
+		t.Fatal("shape changed")
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := sparse.Random(rng, 10, 10, 2)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated.
+	if _, err := ReadGraph(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncation should fail")
+	}
+	// Corrupt a column index beyond NumCols (first colIdx word sits after
+	// magic + 3 header words + rowPtr words).
+	off := 4 + 3*4 + (g.NumRows+1)*4
+	bad = append([]byte(nil), data...)
+	bad[off] = 0xFF
+	bad[off+1] = 0xFF
+	bad[off+2] = 0xFF
+	bad[off+3] = 0x7F
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt column index should fail validation")
+	}
+	// Wrong magic kind.
+	x := tensor.New(2, 2)
+	var tbuf bytes.Buffer
+	if err := WriteTensor(&tbuf, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGraph(bytes.NewReader(tbuf.Bytes())); err == nil {
+		t.Error("tensor bytes should not parse as graph")
+	}
+	if _, err := ReadTensor(bytes.NewReader(data)); err == nil {
+		t.Error("graph bytes should not parse as tensor")
+	}
+}
+
+func TestWriteRejectsInvalidGraph(t *testing.T) {
+	bad := &sparse.CSR{NumRows: 2, NumCols: 2, RowPtr: []int32{0, 5, 1}}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, bad); err == nil {
+		t.Fatal("invalid graph should be rejected at write time")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	g := sparse.Random(rng, 20, 20, 3)
+	gp := filepath.Join(dir, "g.fgg")
+	if err := SaveGraph(gp, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != g.NNZ() {
+		t.Fatal("file round trip changed graph")
+	}
+
+	x := tensor.New(4, 4)
+	x.FillUniform(rng, 0, 1)
+	tp := filepath.Join(dir, "x.fgt")
+	if err := SaveTensor(tp, x); err != nil {
+		t.Fatal(err)
+	}
+	gotT, err := LoadTensor(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotT.AllClose(x, 0) {
+		t.Fatal("file round trip changed tensor")
+	}
+
+	if _, err := LoadGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

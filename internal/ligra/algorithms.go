@@ -1,0 +1,163 @@
+package ligra
+
+import (
+	"sync/atomic"
+
+	"featgraph/internal/sparse"
+)
+
+// Classic graph algorithms, demonstrating that the framework is a faithful
+// Ligra: frontier-driven traversal with push/pull switching. These also
+// serve as correctness anchors for EdgeMap/VertexMap.
+
+// BFS returns the hop distance from root to every vertex (-1 when
+// unreachable), traversing out-edges.
+func BFS(g *Graph, root int32, threads int) []int32 {
+	dist := make([]int32, g.N)
+	parent := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[root] = 0
+	parent[root] = root
+	frontier := NewFrontier(g.N)
+	frontier.Add(root)
+	level := int32(0)
+	for frontier.Count() > 0 {
+		level++
+		lv := level
+		frontier = EdgeMap(g, frontier, func(src, dst, eid int32) bool {
+			// Ligra's BFS update: claim the vertex with CAS; only the
+			// winner adds it to the next frontier.
+			if CompareAndSwapInt32(&parent[dst], -1, src) {
+				atomic.StoreInt32(&dist[dst], lv)
+				return true
+			}
+			return false
+		}, func(v int32) bool {
+			return atomic.LoadInt32(&parent[v]) == -1
+		}, threads)
+	}
+	return dist
+}
+
+// PageRank runs iters rounds of damped PageRank over in-edges with a full
+// frontier each round (the classic dense-mode Ligra workload). Dangling
+// mass is redistributed uniformly so ranks always sum to 1.
+func PageRank(g *Graph, iters int, damping float64, threads int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	outDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		rank[v] = 1 / float64(n)
+		outDeg[v] = int(g.Out.ColPtr[v+1] - g.Out.ColPtr[v])
+	}
+	for it := 0; it < iters; it++ {
+		contrib := make([]float64, n)
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if outDeg[v] > 0 {
+				contrib[v] = rank[v] / float64(outDeg[v])
+			} else {
+				dangling += rank[v]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := range next {
+			next[v] = 0
+		}
+		EdgeMap(g, FullFrontier(n), func(src, dst, eid int32) bool {
+			next[dst] += contrib[src] // pull mode: dst-exclusive, no races
+			return false
+		}, nil, threads)
+		for v := 0; v < n; v++ {
+			rank[v] = base + damping*next[v]
+		}
+	}
+	return rank
+}
+
+// ConnectedComponents labels every vertex with the minimum vertex id
+// reachable from it treating edges as undirected, via Ligra-style label
+// propagation: each round, active vertices push their label to neighbours
+// in both directions; vertices whose label shrank form the next frontier.
+func ConnectedComponents(g *Graph, threads int) []int32 {
+	label := make([]int32, g.N)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	frontier := FullFrontier(g.N)
+	// Propagate over both edge directions by iterating the graph and its
+	// reverse; build the reversed view once.
+	rev := &Graph{In: nil, Out: nil, N: g.N}
+	revCSR := &sparse.CSR{
+		NumRows: g.N, NumCols: g.N,
+		RowPtr: g.Out.ColPtr, ColIdx: g.Out.RowIdx, EID: g.Out.EID, Val: g.Out.Val,
+	}
+	rev.In = revCSR
+	rev.Out = revCSR.ToCSC()
+
+	update := func(src, dst, eid int32) bool {
+		for {
+			old := atomic.LoadInt32(&label[dst])
+			nw := atomic.LoadInt32(&label[src])
+			if nw >= old {
+				return false
+			}
+			if atomic.CompareAndSwapInt32(&label[dst], old, nw) {
+				return true
+			}
+		}
+	}
+	for frontier.Count() > 0 {
+		a := EdgeMap(g, frontier, update, nil, threads)
+		b := EdgeMap(rev, frontier, update, nil, threads)
+		next := NewFrontier(g.N)
+		for _, v := range a.Vertices() {
+			next.Add(v)
+		}
+		for _, v := range b.Vertices() {
+			next.Add(v)
+		}
+		frontier = next
+	}
+	return label
+}
+
+// KCore returns the core number of every vertex of the undirected view of
+// g (degree = in + out), by iterative peeling.
+func KCore(g *Graph) []int32 {
+	deg := make([]int32, g.N)
+	for v := 0; v < g.N; v++ {
+		deg[v] = g.In.RowPtr[v+1] - g.In.RowPtr[v] + g.Out.ColPtr[v+1] - g.Out.ColPtr[v]
+	}
+	core := make([]int32, g.N)
+	removed := make([]bool, g.N)
+	remaining := g.N
+	k := int32(0)
+	for remaining > 0 {
+		peeled := false
+		for v := 0; v < g.N; v++ {
+			if removed[v] || deg[v] > k {
+				continue
+			}
+			removed[v] = true
+			core[v] = k
+			remaining--
+			peeled = true
+			// Lower neighbours' degrees in both directions.
+			for p := g.In.RowPtr[v]; p < g.In.RowPtr[v+1]; p++ {
+				deg[g.In.ColIdx[p]]--
+			}
+			for q := g.Out.ColPtr[v]; q < g.Out.ColPtr[v+1]; q++ {
+				deg[g.Out.RowIdx[q]]--
+			}
+		}
+		if !peeled {
+			k++
+		}
+	}
+	return core
+}

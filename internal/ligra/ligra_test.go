@@ -1,0 +1,335 @@
+package ligra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func randGraph(t *testing.T, seed int64, n, deg int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return NewGraph(sparse.Random(rng, n, n, deg))
+}
+
+func TestFrontierBasics(t *testing.T) {
+	f := NewFrontier(5)
+	if f.Count() != 0 {
+		t.Fatal("new frontier not empty")
+	}
+	f.Add(2)
+	f.Add(2)
+	f.Add(4)
+	if f.Count() != 2 || !f.Has(2) || !f.Has(4) || f.Has(0) {
+		t.Fatalf("frontier state wrong: %v", f.Vertices())
+	}
+	vs := f.Vertices()
+	if len(vs) != 2 || vs[0] != 2 || vs[1] != 4 {
+		t.Fatalf("Vertices = %v", vs)
+	}
+	full := FullFrontier(5)
+	if full.Count() != 5 {
+		t.Fatal("FullFrontier wrong")
+	}
+}
+
+func TestEdgeMapVisitsEveryEdgeOnceFullFrontier(t *testing.T) {
+	g := randGraph(t, 1, 30, 4)
+	for _, threads := range []int{1, 4} {
+		visited := make([]int32, g.In.NNZ())
+		EdgeMap(g, FullFrontier(g.N), func(src, dst, eid int32) bool {
+			visited[eid]++ // pull mode: dst rows exclusive per goroutine,
+			// but eids are globally unique so this is race-free anyway
+			return false
+		}, nil, threads)
+		for e, c := range visited {
+			if c != 1 {
+				t.Fatalf("threads=%d: edge %d visited %d times", threads, e, c)
+			}
+		}
+	}
+}
+
+func TestEdgeMapPushMode(t *testing.T) {
+	// A sparse frontier forces push mode; verify only that subset's
+	// out-edges fire.
+	coo := &sparse.COO{NumRows: 6, NumCols: 6,
+		Row: []int32{1, 2, 3, 4, 5, 0},
+		Col: []int32{0, 0, 1, 1, 2, 3},
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(csr)
+	f := NewFrontier(6)
+	f.Add(0) // vertex 0 has out-edges to 1 and 2
+	var fired []int32
+	next := EdgeMap(g, f, func(src, dst, eid int32) bool {
+		fired = append(fired, dst)
+		return true
+	}, nil, 1)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if next.Count() != 2 || !next.Has(1) || !next.Has(2) {
+		t.Fatalf("next frontier = %v", next.Vertices())
+	}
+}
+
+func TestEdgeMapCondFilters(t *testing.T) {
+	g := randGraph(t, 2, 20, 3)
+	calls := 0
+	EdgeMap(g, FullFrontier(g.N), func(src, dst, eid int32) bool {
+		calls++
+		if dst%2 != 0 {
+			t.Fatalf("cond violated: dst %d", dst)
+		}
+		return false
+	}, func(v int32) bool { return v%2 == 0 }, 1)
+	if calls == 0 {
+		t.Fatal("no edges passed the filter")
+	}
+}
+
+func TestVertexMap(t *testing.T) {
+	f := FullFrontier(10)
+	next := VertexMap(f, func(v int32) bool { return v >= 7 }, 2)
+	if next.Count() != 3 || !next.Has(7) || !next.Has(9) {
+		t.Fatalf("VertexMap result = %v", next.Vertices())
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := randGraph(t, 3, 50, 3)
+	for _, threads := range []int{1, 4} {
+		got := BFS(g, 0, threads)
+		want := refBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// refBFS is a queue-based reference over out-edges.
+func refBFS(g *Graph, root int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int32{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for q := g.Out.ColPtr[v]; q < g.Out.ColPtr[v+1]; q++ {
+			u := g.Out.RowIdx[q]
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := randGraph(t, 4, 40, 4)
+	pr := PageRank(g, 20, 0.85, 2)
+	sum := 0.0
+	for _, r := range pr {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankFavorsHighInDegree(t *testing.T) {
+	// Star graph: everyone links to vertex 0.
+	coo := &sparse.COO{NumRows: 10, NumCols: 10}
+	for v := int32(1); v < 10; v++ {
+		coo.Row = append(coo.Row, 0)
+		coo.Col = append(coo.Col, v)
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(csr)
+	pr := PageRank(g, 30, 0.85, 1)
+	for v := 1; v < 10; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf rank %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestGCNAggregationMatchesFeatGraphReference(t *testing.T) {
+	g := randGraph(t, 5, 30, 4)
+	const d = 8
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(g.N, d)
+	x.FillUniform(rng, -1, 1)
+	want, err := core.ReferenceSpMM(g.In, expr.CopySrc(g.N, d), []*tensor.Tensor{x}, core.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		out := tensor.New(g.N, d)
+		GCNAggregation(g, x, out, threads)
+		if !out.AllClose(want, 1e-4) {
+			t.Fatalf("threads=%d: max diff %v", threads, out.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMLPAggregationMatchesFeatGraphReference(t *testing.T) {
+	g := randGraph(t, 7, 25, 3)
+	const d1, d2 = 8, 12
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(g.N, d1)
+	w := tensor.New(d1, d2)
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -1, 1)
+	want, err := core.ReferenceSpMM(g.In, expr.MLPMessage(g.N, d1, d2), []*tensor.Tensor{x, w}, core.AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		out := tensor.New(g.N, d2)
+		MLPAggregation(g, x, w, out, threads)
+		if !out.AllClose(want, 1e-3) {
+			t.Fatalf("threads=%d: max diff %v", threads, out.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestDotAttentionMatchesFeatGraphReference(t *testing.T) {
+	g := randGraph(t, 9, 30, 4)
+	const d = 16
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.New(g.N, d)
+	x.FillUniform(rng, -1, 1)
+	want, err := core.ReferenceSDDMM(g.In, expr.DotAttention(g.N, d), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		att := tensor.New(g.In.NNZ(), 1)
+		DotAttention(g, x, att, threads)
+		if !att.AllClose(want, 1e-3) {
+			t.Fatalf("threads=%d: max diff %v", threads, att.MaxAbsDiff(want))
+		}
+	}
+}
+
+// refComponents computes undirected connected components with union-find.
+func refComponents(g *Graph) []int32 {
+	parent := make([]int32, g.N)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	var find func(int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for r := 0; r < g.N; r++ {
+		for p := g.In.RowPtr[r]; p < g.In.RowPtr[r+1]; p++ {
+			union(int32(r), g.In.ColIdx[p])
+		}
+	}
+	out := make([]int32, g.N)
+	for v := range out {
+		out[v] = find(int32(v))
+	}
+	return out
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	// A graph of several disjoint chains plus isolated vertices.
+	coo := &sparse.COO{NumRows: 12, NumCols: 12,
+		Row: []int32{1, 2, 5, 7, 8},
+		Col: []int32{0, 1, 4, 6, 7},
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(csr)
+	for _, threads := range []int{1, 3} {
+		got := ConnectedComponents(g, threads)
+		want := refComponents(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("threads=%d: label[%d] = %d, want %d (got %v)", threads, v, got[v], want[v], got)
+			}
+		}
+	}
+	// Random graphs: component partitions must match (same label ↔ same
+	// reference label).
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph(sparse.Random(rng, 40, 40, 1))
+		got := ConnectedComponents(g, 2)
+		want := refComponents(g)
+		for a := 0; a < g.N; a++ {
+			for b := a + 1; b < g.N; b++ {
+				if (got[a] == got[b]) != (want[a] == want[b]) {
+					t.Fatalf("seed %d: partition differs at (%d,%d)", seed, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// A triangle (0,1,2) hanging off a chain 2→3→4: the triangle's
+	// vertices have undirected degree ≥ 2, the tail decays.
+	coo := &sparse.COO{NumRows: 5, NumCols: 5,
+		Row: []int32{1, 2, 0, 3, 4},
+		Col: []int32{0, 1, 2, 2, 3},
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(csr)
+	core := KCore(g)
+	if core[4] != 1 {
+		t.Fatalf("tail end core = %d, want 1", core[4])
+	}
+	if core[0] != 2 || core[1] != 2 {
+		t.Fatalf("triangle cores = %v, want 2s", core[:3])
+	}
+	// Core numbers never exceed degeneracy bound: max core <= max degree.
+	for v, c := range core {
+		deg := int32(g.In.RowDegree(v)) + g.Out.ColPtr[v+1] - g.Out.ColPtr[v]
+		if c > deg {
+			t.Fatalf("core[%d]=%d exceeds degree %d", v, c, deg)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package mkl
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func TestCSRMMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, d = 40, 16
+	a := sparse.Random(rng, n, n, 5)
+	x := tensor.New(n, d)
+	x.FillUniform(rng, -1, 1)
+	want, err := core.ReferenceSpMM(a, expr.CopySrc(n, d), []*tensor.Tensor{x}, core.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{0, 1, 4, 100} {
+		out := tensor.New(n, d)
+		if err := CSRMM(a, x, out, threads); err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllClose(want, 1e-4) {
+			t.Fatalf("threads=%d: max diff %v", threads, out.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestCSRMMUsesValues(t *testing.T) {
+	// A single edge with weight 2.5 must scale the feature row.
+	coo := &sparse.COO{NumRows: 2, NumCols: 2,
+		Row: []int32{1}, Col: []int32{0}, Val: []float32{2.5}}
+	a, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	out := tensor.New(2, 2)
+	if err := CSRMM(a, x, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(1, 0) != 2.5 || out.At(1, 1) != 5 {
+		t.Fatalf("weighted row = %v", out.Row(1))
+	}
+	if out.At(0, 0) != 0 {
+		t.Fatal("empty row should be zero")
+	}
+}
+
+func TestCSRMMRejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := sparse.Random(rng, 4, 4, 2)
+	if err := CSRMM(a, tensor.New(5, 3), tensor.New(4, 3), 1); err == nil {
+		t.Error("X row mismatch should error")
+	}
+	if err := CSRMM(a, tensor.New(4, 3), tensor.New(4, 4), 1); err == nil {
+		t.Error("out shape mismatch should error")
+	}
+	if err := CSRMM(a, tensor.New(12), tensor.New(4, 3), 1); err == nil {
+		t.Error("rank-1 input should error")
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/dgl"
+	"featgraph/internal/tensor"
+)
+
+// MultiHeadGAT is a 2-layer GAT with h attention heads per layer — the
+// standard GAT formulation, and the multi-head edge computation the
+// paper's Figure 4b expresses. Layer 1 concatenates head outputs; layer 2
+// averages them (the original GAT's output-layer convention).
+type MultiHeadGAT struct {
+	g      *dgl.Graph
+	heads  int
+	w1, w2 *tensor.Tensor
+
+	dots1, dots2   []*dgl.DotOp
+	wsums1, wsums2 []*dgl.WeightedSumOp
+}
+
+// NewMultiHeadGAT builds a 2-layer GAT with the given head count. hidden
+// is the per-head width of layer 1; layer 2 uses one set of out-width
+// heads whose results are averaged.
+func NewMultiHeadGAT(g *dgl.Graph, in, hidden, out, heads int, rng *rand.Rand) (*MultiHeadGAT, error) {
+	if heads < 1 {
+		return nil, fmt.Errorf("nn: multi-head GAT needs >= 1 head, got %d", heads)
+	}
+	m := &MultiHeadGAT{
+		g:     g,
+		heads: heads,
+		w1:    tensor.New(in, heads*hidden),
+		w2:    tensor.New(heads*hidden, heads*out),
+	}
+	m.w1.FillGlorot(rng)
+	m.w2.FillGlorot(rng)
+	for h := 0; h < heads; h++ {
+		d1, err := g.NewDot(hidden)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 1 head %d attention: %w", h, err)
+		}
+		s1, err := g.NewWeightedSum(hidden)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 1 head %d aggregation: %w", h, err)
+		}
+		d2, err := g.NewDot(out)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 2 head %d attention: %w", h, err)
+		}
+		s2, err := g.NewWeightedSum(out)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 2 head %d aggregation: %w", h, err)
+		}
+		m.dots1 = append(m.dots1, d1)
+		m.wsums1 = append(m.wsums1, s1)
+		m.dots2 = append(m.dots2, d2)
+		m.wsums2 = append(m.wsums2, s2)
+	}
+	return m, nil
+}
+
+// headOutputs runs every head of one layer on its feature slice.
+func (m *MultiHeadGAT) headOutputs(tp *autodiff.Tape, x, w *autodiff.Var, dots []*dgl.DotOp, wsums []*dgl.WeightedSumOp) []*autodiff.Var {
+	z := m.g.DenseMatMul(tp, x, w)
+	zs := tp.SplitCols(z, m.heads)
+	outs := make([]*autodiff.Var, m.heads)
+	for h := 0; h < m.heads; h++ {
+		d := zs[h].Value.Dim(1)
+		att := tp.Scale(tp.LeakyReLU(dots[h].Apply(tp, zs[h], zs[h]), 0.2), float32(1/math.Sqrt(float64(d))))
+		alpha := m.g.EdgeSoftmax(tp, att)
+		outs[h] = wsums[h].Apply(tp, zs[h], alpha)
+	}
+	return outs
+}
+
+// Forward computes the multi-head GAT logits: layer 1 concatenates heads,
+// layer 2 averages them.
+func (m *MultiHeadGAT) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
+	w1, w2 := tp.Param(m.w1), tp.Param(m.w2)
+	h1 := tp.ReLU(tp.ConcatCols(m.headOutputs(tp, tp.Input(x), w1, m.dots1, m.wsums1)))
+	heads2 := m.headOutputs(tp, h1, w2, m.dots2, m.wsums2)
+	sum := heads2[0]
+	for _, hv := range heads2[1:] {
+		sum = tp.Add(sum, hv)
+	}
+	logits := tp.Scale(sum, 1/float32(m.heads))
+	return logits, []*autodiff.Var{w1, w2}
+}
+
+// Params returns the trainable tensors.
+func (m *MultiHeadGAT) Params() []*tensor.Tensor { return []*tensor.Tensor{m.w1, m.w2} }
+
+// Name returns "gat-multihead".
+func (m *MultiHeadGAT) Name() string { return "gat-multihead" }

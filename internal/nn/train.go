@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/tensor"
+)
+
+// Adam is the Adam optimizer with per-tensor first/second moment state.
+type Adam struct {
+	LR    float32
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m map[*tensor.Tensor]*tensor.Tensor
+	v map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with the standard betas.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*tensor.Tensor]*tensor.Tensor),
+		v: make(map[*tensor.Tensor]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update using the gradients accumulated on vars.
+// Vars without gradients are skipped.
+func (a *Adam) Step(vars []*autodiff.Var) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, v := range vars {
+		grad := v.Grad()
+		if grad == nil {
+			continue
+		}
+		p := v.Value
+		mt, ok := a.m[p]
+		if !ok {
+			mt = tensor.New(p.Shape()...)
+			a.m[p] = mt
+			a.v[p] = tensor.New(p.Shape()...)
+		}
+		vt := a.v[p]
+		pd, gd, md, vd := p.Data(), grad.Data(), mt.Data(), vt.Data()
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i := range pd {
+			g := gd[i]
+			md[i] = b1*md[i] + (1-b1)*g
+			vd[i] = b2*vd[i] + (1-b2)*g*g
+			mhat := float64(md[i]) / bc1
+			vhat := float64(vd[i]) / bc2
+			pd[i] -= a.LR * float32(mhat/(math.Sqrt(vhat)+a.Eps))
+		}
+	}
+}
+
+// TrainEpoch runs one full-graph epoch: forward, masked cross-entropy,
+// backward, Adam step. Returns the training loss.
+func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (float64, error) {
+	tp := autodiff.NewTape()
+	logits, params := m.Forward(tp, x)
+	loss := tp.CrossEntropyLoss(logits, labels, mask)
+	if err := tp.Backward(loss); err != nil {
+		return 0, err
+	}
+	opt.Step(params)
+	return float64(loss.Value.Data()[0]), nil
+}
+
+// Infer runs a forward pass and returns the logits tensor.
+func Infer(m Model, x *tensor.Tensor) *tensor.Tensor {
+	tp := autodiff.NewTape()
+	logits, _ := m.Forward(tp, x)
+	return logits.Value
+}
+
+// Evaluate returns classification accuracy over the masked vertices.
+func Evaluate(m Model, x *tensor.Tensor, labels []int, mask []bool) float64 {
+	return autodiff.Accuracy(Infer(m, x), labels, mask)
+}

@@ -1,0 +1,208 @@
+// Package partition implements the graph-traversal optimizations FeatGraph
+// builds into its sparse templates (§III-C1 and §III-C3 of the paper):
+//
+//   - 1D graph partitioning: split source vertices (CSR columns) into
+//     contiguous segments so each segment's feature rows fit in cache.
+//   - Feature dimension tiling: process the feature axis in tiles so more
+//     vertices fit in cache per segment, trading extra topology traversals
+//     for fewer intermediate merges (Figure 6).
+//   - Hybrid partitioning: reorder source vertices into low-degree and
+//     high-degree parts by a degree threshold and only partition the
+//     high-degree part into shared-memory-sized chunks (GPU, §III-C3).
+//   - Hilbert-curve edge ordering: traverse edges along a Hilbert curve so
+//     both source and destination feature accesses stay local (edge-wise
+//     computations, §III-C1).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"featgraph/internal/sparse"
+)
+
+// Range is a half-open interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of elements in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition1D is the result of 1D source-vertex partitioning: for each
+// column segment, a CSR containing only the edges whose source falls in
+// that segment. Column indices remain global so kernels index the original
+// feature matrix directly; locality follows from each segment's columns
+// spanning a narrow range.
+type Partition1D struct {
+	ColRanges []Range
+	Parts     []*sparse.CSR
+}
+
+// NumParts returns the number of column segments.
+func (p *Partition1D) NumParts() int { return len(p.Parts) }
+
+// OneD splits the columns of a into numParts contiguous, equal-width
+// segments and extracts the per-segment sub-matrices. numParts is clamped
+// to [1, NumCols]. Total edges are conserved across parts and each part's
+// rows remain sorted by column.
+func OneD(a *sparse.CSR, numParts int) *Partition1D {
+	if numParts < 1 {
+		numParts = 1
+	}
+	if numParts > a.NumCols && a.NumCols > 0 {
+		numParts = a.NumCols
+	}
+	boundaries := make([]int32, numParts+1)
+	for p := 0; p <= numParts; p++ {
+		boundaries[p] = int32(p * a.NumCols / numParts)
+	}
+	return byColumnBoundaries(a, boundaries)
+}
+
+// byColumnBoundaries extracts sub-CSRs for the column intervals
+// [boundaries[p], boundaries[p+1]). Rows of a must be sorted by column,
+// which sparse.FromCOO guarantees.
+func byColumnBoundaries(a *sparse.CSR, boundaries []int32) *Partition1D {
+	numParts := len(boundaries) - 1
+	out := &Partition1D{
+		ColRanges: make([]Range, numParts),
+		Parts:     make([]*sparse.CSR, numParts),
+	}
+	// rowStart[p][r] is the index of the first edge of row r with
+	// column >= boundaries[p], found by binary search within the row.
+	rowStart := make([][]int32, numParts+1)
+	for p := range rowStart {
+		rowStart[p] = make([]int32, a.NumRows)
+	}
+	for r := 0; r < a.NumRows; r++ {
+		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+		seg := a.ColIdx[lo:hi]
+		for p := 0; p <= numParts; p++ {
+			b := boundaries[p]
+			idx := sort.Search(len(seg), func(i int) bool { return seg[i] >= b })
+			rowStart[p][r] = lo + int32(idx)
+		}
+	}
+	for p := 0; p < numParts; p++ {
+		out.ColRanges[p] = Range{int(boundaries[p]), int(boundaries[p+1])}
+		nnz := 0
+		for r := 0; r < a.NumRows; r++ {
+			nnz += int(rowStart[p+1][r] - rowStart[p][r])
+		}
+		part := &sparse.CSR{
+			NumRows: a.NumRows,
+			NumCols: a.NumCols,
+			RowPtr:  make([]int32, a.NumRows+1),
+			ColIdx:  make([]int32, 0, nnz),
+			EID:     make([]int32, 0, nnz),
+			Val:     make([]float32, 0, nnz),
+		}
+		for r := 0; r < a.NumRows; r++ {
+			s, e := rowStart[p][r], rowStart[p+1][r]
+			part.ColIdx = append(part.ColIdx, a.ColIdx[s:e]...)
+			part.EID = append(part.EID, a.EID[s:e]...)
+			part.Val = append(part.Val, a.Val[s:e]...)
+			part.RowPtr[r+1] = int32(len(part.ColIdx))
+		}
+		out.Parts[p] = part
+	}
+	return out
+}
+
+// FeatureTiles splits a feature dimension of length d into contiguous tiles
+// of at most factor elements. factor <= 0 or factor >= d yields one tile.
+func FeatureTiles(d, factor int) []Range {
+	if factor <= 0 || factor >= d {
+		return []Range{{0, d}}
+	}
+	var tiles []Range
+	for lo := 0; lo < d; lo += factor {
+		hi := min(lo+factor, d)
+		tiles = append(tiles, Range{lo, hi})
+	}
+	return tiles
+}
+
+// ColumnDegrees returns, for each column of a, the number of stored
+// entries in that column (the out-degree of each source vertex).
+func ColumnDegrees(a *sparse.CSR) []int32 {
+	deg := make([]int32, a.NumCols)
+	for _, c := range a.ColIdx {
+		deg[c]++
+	}
+	return deg
+}
+
+// HybridPlan describes hybrid degree-based partitioning. Columns are
+// conceptually reordered into low-degree then high-degree; only the
+// high-degree section is partitioned into shared-memory-sized chunks.
+// Rather than physically permuting the matrix, the plan lists the actual
+// column ids of each chunk, and Parts holds the corresponding sub-matrices:
+// Parts[0] covers all low-degree columns; Parts[1:] each cover one
+// high-degree chunk whose feature rows fit in shared memory.
+type HybridPlan struct {
+	Threshold int32     // degree threshold separating low from high
+	LowCols   int       // number of low-degree columns
+	ChunkCols [][]int32 // column ids per high-degree chunk
+	Parts     []*sparse.CSR
+}
+
+// Hybrid builds a hybrid partitioning of a. Columns with degree >=
+// threshold are "high-degree" and are grouped into chunks of at most
+// chunkCols columns each (chunkCols = shared memory capacity / feature
+// tile length, decided by the caller). Low-degree columns form a single
+// unpartitioned part processed straight from global memory.
+func Hybrid(a *sparse.CSR, threshold int32, chunkCols int) (*HybridPlan, error) {
+	if chunkCols < 1 {
+		return nil, fmt.Errorf("partition: hybrid chunkCols must be >= 1, got %d", chunkCols)
+	}
+	deg := ColumnDegrees(a)
+	var low, high []int32
+	for c := int32(0); c < int32(a.NumCols); c++ {
+		if deg[c] >= threshold {
+			high = append(high, c)
+		} else {
+			low = append(low, c)
+		}
+	}
+	plan := &HybridPlan{Threshold: threshold, LowCols: len(low)}
+	for lo := 0; lo < len(high); lo += chunkCols {
+		hi := min(lo+chunkCols, len(high))
+		plan.ChunkCols = append(plan.ChunkCols, high[lo:hi])
+	}
+	lowSet := make([]bool, a.NumCols)
+	for _, c := range low {
+		lowSet[c] = true
+	}
+	plan.Parts = append(plan.Parts, extractColumns(a, func(c int32) bool { return lowSet[c] }))
+	for _, chunk := range plan.ChunkCols {
+		inChunk := make(map[int32]bool, len(chunk))
+		for _, c := range chunk {
+			inChunk[c] = true
+		}
+		plan.Parts = append(plan.Parts, extractColumns(a, func(c int32) bool { return inChunk[c] }))
+	}
+	return plan, nil
+}
+
+// extractColumns returns the sub-matrix of a containing exactly the edges
+// whose column satisfies keep. Column ids remain global.
+func extractColumns(a *sparse.CSR, keep func(int32) bool) *sparse.CSR {
+	part := &sparse.CSR{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		RowPtr:  make([]int32, a.NumRows+1),
+	}
+	for r := 0; r < a.NumRows; r++ {
+		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+			if keep(a.ColIdx[p]) {
+				part.ColIdx = append(part.ColIdx, a.ColIdx[p])
+				part.EID = append(part.EID, a.EID[p])
+				part.Val = append(part.Val, a.Val[p])
+			}
+		}
+		part.RowPtr[r+1] = int32(len(part.ColIdx))
+	}
+	return part
+}

@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Add stores a+b into dst elementwise and returns dst. dst may alias a or b.
+func Add(dst, a, b *Tensor) *Tensor {
+	checkSame3(dst, a, b, "Add")
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] + db[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst elementwise and returns dst.
+func Sub(dst, a, b *Tensor) *Tensor {
+	checkSame3(dst, a, b, "Sub")
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] - db[i]
+	}
+	return dst
+}
+
+// Mul stores a*b into dst elementwise and returns dst.
+func Mul(dst, a, b *Tensor) *Tensor {
+	checkSame3(dst, a, b, "Mul")
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] * db[i]
+	}
+	return dst
+}
+
+// Scale stores a*s into dst and returns dst.
+func Scale(dst, a *Tensor, s float32) *Tensor {
+	checkSame2(dst, a, "Scale")
+	da, dd := a.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] * s
+	}
+	return dst
+}
+
+// AXPY accumulates dst += a*s.
+func AXPY(dst, a *Tensor, s float32) *Tensor {
+	checkSame2(dst, a, "AXPY")
+	da, dd := a.data, dst.data
+	for i := range dd {
+		dd[i] += da[i] * s
+	}
+	return dst
+}
+
+// ReLU stores max(a, 0) into dst and returns dst.
+func ReLU(dst, a *Tensor) *Tensor {
+	checkSame2(dst, a, "ReLU")
+	da, dd := a.data, dst.data
+	for i := range dd {
+		if da[i] > 0 {
+			dd[i] = da[i]
+		} else {
+			dd[i] = 0
+		}
+	}
+	return dst
+}
+
+// MatMul computes dst = a × b for 2-D tensors, with a [m,k], b [k,n],
+// dst [m,n]. It uses an ikj loop order so the inner loop streams rows of b
+// and dst, which vectorizes well. dst must not alias a or b.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch a%v b%v dst%v", a.shape, b.shape, dst.shape))
+	}
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[l*n : (l+1)*n]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulT computes dst = a × bᵀ for 2-D tensors, with a [m,k], b [n,k],
+// dst [m,n]. Used for weight-gradient computations.
+func MatMulT(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulT requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch a%v b%v dst%v", a.shape, b.shape, dst.shape))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for l := range arow {
+				s += arow[l] * brow[l]
+			}
+			drow[j] = s
+		}
+	}
+	return dst
+}
+
+// TMatMul computes dst = aᵀ × b for 2-D tensors, with a [k,m], b [k,n],
+// dst [m,n].
+func TMatMul(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: TMatMul requires rank-2 tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: TMatMul shape mismatch a%v b%v dst%v", a.shape, b.shape, dst.shape))
+	}
+	dst.Zero()
+	for l := 0; l < k; l++ {
+		arow := a.data[l*m : (l+1)*m]
+		brow := b.data[l*n : (l+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// Transpose2D returns a new tensor that is the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// ArgmaxRow returns the index of the maximum element in row i of a 2-D
+// tensor; ties resolve to the lowest index.
+func (t *Tensor) ArgmaxRow(i int) int {
+	row := t.Row(i)
+	best, bi := float32(math.Inf(-1)), 0
+	for j, v := range row {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi
+}
+
+// FillUniform fills t with pseudo-random values in [lo, hi) drawn from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float32) {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*rng.Float32()
+	}
+}
+
+// FillGlorot fills a [fanIn, fanOut] weight matrix with Glorot-uniform
+// initialization, the standard for GNN layers.
+func (t *Tensor) FillGlorot(rng *rand.Rand) {
+	if t.Rank() != 2 {
+		panic("tensor: FillGlorot requires a rank-2 tensor")
+	}
+	limit := float32(math.Sqrt(6.0 / float64(t.shape[0]+t.shape[1])))
+	t.FillUniform(rng, -limit, limit)
+}
+
+func checkSame2(dst, a *Tensor, op string) {
+	if !dst.SameShape(a) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, dst.shape, a.shape))
+	}
+}
+
+func checkSame3(dst, a, b *Tensor, op string) {
+	if !dst.SameShape(a) || !dst.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch dst%v a%v b%v", op, dst.shape, a.shape, b.shape))
+	}
+}

@@ -1,0 +1,90 @@
+package tuner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Adaptive design-space search: the paper leaves "more intelligent tuners"
+// as future work (§IV-A cites OpenTuner and AutoTVM); this file implements
+// successive halving, which reaches the same winner as exhaustive grid
+// search with a fraction of the measurements by discarding the slower half
+// of the candidates after each (increasingly precise) measurement round.
+
+// AdaptiveResult reports the outcome of a successive-halving search.
+type AdaptiveResult struct {
+	Best         Cell
+	Measurements int // total timed kernel runs performed
+	Survivors    []Cell
+}
+
+// SuccessiveHalving searches the (graph partitions × feature tiles) space
+// for GCN aggregation. Each round measures every surviving candidate with
+// `reps` runs (doubling reps per round for precision) and keeps the faster
+// half, until one candidate remains.
+func SuccessiveHalving(adj *sparse.CSR, x *tensor.Tensor, gps, tiles []int, threads int) (AdaptiveResult, error) {
+	if x.Dim(0) != adj.NumCols {
+		return AdaptiveResult{}, fmt.Errorf("tuner: X has %d rows, graph has %d source vertices", x.Dim(0), adj.NumCols)
+	}
+	n, d := adj.NumRows, x.Dim(1)
+	out := tensor.New(n, d)
+
+	type cand struct {
+		cell   Cell
+		kernel *core.SpMMKernel
+	}
+	var cands []cand
+	for _, gp := range gps {
+		for _, tile := range tiles {
+			udf := expr.CopySrc(n, d)
+			fds := schedule.New()
+			if tile > 0 {
+				fds.Split(udf.OutAxes[0], tile)
+			}
+			k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
+				core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: gp})
+			if err != nil {
+				return AdaptiveResult{}, err
+			}
+			cands = append(cands, cand{Cell{GraphPartitions: gp, FeatureTile: tile, Seconds: 0}, k})
+		}
+	}
+	if len(cands) == 0 {
+		return AdaptiveResult{}, fmt.Errorf("tuner: empty design space")
+	}
+
+	res := AdaptiveResult{}
+	reps := 1
+	for len(cands) > 1 {
+		for i := range cands {
+			// Warm-up only on the first round; later rounds are hot.
+			if reps == 1 {
+				if _, err := cands[i].kernel.Run(out); err != nil {
+					return AdaptiveResult{}, err
+				}
+				res.Measurements++
+			}
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if _, err := cands[i].kernel.Run(out); err != nil {
+					return AdaptiveResult{}, err
+				}
+			}
+			res.Measurements += reps
+			cands[i].cell.Seconds = time.Since(start).Seconds() / float64(reps)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].cell.Seconds < cands[j].cell.Seconds })
+		cands = cands[:(len(cands)+1)/2]
+		reps *= 2
+	}
+	res.Best = cands[0].cell
+	res.Survivors = []Cell{cands[0].cell}
+	return res, nil
+}
