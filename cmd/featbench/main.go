@@ -33,6 +33,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *threads <= 0 {
+		fmt.Fprintf(os.Stderr, "featbench: -threads must be positive, got %d\n", *threads)
+		os.Exit(2)
+	}
+	if *reps < 0 {
+		fmt.Fprintf(os.Stderr, "featbench: -reps must be >= 0, got %d\n", *reps)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-9s %s\n", e.ID, e.Title)

@@ -7,11 +7,13 @@
 //	traingnn -model gcn -backend featgraph -epochs 100
 //	traingnn -model gat -backend naive -target gpu
 //	traingnn -model gat-multihead -heads 4
+//	traingnn -graph mygraph.fgr       # train on a graph saved by featgen
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"featgraph/internal/core"
 	"featgraph/internal/dgl"
 	"featgraph/internal/graphgen"
+	"featgraph/internal/graphio"
 	"featgraph/internal/nn"
 )
 
@@ -27,6 +30,7 @@ func main() {
 		model   = flag.String("model", "gcn", "gcn | graphsage | gat | gat-multihead")
 		backend = flag.String("backend", "featgraph", "featgraph | naive")
 		target  = flag.String("target", "cpu", "cpu | gpu (simulated)")
+		graph   = flag.String("graph", "", "train on a saved graph file instead of a generated one")
 		epochs  = flag.Int("epochs", 60, "training epochs")
 		heads   = flag.Int("heads", 4, "attention heads (gat-multihead)")
 		hidden  = flag.Int("hidden", 64, "hidden width")
@@ -39,15 +43,57 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*model, *backend, *target, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
+	if err := validateFlags(*epochs, *heads, *hidden, *nverts, *classes, *feat, *threads, *lr); err != nil {
+		fmt.Fprintln(os.Stderr, "traingnn:", err)
+		os.Exit(2)
+	}
+	if err := run(*model, *backend, *target, *graph, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "traingnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, backend, target string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
+// validateFlags rejects malformed numeric flags up front with a named,
+// actionable error rather than a hang, a panic, or a silent degenerate run.
+func validateFlags(epochs, heads, hidden, nverts, classes, feat, threads int, lr float64) error {
+	for _, c := range []struct {
+		name string
+		val  int
+	}{
+		{"epochs", epochs}, {"heads", heads}, {"hidden", hidden},
+		{"n", nverts}, {"classes", classes}, {"feat", feat}, {"threads", threads},
+	} {
+		if c.val <= 0 {
+			return fmt.Errorf("-%s must be positive, got %d", c.name, c.val)
+		}
+	}
+	if classes > nverts {
+		return fmt.Errorf("-classes (%d) cannot exceed -n (%d)", classes, nverts)
+	}
+	if !(lr > 0) || math.IsInf(lr, 0) {
+		return fmt.Errorf("-lr must be a positive finite number, got %v", lr)
+	}
+	return nil
+}
+
+func run(model, backend, target, graph string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
 	rng := rand.New(rand.NewSource(seed))
-	ds := graphgen.PlantedCommunities(rng, nverts, classes, 14, 4, feat)
+	var ds *graphgen.Classified
+	if graph != "" {
+		adj, err := graphio.LoadGraph(graph)
+		if err != nil {
+			return fmt.Errorf("loading -graph: %w", err)
+		}
+		if adj.NumRows != adj.NumCols {
+			return fmt.Errorf("-graph %s is %dx%d; training needs a square adjacency", graph, adj.NumRows, adj.NumCols)
+		}
+		if classes > adj.NumRows {
+			return fmt.Errorf("-classes (%d) cannot exceed the graph's %d vertices", classes, adj.NumRows)
+		}
+		ds = graphgen.ClassifyGraph(rng, adj, classes, feat)
+	} else {
+		ds = graphgen.PlantedCommunities(rng, nverts, classes, 14, 4, feat)
+	}
 	fmt.Printf("dataset: |V|=%d |E|=%d classes=%d features=%d\n",
 		ds.Adj.NumRows, ds.Adj.NNZ(), classes, feat)
 

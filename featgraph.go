@@ -25,6 +25,12 @@
 // Building a kernel performs FeatGraph's "compilation" for a specific graph
 // topology — UDF lowering, pattern recognition, graph partitioning — whose
 // cost is amortized over the many executions of a training run.
+//
+// Kernel execution is resilient: RunCtx honors context cancellation, worker
+// panics are recovered into *KernelError values instead of crashing the
+// process, GPU-target kernels transparently retry on the CPU path when the
+// device fails (reported in RunStats), and Options.CheckNumerics scans
+// outputs for NaN/Inf. See README.md's Robustness section.
 package featgraph
 
 import (
@@ -57,8 +63,15 @@ type (
 	FDS = schedule.FDS
 	// Options carries the coarse-grained template scheduling parameters.
 	Options = core.Options
-	// RunStats reports per-run statistics (simulated cycles on GPU).
+	// RunStats reports per-run statistics: simulated cycles on GPU, and
+	// whether the run degraded to the CPU fallback path.
 	RunStats = core.RunStats
+	// KernelError reports a panic recovered inside kernel execution,
+	// annotated with the failing worker/block and its place in the schedule.
+	KernelError = core.KernelError
+	// NumericError reports the first non-finite output value found by an
+	// Options.CheckNumerics scan.
+	NumericError = core.NumericError
 	// SpMMKernel is a built generalized-SpMM kernel.
 	SpMMKernel = core.SpMMKernel
 	// SDDMMKernel is a built generalized-SDDMM kernel.

@@ -215,6 +215,12 @@ func lower(e expr.Expr, udf *expr.UDF, inputs []*tensor.Tensor) (evalFunc, error
 			}, nil
 		case expr.ReduceMax:
 			return func(env []int32) float32 {
+				// An empty reduction yields 0, not -Inf: finite semantics
+				// for zero-extent axes, matching the aggregation operators'
+				// empty-neighborhood convention.
+				if extent == 0 {
+					return 0
+				}
 				acc := float32(math.Inf(-1))
 				for k := int32(0); k < extent; k++ {
 					env[slot] = k

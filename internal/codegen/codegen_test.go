@@ -237,6 +237,35 @@ func TestAllBinaryOpsAndReduceMax(t *testing.T) {
 	}
 }
 
+func TestEmptyReductionsAreZero(t *testing.T) {
+	// A reduction over a zero-extent axis yields 0 for both sum and max —
+	// finite empty-reduction semantics matching the sparse templates'
+	// empty-neighborhood convention — rather than the -Inf max identity.
+	// The builder rejects zero extents, so shrink the axis after building.
+	for _, op := range []func(*expr.Axis, expr.Expr) expr.Expr{expr.Sum, expr.MaxOver} {
+		b := expr.NewBuilder()
+		x := b.Placeholder("X", 3, 4)
+		i := b.OutAxis("i", 2)
+		k := b.ReduceAxis("k", 4)
+		udf := b.UDF(op(k, x.At(expr.Src, k)), i)
+		k.Extent = 0
+
+		rng := rand.New(rand.NewSource(10))
+		xt := randTensor(rng, 3, 4)
+		c, err := Compile(udf, []*tensor.Tensor{xt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := []float32{7, 7}
+		c.EvalAll(c.NewEnv(), 0, 1, 0, out)
+		for ii, v := range out {
+			if v != 0 {
+				t.Fatalf("empty reduction: out[%d] = %v, want 0", ii, v)
+			}
+		}
+	}
+}
+
 func TestRecognizePatterns(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	x := randTensor(rng, 4, 8)

@@ -19,9 +19,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
@@ -114,12 +117,26 @@ type Options struct {
 	// vertices with out-degree >= the threshold are staged through shared
 	// memory. 0 disables hybrid partitioning.
 	HybridThreshold int32
+
+	// CheckNumerics scans the output for NaN/±Inf after every successful
+	// run and fails it with a *NumericError naming the first offending
+	// vertex/edge and feature. The scan costs one pass over the output.
+	CheckNumerics bool
+	// NoFallback disables the transparent CPU retry a GPU-target kernel
+	// performs when the device build or run fails.
+	NoFallback bool
 }
 
 // RunStats reports per-run execution statistics. SimCycles is nonzero only
 // for GPU runs; see the cudasim package for the cost model.
 type RunStats struct {
 	SimCycles uint64
+
+	// Fallback reports that the GPU target failed to build or run and the
+	// result was produced by the CPU path instead (graceful degradation).
+	Fallback bool
+	// FallbackReason is the GPU failure that triggered the fallback.
+	FallbackReason string
 }
 
 var (
@@ -185,12 +202,97 @@ func walkLoads(e expr.Expr, f func(*expr.Load)) {
 	}
 }
 
+// runControl coordinates one kernel execution across its worker goroutines:
+// cooperative cancellation (from the caller's context) and first-error-wins
+// failure collection (from recovered worker panics). Once stopped — by
+// cancellation or by a failing worker — the remaining workers observe stop()
+// at their next poll, abandon their work, and drain; parallelFor still waits
+// for all of them, so no goroutine outlives the Run call.
+type runControl struct {
+	done    <-chan struct{} // caller's ctx.Done(); may be nil
+	ctxErr  func() error
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+func newRunControl(ctx context.Context) *runControl {
+	return &runControl{done: ctx.Done(), ctxErr: func() error { return ctx.Err() }}
+}
+
+// stop reports whether workers should abandon their remaining work, either
+// because the context was cancelled or because another worker failed. The
+// fast path is one atomic load, so per-chunk polling is affordable.
+func (rc *runControl) stop() bool {
+	if rc.stopped.Load() {
+		return true
+	}
+	if rc.done != nil {
+		select {
+		case <-rc.done:
+			rc.stopped.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// fail records err and stops the run; the first recorded error wins.
+func (rc *runControl) fail(err error) {
+	if err == nil {
+		return
+	}
+	rc.mu.Lock()
+	if rc.err == nil {
+		rc.err = err
+	}
+	rc.mu.Unlock()
+	rc.stopped.Store(true)
+}
+
+// verdict returns the run's outcome: a recorded worker error first, the
+// context's error second, nil for a clean run. On any non-nil verdict the
+// output buffer's contents are undefined.
+func (rc *runControl) verdict() error {
+	rc.mu.Lock()
+	err := rc.err
+	rc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return rc.ctxErr()
+}
+
+// workerSite locates a parallelFor call in the kernel schedule for
+// KernelError reporting. Tile/part are -1 outside tile/partition loops.
+type workerSite struct {
+	kernel string
+	target Target
+	tile   int
+	part   int
+}
+
 // parallelFor splits [0, n) into numWorkers contiguous chunks and runs body
-// on each concurrently. numWorkers <= 1 runs inline. body receives the
-// worker index and its half-open range.
-func parallelFor(n, numWorkers int, body func(worker, lo, hi int)) {
+// on each concurrently under rc's supervision: a panicking worker is
+// recovered into a *KernelError recorded on rc (first error wins) and the
+// remaining workers drain. numWorkers <= 1 runs inline with the same panic
+// isolation. Bodies poll rc.stop() between row/edge chunks so cancellation
+// and failures stop the run promptly.
+func parallelFor(rc *runControl, site workerSite, n, numWorkers int, body func(worker, lo, hi int)) {
+	guarded := func(w, lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				rc.fail(&KernelError{
+					Kernel: site.kernel, Target: site.target,
+					Worker: w, Tile: site.tile, Part: site.part, Value: r,
+				})
+			}
+		}()
+		body(w, lo, hi)
+	}
 	if numWorkers <= 1 || n <= 1 {
-		body(0, 0, n)
+		guarded(0, 0, n)
 		return
 	}
 	if numWorkers > n {
@@ -206,10 +308,21 @@ func parallelFor(n, numWorkers int, body func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			body(w, lo, hi)
+			guarded(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// cancelChunk is how many rows or edges a worker processes between
+// cancellation polls: small enough to stop promptly, large enough to keep
+// the poll off the inner loops.
+const cancelChunk = 64
+
+// ctxDone reports whether err is the run context's cancellation rather than
+// a device or kernel failure — cancellations must not trigger CPU fallback.
+func ctxDone(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // aggInto folds msg into acc elementwise with op. Mean accumulates like sum

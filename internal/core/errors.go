@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"featgraph/internal/tensor"
+)
+
+// KernelError is the structured error for a failure inside kernel
+// execution: a panic recovered from a worker goroutine (a UDF evaluation
+// fault, a tensor shape mismatch, an injected fault) annotated with where in
+// the schedule it happened. One bad invocation surfaces as an error from
+// Run/RunCtx instead of crashing the process — the degradation a serving
+// system needs when a kernel, compiled once and executed millions of times,
+// meets a malformed input.
+type KernelError struct {
+	Kernel string // "spmm" or "sddmm"
+	Target Target // execution target of the failing path
+	Worker int    // CPU worker index or simulated-GPU block index
+	Tile   int    // feature-tile index, -1 when not tile-scoped
+	Part   int    // graph-partition index, -1 when not partition-scoped
+	Value  any    // recovered panic value
+}
+
+func (e *KernelError) Error() string {
+	loc := ""
+	if e.Tile >= 0 {
+		loc += fmt.Sprintf(" tile %d", e.Tile)
+	}
+	if e.Part >= 0 {
+		loc += fmt.Sprintf(" partition %d", e.Part)
+	}
+	return fmt.Sprintf("core: %s/%s worker %d%s panicked: %v", e.Kernel, e.Target, e.Worker, loc, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error, so errors.Is/As
+// reach through to the cause (e.g. a *cudasim.SharedMemError).
+func (e *KernelError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// NumericError reports the first non-finite output value found by an
+// Options.CheckNumerics scan.
+type NumericError struct {
+	Kernel string  // "spmm" or "sddmm"
+	Row    int     // vertex (spmm) or edge id (sddmm)
+	Col    int     // feature index within the row
+	Value  float32 // the offending value (NaN or ±Inf)
+}
+
+func (e *NumericError) Error() string {
+	what := "vertex"
+	if e.Kernel == "sddmm" {
+		what = "edge"
+	}
+	return fmt.Sprintf("core: %s output is %v at %s %d, feature %d", e.Kernel, e.Value, what, e.Row, e.Col)
+}
+
+// checkNumerics scans out and returns a *NumericError for the first NaN or
+// ±Inf, nil when the output is finite.
+func checkNumerics(kernel string, out *tensor.Tensor) error {
+	data := out.Data()
+	stride := out.RowStride()
+	for i, v := range data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			row, col := 0, i
+			if stride > 0 {
+				row, col = i/stride, i%stride
+			}
+			return &NumericError{Kernel: kernel, Row: row, Col: col, Value: v}
+		}
+	}
+	return nil
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
+	"featgraph/internal/faultinject"
 	"featgraph/internal/partition"
 	"featgraph/internal/schedule"
 	"featgraph/internal/sparse"
@@ -110,17 +112,54 @@ func (k *SDDMMKernel) Pattern() string { return k.match.Pattern.String() }
 
 // Run executes the kernel into out, an [NNZ, outLen] tensor.
 func (k *SDDMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
+	return k.RunCtx(context.Background(), out)
+}
+
+// RunCtx executes the kernel into out under ctx. Cancelling the context
+// stops the worker pool promptly and returns ctx.Err(); the contents of out
+// are then undefined. A panic inside a worker goroutine is recovered and
+// returned as a *KernelError instead of crashing the process. A GPU-target
+// kernel whose device run fails retries once on the CPU path and records the
+// fallback in the returned stats, unless Options.NoFallback is set. When
+// Options.CheckNumerics is set, a successful run additionally scans out and
+// fails with a *NumericError on the first NaN/±Inf.
+func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	if out.Dim(0) != k.adj.NNZ() || out.Len() != k.adj.NNZ()*k.outLen {
 		return RunStats{}, fmt.Errorf("core: SDDMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NNZ(), k.outLen)
 	}
-	if k.opts.Target == GPU {
-		return k.runGPU(out)
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
 	}
-	k.runCPU(out)
-	return RunStats{}, nil
+	var stats RunStats
+	if k.opts.Target == GPU {
+		var err error
+		stats, err = k.runGPU(ctx, out)
+		if err != nil {
+			if k.opts.NoFallback || ctxDone(ctx, err) {
+				return RunStats{}, err
+			}
+			// Graceful degradation: one retry on the CPU path.
+			if cpuErr := k.runCPU(ctx, out); cpuErr != nil {
+				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
+			}
+			stats = RunStats{Fallback: true, FallbackReason: err.Error()}
+		}
+	} else if err := k.runCPU(ctx, out); err != nil {
+		return RunStats{}, err
+	}
+	if k.opts.CheckNumerics {
+		if err := checkNumerics("sddmm", out); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
 }
 
-func (k *SDDMMKernel) runCPU(out *tensor.Tensor) {
+// runCPU executes the multi-threaded CPU schedule, splitting the traversal
+// order (Hilbert or row-major) across workers. Workers poll the run control
+// between edge chunks so cancellation and failures stop the pool promptly.
+func (k *SDDMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+	rc := newRunControl(ctx)
 	threads := max(k.opts.NumThreads, 1)
 	nnz := k.adj.NNZ()
 	ed := k.edges
@@ -133,22 +172,33 @@ func (k *SDDMMKernel) runCPU(out *tensor.Tensor) {
 		yd, ys := y.Data(), y.RowStride()
 		odata := out.Data()
 		out.Zero()
-		for _, kt := range k.redTiles {
+		for kti, kt := range k.redTiles {
+			if rc.stop() {
+				return rc.verdict()
+			}
 			klo, khi := kt.Lo, kt.Hi
-			parallelFor(nnz, threads, func(_, elo, ehi int) {
-				for i := elo; i < ehi; i++ {
-					u, v := int(ed.Col[i]), int(ed.Row[i])
-					xrow := xd[u*xs+klo : u*xs+khi]
-					yrow := yd[v*ys+klo : v*ys+khi]
-					var s float32
-					for f := range xrow {
-						s += xrow[f] * yrow[f]
+			site := workerSite{kernel: "sddmm", target: CPU, tile: kti, part: -1}
+			parallelFor(rc, site, nnz, threads, func(_, elo, ehi int) {
+				faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done)
+				for clo := elo; clo < ehi; clo += cancelChunk {
+					if rc.stop() {
+						return
 					}
-					odata[ed.EID[i]] += s
+					for i := clo; i < min(clo+cancelChunk, ehi); i++ {
+						u, v := int(ed.Col[i]), int(ed.Row[i])
+						xrow := xd[u*xs+klo : u*xs+khi]
+						yrow := yd[v*ys+klo : v*ys+khi]
+						var s float32
+						for f := range xrow {
+							s += xrow[f] * yrow[f]
+						}
+						odata[ed.EID[i]] += s
+					}
 				}
+				faultinject.CorruptFloats(faultinject.SiteSDDMMCPUOutput, odata[elo:ehi])
 			})
 		}
-		return
+		return rc.verdict()
 	}
 
 	// Generic path: evaluate the compiled UDF per edge per output tile,
@@ -156,14 +206,26 @@ func (k *SDDMMKernel) runCPU(out *tensor.Tensor) {
 	// SDDMM).
 	ostride := out.RowStride()
 	odata := out.Data()
-	for _, tile := range k.tiles {
+	for ti, tile := range k.tiles {
+		if rc.stop() {
+			return rc.verdict()
+		}
 		lo, hi := tile.Lo, tile.Hi
-		parallelFor(nnz, threads, func(_, elo, ehi int) {
+		site := workerSite{kernel: "sddmm", target: CPU, tile: ti, part: -1}
+		parallelFor(rc, site, nnz, threads, func(_, elo, ehi int) {
+			faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done)
 			env := k.compiled.NewEnv()
-			for i := elo; i < ehi; i++ {
-				eid := int(ed.EID[i])
-				k.compiled.Eval(env, ed.Col[i], ed.Row[i], ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
+			for clo := elo; clo < ehi; clo += cancelChunk {
+				if rc.stop() {
+					return
+				}
+				for i := clo; i < min(clo+cancelChunk, ehi); i++ {
+					eid := int(ed.EID[i])
+					k.compiled.Eval(env, ed.Col[i], ed.Row[i], ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
+				}
 			}
+			faultinject.CorruptFloats(faultinject.SiteSDDMMCPUOutput, odata[elo*ostride:ehi*ostride])
 		})
 	}
+	return rc.verdict()
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+
 	"featgraph/internal/codegen"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
@@ -57,10 +60,20 @@ func (k *SDDMMKernel) gpuLaunchDims() (blocks, threads int) {
 	return blocks, min(threads, 1024)
 }
 
-func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
+// wrapSDDMMLaunchErr rewrites a device panic into a *KernelError locating
+// the failing block; other launch errors (cancellation) pass through.
+func wrapSDDMMLaunchErr(err error) error {
+	var kpe *cudasim.KernelPanicError
+	if errors.As(err, &kpe) {
+		return &KernelError{Kernel: "sddmm", Target: GPU, Worker: kpe.Block, Tile: -1, Part: -1, Value: kpe.Value}
+	}
+	return err
+}
+
+func (k *SDDMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	nnz := k.adj.NNZ()
 	if nnz == 0 {
-		return RunStats{}, nil
+		return RunStats{}, ctx.Err()
 	}
 	blocks, threads := k.gpuLaunchDims()
 	ed := k.edges
@@ -73,12 +86,15 @@ func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
 		yd, ys := y.Data(), y.RowStride()
 		d := k.redAxis.Extent
 		tree := k.gpu.treeReduce
-		stats, err := k.gpu.dev.Launch(cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
+		stats, err := k.gpu.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
 			var partials []float32
 			if tree {
 				partials = make([]float32, b.Dim())
 			}
 			for e := b.Idx(); e < nnz; e += blocks {
+				if b.Cancelled() {
+					return
+				}
 				u, v := int(ed.Col[e]), int(ed.Row[e])
 				xrow := xd[u*xs : u*xs+d]
 				yrow := yd[v*ys : v*ys+d]
@@ -111,7 +127,7 @@ func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
 			}
 		})
 		if err != nil {
-			return RunStats{}, err
+			return RunStats{}, wrapSDDMMLaunchErr(err)
 		}
 		total += stats.SimCycles
 		return RunStats{SimCycles: total}, nil
@@ -122,9 +138,12 @@ func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
 	featPar := k.gpu.featPar
 	bodyCost := k.gpu.bodyCost
 	outLen := k.outLen
-	stats, err := k.gpu.dev.Launch(cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
+	stats, err := k.gpu.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
 		env := k.compiled.NewEnv()
 		for e := b.Idx(); e < nnz; e += blocks {
+			if b.Cancelled() {
+				return
+			}
 			eid := int(ed.EID[e])
 			k.compiled.Eval(env, ed.Col[e], ed.Row[e], ed.EID[e], odata[eid*ostride:eid*ostride+outLen], 0, outLen)
 			if featPar {
@@ -135,7 +154,7 @@ func (k *SDDMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
 		}
 	})
 	if err != nil {
-		return RunStats{}, err
+		return RunStats{}, wrapSDDMMLaunchErr(err)
 	}
 	total += stats.SimCycles
 	return RunStats{SimCycles: total}, nil

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
+	"featgraph/internal/faultinject"
 	"featgraph/internal/partition"
 	"featgraph/internal/schedule"
 	"featgraph/internal/sparse"
@@ -29,11 +31,14 @@ type SpMMKernel struct {
 
 	tiles []partition.Range
 
-	// CPU state.
+	// CPU state, built for both targets: it is the kernel's own schedule on
+	// CPU and the graceful-degradation retry path on GPU.
 	parts []*sparse.CSR // 1D column partitions (length 1 when disabled)
 
-	// GPU state (see spmm_gpu.go).
-	gpu *spmmGPU
+	// GPU state (see spmm_gpu.go). nil for a GPU-target kernel whose device
+	// build failed and degraded to the CPU path.
+	gpu         *spmmGPU
+	gpuBuildErr string // the device build failure behind gpu == nil
 }
 
 // BuildSpMM builds a generalized SpMM kernel over adjacency matrix adj.
@@ -67,20 +72,26 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	}
 	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
 
-	switch opts.Target {
-	case CPU:
-		if opts.GraphPartitions > 1 {
-			k.parts = partition.OneD(adj, opts.GraphPartitions).Parts
-		} else {
-			k.parts = []*sparse.CSR{adj}
-		}
-	case GPU:
+	if opts.Target != CPU && opts.Target != GPU {
+		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
+	}
+	if opts.GraphPartitions > 1 {
+		k.parts = partition.OneD(adj, opts.GraphPartitions).Parts
+	} else {
+		k.parts = []*sparse.CSR{adj}
+	}
+	if opts.Target == GPU {
 		k.gpu, err = buildSpMMGPU(k, udf, fds)
 		if err != nil {
-			return nil, err
+			if opts.NoFallback {
+				return nil, err
+			}
+			// Graceful degradation: an unsupported device schedule (e.g. a
+			// feature tile exceeding shared memory) falls back to the CPU
+			// path; Run records the fallback in its stats.
+			k.gpu = nil
+			k.gpuBuildErr = err.Error()
 		}
-	default:
-		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
 	}
 	return k, nil
 }
@@ -95,21 +106,65 @@ func (k *SpMMKernel) Pattern() string { return k.match.Pattern.String() }
 // Run executes the kernel into out, which must be a [NumRows, outLen]
 // tensor (or any shape with matching leading dimension and total size).
 func (k *SpMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
+	return k.RunCtx(context.Background(), out)
+}
+
+// RunCtx executes the kernel into out under ctx. Cancelling the context
+// stops the worker pool promptly and returns ctx.Err(); the contents of out
+// are then undefined. A panic inside a worker goroutine (a UDF evaluation
+// fault, a shape mismatch, an injected fault) is recovered and returned as
+// a *KernelError instead of crashing the process. A GPU-target kernel whose
+// device run fails retries once on the CPU path and records the fallback in
+// the returned stats, unless Options.NoFallback is set. When
+// Options.CheckNumerics is set, a successful run additionally scans out and
+// fails with a *NumericError on the first NaN/±Inf.
+func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	if out.Dim(0) != k.adj.NumRows || out.Len() != k.adj.NumRows*k.outLen {
 		return RunStats{}, fmt.Errorf("core: SpMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NumRows, k.outLen)
 	}
-	if k.opts.Target == GPU {
-		return k.runGPU(out)
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
 	}
-	k.runCPU(out)
-	return RunStats{}, nil
+	var stats RunStats
+	if k.opts.Target == GPU && k.gpu != nil {
+		var err error
+		stats, err = k.runGPU(ctx, out)
+		if err != nil {
+			if k.opts.NoFallback || ctxDone(ctx, err) {
+				return RunStats{}, err
+			}
+			// Graceful degradation: one retry on the CPU path.
+			if cpuErr := k.runCPU(ctx, out); cpuErr != nil {
+				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
+			}
+			stats = RunStats{Fallback: true, FallbackReason: err.Error()}
+		}
+	} else {
+		if err := k.runCPU(ctx, out); err != nil {
+			return RunStats{}, err
+		}
+		if k.opts.Target == GPU {
+			// The device build already degraded to the CPU path.
+			stats.Fallback = true
+			stats.FallbackReason = k.gpuBuildErr
+		}
+	}
+	if k.opts.CheckNumerics {
+		if err := checkNumerics("spmm", out); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
 }
 
 // runCPU executes the tiled, partitioned, multi-threaded CPU schedule:
 // feature tiles outermost (each tile re-traverses the topology, the
 // trade-off of Figure 6), graph partitions next (all threads cooperate on
 // one partition at a time, §IV-A), rows split across threads innermost.
-func (k *SpMMKernel) runCPU(out *tensor.Tensor) {
+// Workers poll the run control between row chunks so cancellation and
+// failures stop the pool promptly.
+func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+	rc := newRunControl(ctx)
 	threads := max(k.opts.NumThreads, 1)
 	out.Fill(k.agg.identity())
 
@@ -132,16 +187,33 @@ func (k *SpMMKernel) runCPU(out *tensor.Tensor) {
 		}
 	}
 
-	for _, tile := range k.tiles {
-		for _, part := range k.parts {
-			parallelFor(k.adj.NumRows, threads, func(w, rlo, rhi int) {
-				k.cpuRows(out, part, tile, scratch[w], rlo, rhi)
+	ostride := out.RowStride()
+	odata := out.Data()
+	for ti, tile := range k.tiles {
+		for pi, part := range k.parts {
+			if rc.stop() {
+				return rc.verdict()
+			}
+			site := workerSite{kernel: "spmm", target: CPU, tile: ti, part: pi}
+			parallelFor(rc, site, k.adj.NumRows, threads, func(w, rlo, rhi int) {
+				faultinject.Hit(faultinject.SiteSpMMCPUWorker, rc.done)
+				for lo := rlo; lo < rhi; lo += cancelChunk {
+					if rc.stop() {
+						return
+					}
+					k.cpuRows(out, part, tile, scratch[w], lo, min(lo+cancelChunk, rhi))
+				}
+				faultinject.CorruptFloats(faultinject.SiteSpMMCPUOutput, odata[rlo*ostride:rhi*ostride])
 			})
 		}
 	}
-	parallelFor(k.adj.NumRows, threads, func(_, rlo, rhi int) {
-		finalizeAgg(k.agg, out, k.adj, rlo, rhi)
-	})
+	if !rc.stop() {
+		site := workerSite{kernel: "spmm", target: CPU, tile: -1, part: -1}
+		parallelFor(rc, site, k.adj.NumRows, threads, func(_, rlo, rhi int) {
+			finalizeAgg(k.agg, out, k.adj, rlo, rhi)
+		})
+	}
+	return rc.verdict()
 }
 
 // spmmScratch is per-worker evaluation state.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"featgraph/internal/codegen"
@@ -100,20 +102,26 @@ func (k *SpMMKernel) gpuLaunchDims(tileLen int) (blocks, threads int) {
 
 // runGPU executes the kernel on the simulated device, one launch per
 // (feature tile × column partition), and reports accumulated simulated
-// cycles.
-func (k *SpMMKernel) runGPU(out *tensor.Tensor) (RunStats, error) {
+// cycles. Device panics come back as *KernelErrors locating the failing
+// block in the schedule; cancellation stops the launch loop and in-flight
+// blocks (which poll Block.Cancelled between rows).
+func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	g := k.gpu
 	out.Fill(k.agg.identity())
 	var total uint64
 
-	for _, tile := range k.tiles {
+	for ti, tile := range k.tiles {
 		tileLen := tile.Len()
 		blocks, threads := k.gpuLaunchDims(tileLen)
-		for _, gp := range g.parts {
-			stats, err := g.dev.Launch(cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
+		for pi, gp := range g.parts {
+			stats, err := g.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
 				k.gpuBlock(b, out, gp, tile, blocks)
 			})
 			if err != nil {
+				var kpe *cudasim.KernelPanicError
+				if errors.As(err, &kpe) {
+					err = &KernelError{Kernel: "spmm", Target: GPU, Worker: kpe.Block, Tile: ti, Part: pi, Value: kpe.Value}
+				}
 				return RunStats{SimCycles: total}, err
 			}
 			total += stats.SimCycles
@@ -171,6 +179,9 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 		xd, xs := x.Data(), x.RowStride()
 		isMax := k.agg == AggMax
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
+			if b.Cancelled() {
+				return
+			}
 			s, e := part.RowPtr[r], part.RowPtr[r+1]
 			if s == e {
 				continue
@@ -206,6 +217,9 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 		xd, xs := x.Data(), x.RowStride()
 		ed := ew.Data()
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
+			if b.Cancelled() {
+				return
+			}
 			s, e := part.RowPtr[r], part.RowPtr[r+1]
 			if s == e {
 				continue
@@ -240,6 +254,9 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 		tmp := make([]float32, d1)
 		msg := make([]float32, tileLen)
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
+			if b.Cancelled() {
+				return
+			}
 			s, e := part.RowPtr[r], part.RowPtr[r+1]
 			if s == e {
 				continue
@@ -283,6 +300,9 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 		env := k.compiled.NewEnv()
 		msg := make([]float32, tileLen)
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
+			if b.Cancelled() {
+				return
+			}
 			s, e := part.RowPtr[r], part.RowPtr[r+1]
 			if s == e {
 				continue

@@ -22,12 +22,15 @@
 package cudasim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"featgraph/internal/faultinject"
 )
 
 // Config describes a simulated device.
@@ -102,6 +105,9 @@ type Block struct {
 	sharedUsed int
 	scratch    []float32 // reused shared-memory arena across blocks on one SM
 	cycles     uint64    // simulated cycles charged by the kernel
+
+	done <-chan struct{} // launch context's cancellation channel
+	stop *atomic.Bool    // launch-wide stop flag (cancel or first error)
 }
 
 // Idx returns the block index within the grid.
@@ -109,6 +115,29 @@ func (b *Block) Idx() int { return b.idx }
 
 // Dim returns the number of threads per block.
 func (b *Block) Dim() int { return b.dim }
+
+// Cancelled reports whether the launch was cancelled or another block
+// failed. Long-running kernels poll it in their outer loops and return
+// early; partially written output is undefined, as after a real device
+// reset. The check is an atomic load (plus a non-blocking channel poll), so
+// per-row polling is affordable.
+func (b *Block) Cancelled() bool {
+	if b.stop == nil {
+		return false
+	}
+	if b.stop.Load() {
+		return true
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			b.stop.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
 
 // Shared allocates n float32 values of shared memory for this block. The
 // allocation is zeroed. If the block's total shared usage would exceed the
@@ -225,6 +254,16 @@ type LaunchStats struct {
 // count. Launch returns an error if the configuration is invalid, if a
 // block over-allocates shared memory, or if the kernel panics.
 func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
+	return d.LaunchCtx(context.Background(), cfg, kernel)
+}
+
+// LaunchCtx is Launch under a context. Cancellation stops the launch
+// promptly: workers stop popping blocks, in-flight blocks observe it via
+// Block.Cancelled, and LaunchCtx returns ctx.Err(). A failing block (panic
+// or shared-memory over-allocation) likewise stops the remaining grid; the
+// first error wins and the other workers drain. On any error the output the
+// kernel wrote is undefined.
+func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
 	var stats LaunchStats
 	if cfg.Blocks <= 0 {
 		return stats, fmt.Errorf("cudasim: launch with %d blocks", cfg.Blocks)
@@ -232,8 +271,13 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, e
 	if cfg.ThreadsPerBlock <= 0 || cfg.ThreadsPerBlock > 1024 {
 		return stats, fmt.Errorf("cudasim: threads per block %d outside [1,1024]", cfg.ThreadsPerBlock)
 	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	workers := min(runtime.GOMAXPROCS(0), cfg.Blocks)
 	blockCycles := make([]uint64, cfg.Blocks)
+	done := ctx.Done()
+	var stop atomic.Bool
 	var next atomic.Int64
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -241,8 +285,11 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, e
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			blk := &Block{dim: cfg.ThreadsPerBlock, dev: d}
+			blk := &Block{dim: cfg.ThreadsPerBlock, dev: d, done: done, stop: &stop}
 			for {
+				if blk.Cancelled() {
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Blocks) {
 					return
@@ -252,6 +299,7 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, e
 				blk.cycles = 0
 				if err := runBlock(blk, kernel); err != nil {
 					errs[w] = err
+					stop.Store(true)
 					return
 				}
 				blockCycles[i] = blk.cycles
@@ -263,6 +311,9 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, e
 		if err != nil {
 			return stats, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
 	}
 	stats.SimCycles = makespan(blockCycles, d.numSMs)
 	return stats, nil
@@ -309,9 +360,9 @@ func (e *KernelPanicError) Error() string {
 }
 
 // runBlock executes one block, converting panics — shared-memory
-// over-allocation and kernel bugs alike — into errors, because the block
-// runs on a worker goroutine where an unrecovered panic would kill the
-// process rather than unwind to the caller.
+// over-allocation, kernel bugs, and injected faults alike — into errors,
+// because the block runs on a worker goroutine where an unrecovered panic
+// would kill the process rather than unwind to the caller.
 func runBlock(blk *Block, kernel func(b *Block)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -322,6 +373,7 @@ func runBlock(blk *Block, kernel func(b *Block)) (err error) {
 			err = &KernelPanicError{Block: blk.idx, Value: r}
 		}
 	}()
+	faultinject.Hit(faultinject.SiteCudasimBlock, blk.done)
 	kernel(blk)
 	return nil
 }

@@ -1,12 +1,18 @@
 package cudasim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"featgraph/internal/faultinject"
 )
 
 func TestLaunchCoversAllBlocksOnce(t *testing.T) {
@@ -287,5 +293,100 @@ func TestChargeTreeReduceDepth(t *testing.T) {
 	want := uint64(3 * (CostShared + CostFLOP))
 	if stats.SimCycles != want {
 		t.Fatalf("SimCycles = %d, want %d", stats.SimCycles, want)
+	}
+}
+
+func TestLaunchCtxPreCancelled(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	_, err := dev.LaunchCtx(ctx, LaunchConfig{Blocks: 8, ThreadsPerBlock: 4}, func(b *Block) {
+		ran.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d blocks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestLaunchCtxCancelStopsBlocks(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	returned := make(chan struct{})
+	go func() {
+		// Each block spins until it observes cancellation; without
+		// Cancelled the launch would never return.
+		_, err := dev.LaunchCtx(ctx, LaunchConfig{Blocks: 64, ThreadsPerBlock: 4}, func(b *Block) {
+			once.Do(func() { close(started) })
+			for !b.Cancelled() {
+				runtime.Gosched()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		close(returned)
+	}()
+	<-started
+	cancel()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled launch did not return")
+	}
+}
+
+func TestLaunchFirstErrorStopsGrid(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 4})
+	const blocks = 256
+	var ran atomic.Int32
+	_, err := dev.Launch(LaunchConfig{Blocks: blocks, ThreadsPerBlock: 1}, func(b *Block) {
+		if b.Idx() == 0 {
+			panic("first block fails")
+		}
+		time.Sleep(time.Millisecond)
+		ran.Add(1)
+	})
+	var kpe *KernelPanicError
+	if !errors.As(err, &kpe) || kpe.Block != 0 {
+		t.Fatalf("err = %v, want KernelPanicError for block 0", err)
+	}
+	if n := ran.Load(); n >= blocks-1 {
+		t.Fatalf("all %d other blocks ran; the grid should have stopped early", n)
+	}
+}
+
+func TestLaunchCtxNoGoroutineLeak(t *testing.T) {
+	dev := NewDevice(Config{NumSMs: 2})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		dev.LaunchCtx(ctx, LaunchConfig{Blocks: 16, ThreadsPerBlock: 4}, func(b *Block) {})
+		dev.Launch(LaunchConfig{Blocks: 16, ThreadsPerBlock: 4}, func(b *Block) { b.Charge(1) })
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew from %d to %d", before, after)
+	}
+}
+
+func TestLaunchFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	dev := NewDevice(Config{NumSMs: 2})
+	disarm := faultinject.Arm(faultinject.SiteCudasimBlock, &faultinject.Fault{Kind: faultinject.Panic, Value: "injected"})
+	defer disarm()
+	_, err := dev.Launch(LaunchConfig{Blocks: 4, ThreadsPerBlock: 1}, func(b *Block) {})
+	var kpe *KernelPanicError
+	if !errors.As(err, &kpe) || kpe.Value != "injected" {
+		t.Fatalf("err = %v, want injected KernelPanicError", err)
 	}
 }

@@ -1,0 +1,228 @@
+// Package faultinject provides deterministic, site-keyed fault points for
+// robustness testing of the kernel execution stack.
+//
+// Production code marks interesting locations with Hit (control faults:
+// panics and stalls) and CorruptFloats (data faults: NaN poisoning). With no
+// faults armed both calls reduce to a single atomic load, so the hooks stay
+// in the worker loops permanently — the chaos-hook style of netflix-like
+// fault testing, scaled down to a library. Tests arm faults at chosen sites:
+//
+//	defer faultinject.Arm(faultinject.SiteSpMMCPUWorker,
+//		&faultinject.Fault{Kind: faultinject.Panic})()
+//
+// Firing is deterministic: each fault counts its hits, and hit i fires iff a
+// 64-bit hash of (Seed, site, i) maps below Prob. The same arming therefore
+// fires on the same hit indices in every run, independent of goroutine
+// scheduling (which worker observes a given hit index may still vary, but
+// the number of firings over N hits does not).
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects a fault's effect.
+type Kind int
+
+const (
+	// Panic panics with the fault's Value at the site (Hit).
+	Panic Kind = iota
+	// NaN poisons the first element of buffers passed to CorruptFloats.
+	NaN
+	// Stall blocks Hit until Delay elapses, the fault is disarmed, or the
+	// caller's done channel closes — a slow worker, not a dead one.
+	Stall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case NaN:
+		return "nan"
+	case Stall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Fault is one armed fault. The zero value panics on every hit.
+type Fault struct {
+	Kind Kind
+	// Prob is the per-hit firing probability; <= 0 or >= 1 fires on every
+	// hit. Firing decisions are keyed by (Seed, site, hit index), not by a
+	// random source, so they replay identically.
+	Prob float64
+	// Seed perturbs the firing hash so distinct experiments at one site can
+	// select different hit subsets.
+	Seed uint64
+	// Value is the panic value for Panic faults; nil panics with a
+	// descriptive string naming the site.
+	Value any
+	// Delay is how long a Stall fault blocks; 0 means 10ms.
+	Delay time.Duration
+
+	hits   atomic.Uint64
+	fired  atomic.Uint64
+	cancel chan struct{}
+}
+
+// Hits returns how many times the fault's site has been evaluated.
+func (f *Fault) Hits() uint64 { return f.hits.Load() }
+
+// Fired returns how many times the fault actually triggered.
+func (f *Fault) Fired() uint64 { return f.fired.Load() }
+
+// Sites instrumented by the kernel stack. The constants live here so tests
+// target fault points without importing the instrumented packages' internals.
+const (
+	// SiteSpMMCPUWorker fires in every SpMM CPU worker goroutine, once per
+	// (tile, partition) chunk it processes.
+	SiteSpMMCPUWorker = "core/spmm/cpu-worker"
+	// SiteSpMMCPUOutput is a data site over each SpMM worker's output rows.
+	SiteSpMMCPUOutput = "core/spmm/cpu-output"
+	// SiteSDDMMCPUWorker fires in every SDDMM CPU worker goroutine.
+	SiteSDDMMCPUWorker = "core/sddmm/cpu-worker"
+	// SiteSDDMMCPUOutput is a data site over each SDDMM worker's output rows.
+	SiteSDDMMCPUOutput = "core/sddmm/cpu-output"
+	// SiteCudasimBlock fires at the start of every simulated-GPU block.
+	SiteCudasimBlock = "cudasim/block"
+)
+
+var (
+	armed atomic.Int32
+	mu    sync.RWMutex
+	sites = map[string]*Fault{}
+)
+
+// Enabled reports whether any fault is armed. Instrumented code may use it
+// to skip argument construction; Hit and CorruptFloats check it themselves.
+func Enabled() bool { return armed.Load() > 0 }
+
+// Arm activates f at site and returns a function that disarms it. Arming an
+// already-armed site panics: overlapping experiments would make the
+// deterministic hit counting meaningless.
+func Arm(site string, f *Fault) func() {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := sites[site]; dup {
+		panic("faultinject: site already armed: " + site)
+	}
+	f.cancel = make(chan struct{})
+	sites[site] = f
+	armed.Add(1)
+	return func() { Disarm(site) }
+}
+
+// Disarm deactivates the fault at site, releasing any stalled Hit. Disarming
+// an unarmed site is a no-op.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if f, ok := sites[site]; ok {
+		close(f.cancel)
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for site, f := range sites {
+		close(f.cancel)
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+func lookup(site string) *Fault {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	f := sites[site]
+	mu.RUnlock()
+	return f
+}
+
+// fires consumes one hit and reports whether it triggers, keyed by
+// (Seed, site, hit index).
+func (f *Fault) fires(site string) bool {
+	i := f.hits.Add(1) - 1
+	if f.Prob > 0 && f.Prob < 1 {
+		h := splitmix64(f.Seed ^ hashString(site) ^ (i * 0x9e3779b97f4a7c15))
+		if float64(h>>11)/(1<<53) >= f.Prob {
+			return false
+		}
+	}
+	f.fired.Add(1)
+	return true
+}
+
+// Hit triggers any control fault armed at site. Panic faults panic with the
+// fault's Value; Stall faults block until the delay elapses, the fault is
+// disarmed, or done closes. done may be nil. NaN faults are data faults and
+// ignore Hit. With nothing armed, Hit is one atomic load.
+func Hit(site string, done <-chan struct{}) {
+	f := lookup(site)
+	if f == nil || f.Kind == NaN || !f.fires(site) {
+		return
+	}
+	switch f.Kind {
+	case Panic:
+		v := f.Value
+		if v == nil {
+			v = "faultinject: injected panic at " + site
+		}
+		panic(v)
+	case Stall:
+		d := f.Delay
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-f.cancel:
+		case <-done:
+		}
+	}
+}
+
+// CorruptFloats poisons buf according to any NaN fault armed at site,
+// returning whether it fired. Control faults ignore data sites. With nothing
+// armed, CorruptFloats is one atomic load.
+func CorruptFloats(site string, buf []float32) bool {
+	f := lookup(site)
+	if f == nil || f.Kind != NaN || len(buf) == 0 || !f.fires(site) {
+		return false
+	}
+	buf[0] = float32(math.NaN())
+	return true
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// high-quality 64-bit mix used to turn (seed, site, hit) into a uniform
+// firing decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPathIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("no faults armed, Enabled should be false")
+	}
+	Hit("some/site", nil) // must not panic or block
+	buf := []float32{1}
+	if CorruptFloats("some/site", buf) || buf[0] != 1 {
+		t.Fatal("disabled CorruptFloats must not touch the buffer")
+	}
+}
+
+func TestArmDisarmLifecycle(t *testing.T) {
+	Reset()
+	disarm := Arm("t/site", &Fault{Kind: NaN})
+	if !Enabled() {
+		t.Fatal("Enabled should be true after Arm")
+	}
+	disarm()
+	if Enabled() {
+		t.Fatal("Enabled should be false after disarm")
+	}
+	Disarm("t/site") // disarming again is a no-op
+}
+
+func TestDuplicateArmPanics(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/dup", &Fault{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Arm at the same site should panic")
+		}
+	}()
+	Arm("t/dup", &Fault{})
+}
+
+func TestPanicFaultFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/panic", &Fault{Kind: Panic, Value: "boom"})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	Hit("t/panic", nil)
+	t.Fatal("Hit should have panicked")
+}
+
+func TestPanicFaultDefaultValueNamesSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/default", &Fault{Kind: Panic})
+	defer func() {
+		s, ok := recover().(string)
+		if !ok || s == "" {
+			t.Fatalf("recovered %v, want descriptive string", s)
+		}
+	}()
+	Hit("t/default", nil)
+}
+
+func TestNaNFaultCorruptsBuffer(t *testing.T) {
+	Reset()
+	defer Reset()
+	f := &Fault{Kind: NaN}
+	Arm("t/nan", f)
+	buf := []float32{1, 2, 3}
+	if !CorruptFloats("t/nan", buf) {
+		t.Fatal("NaN fault should fire")
+	}
+	if !math.IsNaN(float64(buf[0])) {
+		t.Fatalf("buf[0] = %v, want NaN", buf[0])
+	}
+	if buf[1] != 2 || buf[2] != 3 {
+		t.Fatal("only the first element should be poisoned")
+	}
+	if f.Fired() != 1 || f.Hits() != 1 {
+		t.Fatalf("counters: fired %d hits %d", f.Fired(), f.Hits())
+	}
+	// Hit ignores data faults.
+	Hit("t/nan", nil)
+	if f.Hits() != 1 {
+		t.Fatal("Hit must not consume hits of a NaN fault")
+	}
+}
+
+func TestStallFaultReleasedByDone(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/stall", &Fault{Kind: Stall, Delay: time.Minute})
+	done := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		Hit("t/stall", done)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("stall released before done closed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(done)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("stall not released by done")
+	}
+}
+
+func TestStallFaultReleasedByDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	disarm := Arm("t/stall2", &Fault{Kind: Stall, Delay: time.Minute})
+	released := make(chan struct{})
+	go func() {
+		Hit("t/stall2", nil)
+		close(released)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	disarm()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("stall not released by disarm")
+	}
+}
+
+func TestProbabilisticFiringIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	const n = 4000
+	run := func() (fired uint64) {
+		f := &Fault{Kind: NaN, Prob: 0.25, Seed: 7}
+		disarm := Arm("t/prob", f)
+		defer disarm()
+		buf := make([]float32, 1)
+		for i := 0; i < n; i++ {
+			buf[0] = 0
+			CorruptFloats("t/prob", buf)
+		}
+		return f.Fired()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed fired %d then %d times", a, b)
+	}
+	// The rate should be near Prob (binomial, ±5 sigma).
+	if a < n/4-250 || a > n/4+250 {
+		t.Fatalf("fired %d of %d hits, want ~%d", a, n, n/4)
+	}
+	// A different seed selects a different subset (count may differ).
+	f2 := &Fault{Kind: NaN, Prob: 0.25, Seed: 8}
+	disarm := Arm("t/prob", f2)
+	defer disarm()
+	buf := make([]float32, 1)
+	for i := 0; i < n; i++ {
+		buf[0] = 0
+		CorruptFloats("t/prob", buf)
+	}
+	if f2.Hits() != n {
+		t.Fatalf("hits = %d, want %d", f2.Hits(), n)
+	}
+}
+
+func TestConcurrentHitsAreCounted(t *testing.T) {
+	Reset()
+	defer Reset()
+	f := &Fault{Kind: NaN, Prob: 0.5, Seed: 3}
+	disarm := Arm("t/conc", f)
+	defer disarm()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float32, 1)
+			for i := 0; i < per; i++ {
+				CorruptFloats("t/conc", buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Hits() != workers*per {
+		t.Fatalf("hits = %d, want %d", f.Hits(), workers*per)
+	}
+	// Deterministic firing count regardless of interleaving.
+	want := firedCount(f.Seed, "t/conc", workers*per, f.Prob)
+	if f.Fired() != want {
+		t.Fatalf("fired = %d, want %d", f.Fired(), want)
+	}
+}
+
+// firedCount recomputes the deterministic firing count for n hits.
+func firedCount(seed uint64, site string, n int, prob float64) uint64 {
+	var c uint64
+	for i := uint64(0); i < uint64(n); i++ {
+		h := splitmix64(seed ^ hashString(site) ^ (i * 0x9e3779b97f4a7c15))
+		if float64(h>>11)/(1<<53) < prob {
+			c++
+		}
+	}
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	if Panic.String() != "panic" || NaN.String() != "nan" || Stall.String() != "stall" || Kind(99).String() != "unknown" {
+		t.Fatal("Kind strings wrong")
+	}
+}

@@ -199,6 +199,20 @@ func PlantedCommunities(rng *rand.Rand, n, numClasses, inDeg, outDeg, d int) *Cl
 	if err != nil {
 		panic("graphgen: PlantedCommunities produced invalid COO: " + err.Error())
 	}
+	return ClassifyGraph(rng, adj, numClasses, d)
+}
+
+// ClassifyGraph overlays a classification task on an existing adjacency
+// (e.g. one loaded from disk): round-robin labels, d-dimensional features
+// equal to a class centroid plus uniform noise, and the reddit split
+// ratios. The class signal lives in the features, so any graph becomes a
+// usable end-to-end training dataset.
+func ClassifyGraph(rng *rand.Rand, adj *sparse.CSR, numClasses, d int) *Classified {
+	n := adj.NumRows
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v % numClasses
+	}
 
 	// Class centroids: orthogonal-ish random directions.
 	centroids := tensor.New(numClasses, d)
