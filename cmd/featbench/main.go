@@ -7,6 +7,7 @@
 //	featbench -exp table3a         # run one experiment
 //	featbench -exp all             # run the whole evaluation
 //	featbench -exp table4a -full   # closer-to-paper sizing (slow)
+//	featbench -json bench.json     # machine-readable engine report
 //
 // CPU experiments report wall time; GPU experiments report simulated
 // cycles from the cudasim cost model (see DESIGN.md).
@@ -30,8 +31,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		threads = flag.Int("threads", 16, "max CPU worker count")
 		reps    = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
+		jsonOut = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
+		rounds  = flag.Int("rounds", 3, "interleaved measurement rounds for -json")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeEngineReport(*jsonOut, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *threads <= 0 {
 		fmt.Fprintf(os.Stderr, "featbench: -threads must be positive, got %d\n", *threads)

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"featgraph/internal/bench"
+)
+
+// gitRev best-effort resolves the working tree's short revision; reports
+// stay usable outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeEngineReport runs the engine-vs-legacy measurements and writes the
+// JSON report to path.
+func writeEngineReport(path string, rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	rep, err := bench.RunEngineReport(os.Stderr, gitRev(), rounds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("engine report written to %s (speedups: %v, alloc reduction: %.0fx, plan-cache hits: %d)\n",
+		path, rep.SkewedSpeedup, rep.AllocReduction, rep.PlanCache.HitsAfterLoop)
+	return f.Close()
+}

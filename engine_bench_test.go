@@ -1,0 +1,107 @@
+// Benchmarks for the persistent execution engine (PR 2): skewed-degree
+// scheduling, steady-state allocation behavior, and plan-cache reuse in the
+// dgl training loop. featbench -json runs the same measurements and emits
+// machine-readable results (see BENCH_PR2.json).
+package featgraph_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// skewedRowGraph builds a rand-100K-style two-tier graph and transposes it
+// so the degree skew lands on the rows — the axis SpMM splits across
+// workers, where a uniform row split leaves one worker with most of the
+// edges.
+func skewedRowGraph(n int) *sparse.CSR {
+	rng := rand.New(rand.NewSource(7))
+	return graphgen.TwoTier(rng, n, 0.2, 60, 4).Transpose()
+}
+
+// BenchmarkEngineSkewedSpMM is the headline scheduling benchmark: GCN-style
+// aggregation over a skewed-row-degree graph with NumThreads >= 4 and a
+// partitioned, tiled schedule (many dispatch phases per run).
+func BenchmarkEngineSkewedSpMM(b *testing.B) {
+	const n, d = 16384, 32
+	adj := skewedRowGraph(n)
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(n, d)
+	x.FillUniform(rng, -1, 1)
+	out := tensor.New(n, d)
+	for _, sched := range []struct {
+		name   string
+		legacy bool
+	}{{"engine", false}, {"legacy", true}} {
+		for _, threads := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads-%d", sched.name, threads), func(b *testing.B) {
+				udf := expr.CopySrc(n, d)
+				fds := schedule.New().Split(udf.OutAxes[0], d/2)
+				k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
+					core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: 8, LegacySched: sched.legacy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.Run(out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineSteadyStateAllocs measures per-run allocations of a built
+// kernel — the steady state of a training loop, which the engine makes
+// allocation-free.
+func BenchmarkEngineSteadyStateAllocs(b *testing.B) {
+	const n, d = 2048, 32
+	rng := rand.New(rand.NewSource(9))
+	adj := sparse.Random(rng, n, n, 8)
+	x := tensor.New(n, d)
+	x.FillUniform(rng, -1, 1)
+	out := tensor.New(n, d)
+	for _, sched := range []struct {
+		name   string
+		legacy bool
+	}{{"engine", false}, {"legacy", true}} {
+		opts := core.Options{Target: core.CPU, NumThreads: 4, LegacySched: sched.legacy}
+		b.Run("spmm-cpu/"+sched.name, func(b *testing.B) {
+			k, err := core.BuildSpMM(adj, expr.CopySrc(n, d), []*tensor.Tensor{x}, core.AggSum, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Run(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("sddmm-cpu/"+sched.name, func(b *testing.B) {
+			att := tensor.New(adj.NNZ(), 1)
+			k, err := core.BuildSDDMM(adj, expr.DotAttention(n, d), []*tensor.Tensor{x}, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Run(att); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+	"featgraph/internal/expr"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The engine report (featbench -json) measures the persistent execution
+// engine of PR 2 against the legacy per-run-goroutine scheduler it replaced
+// (Options.LegacySched). Engine and legacy runs of the same case are
+// interleaved round by round within one process and the per-case median is
+// kept, so a noisy machine perturbs both sides equally rather than biasing
+// the ratio.
+
+// EngineBenchResult is one measured (case, scheduler) pair.
+type EngineBenchResult struct {
+	Name        string  `json:"name"`
+	Sched       string  `json:"sched"` // "engine" or "legacy"
+	Threads     int     `json:"threads"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// EngineImbalance compares scheduling policies on the skewed benchmark
+// graph: the most loaded worker's edge count over the even share, for the
+// legacy uniform row split and for the engine's edge-balanced chunks under
+// dynamic dequeue. Machine-independent: computed from the CSR alone.
+type EngineImbalance struct {
+	Threads int     `json:"threads"`
+	Legacy  float64 `json:"legacy"`
+	Engine  float64 `json:"engine"`
+}
+
+// EnginePlanCache records a dgl training loop's plan-cache traffic.
+type EnginePlanCache struct {
+	Epochs           int    `json:"epochs"`
+	MissesAfterBuild uint64 `json:"misses_after_build"`
+	MissesAfterLoop  uint64 `json:"misses_after_loop"`
+	HitsAfterLoop    uint64 `json:"hits_after_loop"`
+}
+
+// EngineReport is the payload of featbench -json (checked in as
+// BENCH_PR2.json).
+type EngineReport struct {
+	GitRev         string              `json:"git_rev"`
+	GoVersion      string              `json:"go_version"`
+	GOMAXPROCS     int                 `json:"gomaxprocs"`
+	Rounds         int                 `json:"rounds"`
+	Results        []EngineBenchResult `json:"results"`
+	SkewedSpeedup  map[string]float64  `json:"skewed_spmm_speedup"` // per "threads-N": legacy/engine ns
+	AllocReduction float64             `json:"alloc_reduction"`     // legacy allocs per op / max(engine, 1)
+	Imbalance      []EngineImbalance   `json:"worker_edge_imbalance"`
+	PlanCache      EnginePlanCache     `json:"plan_cache"`
+}
+
+type engineCase struct {
+	name    string
+	threads int
+	build   func(legacy bool) (run func() error, err error)
+}
+
+// engineReportCases are fixed-size so reports stay comparable across
+// machines and revisions. The skewed case is dispatch-heavy (many
+// tile×partition phases over a power-law graph), the regime the persistent
+// engine targets; the steady case is the allocation benchmark.
+func engineReportCases() []engineCase {
+	var cases []engineCase
+
+	skewed := func(threads int) engineCase {
+		return engineCase{
+			name:    "skewed-spmm",
+			threads: threads,
+			build: func(legacy bool) (func() error, error) {
+				const n, d = 256, 32
+				rng := rand.New(rand.NewSource(7))
+				adj := graphgen.TwoTier(rng, n, 0.2, 60, 4).Transpose()
+				x := randX(8, n, d)
+				out := tensor.New(n, d)
+				udf := expr.CopySrc(n, d)
+				fds := schedule.New().Split(udf.OutAxes[0], 2)
+				k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
+					core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: 8, LegacySched: legacy})
+				if err != nil {
+					return nil, err
+				}
+				return func() error { _, err := k.Run(out); return err }, nil
+			},
+		}
+	}
+	cases = append(cases, skewed(4), skewed(8))
+
+	cases = append(cases, engineCase{
+		name:    "steady-spmm",
+		threads: 4,
+		build: func(legacy bool) (func() error, error) {
+			const n, d = 2048, 32
+			rng := rand.New(rand.NewSource(9))
+			adj := sparse.Random(rng, n, n, 8)
+			x := randX(10, n, d)
+			out := tensor.New(n, d)
+			k, err := core.BuildSpMM(adj, expr.CopySrc(n, d), []*tensor.Tensor{x}, core.AggSum, nil,
+				core.Options{Target: core.CPU, NumThreads: 4, LegacySched: legacy})
+			if err != nil {
+				return nil, err
+			}
+			return func() error { _, err := k.Run(out); return err }, nil
+		},
+	})
+	return cases
+}
+
+// measureImbalance models both scheduling policies on the skewed graph:
+// legacy splits rows uniformly across workers; the engine splits rows into
+// edge-balanced chunks (threads×4, matching the engine's chunksPerRunner)
+// that idle workers dequeue dynamically — modeled as list scheduling.
+func measureImbalance(adj *sparse.CSR, threads int) EngineImbalance {
+	nnz := adj.NNZ()
+	even := float64(nnz) / float64(threads)
+
+	worst := 0
+	for w := 0; w < threads; w++ {
+		lo := w * adj.NumRows / threads
+		hi := (w + 1) * adj.NumRows / threads
+		if e := int(adj.RowPtr[hi] - adj.RowPtr[lo]); e > worst {
+			worst = e
+		}
+	}
+	legacy := float64(worst) / even
+
+	nchunks := threads * 4
+	loads := make([]int, threads)
+	lo := 0
+	for c := 1; c <= nchunks && lo < adj.NumRows; c++ {
+		target := int32(int64(nnz) * int64(c) / int64(nchunks))
+		hi := lo + sort.Search(adj.NumRows-lo, func(i int) bool { return adj.RowPtr[lo+i+1] >= target }) + 1
+		if c == nchunks || hi > adj.NumRows {
+			hi = adj.NumRows
+		}
+		// Dynamic dequeue: the next chunk goes to the least loaded worker.
+		minw := 0
+		for w := 1; w < threads; w++ {
+			if loads[w] < loads[minw] {
+				minw = w
+			}
+		}
+		loads[minw] += int(adj.RowPtr[hi] - adj.RowPtr[lo])
+		lo = hi
+	}
+	worst = 0
+	for _, l := range loads {
+		worst = max(worst, l)
+	}
+	return EngineImbalance{Threads: threads, Legacy: legacy, Engine: float64(worst) / even}
+}
+
+// measurePlanCache runs a small dgl training loop and reports cache traffic:
+// construction misses, then pure hits for every later epoch.
+func measurePlanCache(epochs int) (EnginePlanCache, error) {
+	rng := rand.New(rand.NewSource(11))
+	adj := sparse.Random(rng, 512, 512, 8)
+	g, err := dgl.New(adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU, NumThreads: 4, GraphPartitions: 2, FeatureTileFactor: 8})
+	if err != nil {
+		return EnginePlanCache{}, err
+	}
+	const d = 32
+	op, err := g.NewCopySum(d)
+	if err != nil {
+		return EnginePlanCache{}, err
+	}
+	pc := EnginePlanCache{Epochs: epochs, MissesAfterBuild: g.PlanCache.Misses}
+	x := randX(12, 512, d)
+	lones := tensor.New(1, 512)
+	lones.Fill(1)
+	rones := tensor.New(d, 1)
+	rones.Fill(1)
+	for e := 0; e < epochs; e++ {
+		tp := autodiff.NewTape()
+		xv := tp.Param(x)
+		y := op.Apply(tp, xv)
+		loss := tp.MatMul(tp.MatMul(tp.Input(lones), y), tp.Input(rones))
+		if err := tp.Backward(loss); err != nil {
+			return pc, err
+		}
+	}
+	pc.MissesAfterLoop = g.PlanCache.Misses
+	pc.HitsAfterLoop = g.PlanCache.Hits
+	return pc, nil
+}
+
+// RunEngineReport measures every case over `rounds` interleaved rounds and
+// assembles the report. gitRev is stamped by the caller (featbench).
+func RunEngineReport(out io.Writer, gitRev string, rounds int) (*EngineReport, error) {
+	rep := &EngineReport{
+		GitRev:        gitRev,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Rounds:        rounds,
+		SkewedSpeedup: map[string]float64{},
+	}
+	best := map[string]*EngineBenchResult{}
+	samples := map[string][]float64{}
+	order := []string{}
+	for round := 0; round < rounds; round++ {
+		for _, c := range engineReportCases() {
+			for _, sched := range []string{"engine", "legacy"} {
+				run, err := c.build(sched == "legacy")
+				if err != nil {
+					return nil, err
+				}
+				var runErr error
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := run(); err != nil {
+							runErr = err
+							return
+						}
+					}
+				})
+				if runErr != nil {
+					return nil, runErr
+				}
+				key := fmt.Sprintf("%s/%s/threads-%d", c.name, sched, c.threads)
+				ns := float64(r.NsPerOp())
+				if _, ok := best[key]; !ok {
+					best[key] = &EngineBenchResult{
+						Name: c.name, Sched: sched, Threads: c.threads,
+						BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+					}
+					order = append(order, key)
+				}
+				samples[key] = append(samples[key], ns)
+				fmt.Fprintf(out, "round %d: %-30s %12.0f ns/op %6d allocs/op\n", round, key, ns, r.AllocsPerOp())
+			}
+		}
+	}
+	for _, key := range order {
+		s := samples[key]
+		sort.Float64s(s)
+		best[key].NsPerOp = s[len(s)/2]
+		rep.Results = append(rep.Results, *best[key])
+	}
+
+	find := func(name, sched string, threads int) *EngineBenchResult {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			if r.Name == name && r.Sched == sched && r.Threads == threads {
+				return r
+			}
+		}
+		return nil
+	}
+	for _, threads := range []int{4, 8} {
+		e, l := find("skewed-spmm", "engine", threads), find("skewed-spmm", "legacy", threads)
+		if e != nil && l != nil {
+			rep.SkewedSpeedup[fmt.Sprintf("threads-%d", threads)] = l.NsPerOp / e.NsPerOp
+		}
+	}
+	if e, l := find("steady-spmm", "engine", 4), find("steady-spmm", "legacy", 4); e != nil && l != nil {
+		rep.AllocReduction = float64(l.AllocsPerOp) / float64(max(e.AllocsPerOp, 1))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	adj := graphgen.TwoTier(rng, 256, 0.2, 60, 4).Transpose()
+	for _, threads := range []int{4, 8} {
+		rep.Imbalance = append(rep.Imbalance, measureImbalance(adj, threads))
+	}
+
+	pc, err := measurePlanCache(5)
+	if err != nil {
+		return nil, err
+	}
+	rep.PlanCache = pc
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *EngineReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/graphgen"
+)
+
+func TestMeasureImbalancePrefersEngineOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	adj := graphgen.TwoTier(rng, 256, 0.2, 60, 4).Transpose()
+	for _, threads := range []int{4, 8} {
+		im := measureImbalance(adj, threads)
+		if im.Legacy < 1 || im.Engine < 1 {
+			t.Fatalf("threads=%d: imbalance below 1 is impossible: %+v", threads, im)
+		}
+		// The whole point of edge-balanced chunks: the engine's worst
+		// worker carries far fewer edges than a uniform row split's.
+		if im.Engine >= im.Legacy {
+			t.Errorf("threads=%d: engine imbalance %.2f not better than legacy %.2f", threads, im.Engine, im.Legacy)
+		}
+		if im.Engine > 1.5 {
+			t.Errorf("threads=%d: engine imbalance %.2f, want near-even", threads, im.Engine)
+		}
+	}
+}
+
+func TestMeasurePlanCacheEpochsAllHit(t *testing.T) {
+	pc, err := measurePlanCache(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.MissesAfterLoop != pc.MissesAfterBuild {
+		t.Fatalf("training loop rebuilt kernels: %+v", pc)
+	}
+	if pc.HitsAfterLoop == 0 {
+		t.Fatalf("training loop recorded no cache hits: %+v", pc)
+	}
+}
+
+func TestEngineReportJSONRoundTrips(t *testing.T) {
+	rep := &EngineReport{
+		GitRev:        "abc1234",
+		GOMAXPROCS:    1,
+		Rounds:        1,
+		SkewedSpeedup: map[string]float64{"threads-4": 1.5},
+		Results: []EngineBenchResult{
+			{Name: "skewed-spmm", Sched: "engine", Threads: 4, NsPerOp: 100},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back EngineReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.GitRev != rep.GitRev || back.SkewedSpeedup["threads-4"] != 1.5 || len(back.Results) != 1 {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+}

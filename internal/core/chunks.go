@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"featgraph/internal/partition"
+	"featgraph/internal/sparse"
+)
+
+// Chunking policy for the execution engine. Phases are split into more
+// chunks than runners so the atomic-cursor dequeue can rebalance load
+// dynamically (a runner stuck on a heavy chunk simply takes fewer chunks),
+// but not so many that cursor traffic and faultinject probes dominate on
+// small graphs.
+const (
+	// chunksPerRunner is the oversubscription factor: how many chunks each
+	// requested worker should see on average.
+	chunksPerRunner = 4
+	// minChunkEdges is the targeted minimum work per chunk; graphs with few
+	// edges get fewer chunks rather than degenerate slivers.
+	minChunkEdges = 256
+)
+
+// numChunksFor picks the chunk count for a phase over rows rows and nnz
+// edges with the requested worker count. Single-threaded kernels use one
+// chunk (no scheduling overhead at all).
+func numChunksFor(threads, rows, nnz int) int {
+	if threads <= 1 || rows <= 1 {
+		return 1
+	}
+	c := threads * chunksPerRunner
+	if byEdges := max(nnz/minChunkEdges, threads); c > byEdges {
+		c = byEdges
+	}
+	return max(min(c, rows), 1)
+}
+
+// edgeBalancedChunks splits the rows of part into nchunks contiguous chunks
+// of approximately equal edge count (nnz), computed from the CSR row-pointer
+// prefix sums. This is what makes the engine robust to power-law degree
+// distributions: a uniform row split hands one worker nearly all the edges
+// of a skewed graph, while edge-balanced chunks put the same number of
+// memory touches in every chunk (§IV-A's load-balancing argument). Chunk
+// boundaries are found by binary search on RowPtr, so building the chunk
+// list costs O(nchunks · log rows) at kernel-build time and nothing per run.
+//
+// Every row appears in exactly one chunk; empty chunks are elided, so the
+// result may be shorter than nchunks.
+func edgeBalancedChunks(part *sparse.CSR, nchunks int) []partition.Range {
+	rows := part.NumRows
+	nnz := part.NNZ()
+	if nchunks <= 1 || rows <= 1 || nnz == 0 {
+		if rows == 0 {
+			return nil
+		}
+		return []partition.Range{{Lo: 0, Hi: rows}}
+	}
+	nchunks = min(nchunks, rows)
+	chunks := make([]partition.Range, 0, nchunks)
+	lo := 0
+	for c := 1; c <= nchunks && lo < rows; c++ {
+		// The boundary is the first row at or past this chunk's share of
+		// the edge total — and always at least one row beyond lo, so the
+		// chunk is never empty even when a single row exceeds the target.
+		target := int32(int64(nnz) * int64(c) / int64(nchunks))
+		hi := lo + sort.Search(rows-lo, func(i int) bool {
+			return part.RowPtr[lo+i+1] >= target
+		}) + 1
+		if c == nchunks || hi > rows {
+			hi = rows
+		}
+		chunks = append(chunks, partition.Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return chunks
+}
+
+// uniformChunks splits [0, n) into nchunks equal-sized ranges, eliding
+// empty ones. Used for phases whose per-element cost is uniform (SDDMM edge
+// traversal, aggregation finalization), where edge balancing is moot.
+func uniformChunks(n, nchunks int) []partition.Range {
+	if n <= 0 {
+		return nil
+	}
+	if nchunks <= 1 || n == 1 {
+		return []partition.Range{{Lo: 0, Hi: n}}
+	}
+	nchunks = min(nchunks, n)
+	chunks := make([]partition.Range, 0, nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo, hi := c*n/nchunks, (c+1)*n/nchunks
+		if lo < hi {
+			chunks = append(chunks, partition.Range{Lo: lo, Hi: hi})
+		}
+	}
+	return chunks
+}

@@ -125,6 +125,14 @@ type Options struct {
 	// NoFallback disables the transparent CPU retry a GPU-target kernel
 	// performs when the device build or run fails.
 	NoFallback bool
+
+	// LegacySched runs CPU kernels on the pre-engine scheduler: fresh
+	// goroutines per (tile, partition) phase with a uniform contiguous row
+	// split and per-run scratch allocation. It exists as the ablation
+	// baseline for the persistent engine (see engine.go and featbench's
+	// perf experiment); behavior and results are identical, only the
+	// dispatch strategy differs.
+	LegacySched bool
 }
 
 // RunStats reports per-run execution statistics. SimCycles is nonzero only
@@ -206,18 +214,33 @@ func walkLoads(e expr.Expr, f func(*expr.Load)) {
 // cooperative cancellation (from the caller's context) and first-error-wins
 // failure collection (from recovered worker panics). Once stopped — by
 // cancellation or by a failing worker — the remaining workers observe stop()
-// at their next poll, abandon their work, and drain; parallelFor still waits
-// for all of them, so no goroutine outlives the Run call.
+// at their next poll, abandon their work, and drain; the dispatcher
+// (workpool phase or parallelFor) still waits for all of them, so no
+// goroutine outlives the Run call. A runControl is resettable so pooled run
+// states reuse one across executions without allocating.
 type runControl struct {
-	done    <-chan struct{} // caller's ctx.Done(); may be nil
-	ctxErr  func() error
+	ctx     context.Context // nil only for the zero value before reset
+	done    <-chan struct{} // ctx.Done(); may be nil
 	stopped atomic.Bool
 	mu      sync.Mutex
 	err     error
 }
 
 func newRunControl(ctx context.Context) *runControl {
-	return &runControl{done: ctx.Done(), ctxErr: func() error { return ctx.Err() }}
+	rc := &runControl{}
+	rc.reset(ctx)
+	return rc
+}
+
+// reset rearms rc for a new execution under ctx. It must not be called
+// while workers of a previous execution are still running.
+func (rc *runControl) reset(ctx context.Context) {
+	rc.ctx = ctx
+	rc.done = ctx.Done()
+	rc.stopped.Store(false)
+	rc.mu.Lock()
+	rc.err = nil
+	rc.mu.Unlock()
 }
 
 // stop reports whether workers should abandon their remaining work, either
@@ -261,7 +284,7 @@ func (rc *runControl) verdict() error {
 	if err != nil {
 		return err
 	}
-	return rc.ctxErr()
+	return rc.ctx.Err()
 }
 
 // workerSite locates a parallelFor call in the kernel schedule for

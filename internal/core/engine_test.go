@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"featgraph/internal/cudasim"
+	"featgraph/internal/expr"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func TestNumChunksFor(t *testing.T) {
+	cases := []struct {
+		threads, rows, nnz int
+		want               int
+	}{
+		{1, 1000, 10000, 1},    // single-threaded: no point splitting
+		{0, 1000, 10000, 1},    // unset threads behave like 1
+		{4, 1, 10, 1},          // one row can't be split
+		{4, 1000, 100, 4},      // tiny edge count: floor at threads
+		{4, 8, 1 << 20, 8},     // chunk count never exceeds rows
+		{4, 1000, 1 << 20, 16}, // plenty of edges: threads*chunksPerRunner
+	}
+	for _, c := range cases {
+		if got := numChunksFor(c.threads, c.rows, c.nnz); got != c.want {
+			t.Errorf("numChunksFor(%d, %d, %d) = %d, want %d", c.threads, c.rows, c.nnz, got, c.want)
+		}
+	}
+}
+
+func TestEdgeBalancedChunksCoverAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	adj := graphgen.TwoTier(rng, 4000, 0.1, 80, 3).Transpose()
+	nnz := adj.NNZ()
+	maxDeg := 0
+	for r := 0; r < adj.NumRows; r++ {
+		maxDeg = max(maxDeg, adj.RowDegree(r))
+	}
+	for _, nchunks := range []int{1, 3, 16, 64} {
+		chunks := edgeBalancedChunks(adj, nchunks)
+		next := 0
+		for _, c := range chunks {
+			if c.Lo != next || c.Hi <= c.Lo {
+				t.Fatalf("nchunks=%d: chunk %+v not contiguous from %d", nchunks, c, next)
+			}
+			next = c.Hi
+			edges := int(adj.RowPtr[c.Hi] - adj.RowPtr[c.Lo])
+			// Balance: no chunk exceeds its even share by more than one
+			// row's worth of edges (a single row is indivisible).
+			if limit := nnz/nchunks + maxDeg; edges > limit {
+				t.Errorf("nchunks=%d: chunk %+v has %d edges, limit %d", nchunks, c, edges, limit)
+			}
+		}
+		if next != adj.NumRows {
+			t.Fatalf("nchunks=%d: chunks end at %d, want %d", nchunks, next, adj.NumRows)
+		}
+	}
+}
+
+func TestUniformChunksCoverRange(t *testing.T) {
+	for _, c := range []struct{ n, nchunks int }{{0, 4}, {1, 4}, {7, 3}, {100, 7}, {5, 5}, {3, 8}} {
+		chunks := uniformChunks(c.n, c.nchunks)
+		next := 0
+		for _, r := range chunks {
+			if r.Lo != next || r.Hi <= r.Lo {
+				t.Fatalf("uniformChunks(%d,%d): chunk %+v not contiguous from %d", c.n, c.nchunks, r, next)
+			}
+			next = r.Hi
+		}
+		if next != c.n {
+			t.Fatalf("uniformChunks(%d,%d): chunks end at %d", c.n, c.nchunks, next)
+		}
+	}
+}
+
+// TestEngineMatchesLegacySched checks the persistent engine reproduces the
+// legacy per-run-goroutine scheduler bit for bit: chunking changes which
+// worker computes a row, never the per-row arithmetic order.
+func TestEngineMatchesLegacySched(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, d = 300, 24
+	adj := graphgen.TwoTier(rng, n, 0.2, 30, 3).Transpose()
+	x := randTensor(rng, n, d)
+	e1 := randTensor(rng, adj.NNZ(), 1)
+	x8 := randTensor(rng, n, 8)
+	w := randTensor(rng, 8, d)
+
+	opts := Options{Target: CPU, NumThreads: 4, GraphPartitions: 4}
+	legacy := opts
+	legacy.LegacySched = true
+
+	spmmWorkloads := []struct {
+		name   string
+		udf    *expr.UDF
+		inputs []*tensor.Tensor
+	}{
+		{"copy-src", expr.CopySrc(n, d), []*tensor.Tensor{x}},
+		{"src-mul-edge-scalar", expr.SrcMulEdgeScalar(n, adj.NNZ(), d), []*tensor.Tensor{x, e1}},
+		{"mlp", expr.MLPMessage(n, 8, d), []*tensor.Tensor{x8, w}},
+	}
+	for _, wl := range spmmWorkloads {
+		for _, agg := range []AggOp{AggSum, AggMax, AggMean} {
+			fds := schedule.New().Split(wl.udf.OutAxes[0], 8)
+			got := runSpMMConfig(t, adj, wl.udf, wl.inputs, agg, fds, opts)
+			want := runSpMMConfig(t, adj, wl.udf, wl.inputs, agg, fds, legacy)
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("spmm %s/%s: engine diverges from legacy at %d: %v != %v", wl.name, agg, i, v, want.Data()[i])
+				}
+			}
+		}
+	}
+
+	sddmmWorkloads := []struct {
+		name   string
+		udf    *expr.UDF
+		inputs []*tensor.Tensor
+	}{
+		{"dot", expr.DotAttention(n, d), []*tensor.Tensor{x}},
+		{"add-src-dst", expr.AddSrcDst(n, d), []*tensor.Tensor{x}},
+	}
+	for _, wl := range sddmmWorkloads {
+		run := func(o Options) *tensor.Tensor {
+			k, err := BuildSDDMM(adj, wl.udf, wl.inputs, schedule.New().Split(wl.udf.OutAxes[0], 8), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, cols := k.OutShape()
+			out := tensor.New(rows, cols)
+			if _, err := k.Run(out); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		got, want := run(opts), run(legacy)
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("sddmm %s: engine diverges from legacy at %d: %v != %v", wl.name, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+// TestRunCtxZeroAllocSteadyState asserts the headline engine property: after
+// the first run, repeated RunCtx calls on a built kernel allocate nothing —
+// CPU and simulated GPU alike.
+func TestRunCtxZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, d = 512, 16
+	adj := sparse.Random(rng, n, n, 6)
+	x := randTensor(rng, n, d)
+	dev := cudasim.NewDevice(cudasim.Config{})
+
+	type kernelCase struct {
+		name string
+		run  func() error
+	}
+	var cases []kernelCase
+
+	addSpMM := func(name string, opts Options) {
+		udf := expr.CopySrc(n, d)
+		k, err := BuildSpMM(adj, udf, []*tensor.Tensor{x}, AggSum, schedule.New().Split(udf.OutAxes[0], 8), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tensor.New(n, d)
+		cases = append(cases, kernelCase{name, func() error { _, err := k.Run(out); return err }})
+	}
+	addSDDMM := func(name string, opts Options) {
+		k, err := BuildSDDMM(adj, expr.DotAttention(n, d), []*tensor.Tensor{x}, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tensor.New(adj.NNZ(), 1)
+		cases = append(cases, kernelCase{name, func() error { _, err := k.Run(out); return err }})
+	}
+	addSpMM("spmm-cpu", Options{Target: CPU, NumThreads: 4, GraphPartitions: 4})
+	addSpMM("spmm-gpu", Options{Target: GPU, Device: dev})
+	addSDDMM("sddmm-cpu", Options{Target: CPU, NumThreads: 4})
+	addSDDMM("sddmm-gpu", Options{Target: GPU, Device: dev})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// First run may finish lazy per-slot scratch; steady state
+			// starts after it.
+			if err := c.run(); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := c.run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs per steady-state run, want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// TestConcurrentKernelsSharePool runs distinct kernels simultaneously on the
+// shared worker pool and checks every run's output; under -race this also
+// exercises the pool's handoff and the per-kernel run-state freelists.
+func TestConcurrentKernelsSharePool(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n, d = 256, 8
+	adj := sparse.Random(rng, n, n, 5)
+	x := randTensor(rng, n, d)
+
+	udf := expr.CopySrc(n, d)
+	want, err := ReferenceSpMM(adj, udf, []*tensor.Tensor{x}, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attWant := tensor.New(adj.NNZ(), 1)
+	{
+		ref, err := ReferenceSDDMM(adj, expr.DotAttention(n, d), []*tensor.Tensor{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		attWant = ref
+	}
+
+	const goroutines, reps = 6, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			opts := Options{Target: CPU, NumThreads: 1 + gi%4, GraphPartitions: gi % 3}
+			if gi%2 == 0 {
+				k, err := BuildSpMM(adj, expr.CopySrc(n, d), []*tensor.Tensor{x}, AggSum, nil, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out := tensor.New(n, d)
+				for r := 0; r < reps; r++ {
+					if _, err := k.Run(out); err != nil {
+						errs <- err
+						return
+					}
+					if !out.AllClose(want, 1e-5) {
+						errs <- fmt.Errorf("goroutine %d rep %d: spmm output diverged", gi, r)
+						return
+					}
+				}
+			} else {
+				k, err := BuildSDDMM(adj, expr.DotAttention(n, d), []*tensor.Tensor{x}, nil, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out := tensor.New(adj.NNZ(), 1)
+				for r := 0; r < reps; r++ {
+					if _, err := k.Run(out); err != nil {
+						errs <- err
+						return
+					}
+					if !out.AllClose(attWant, 1e-5) {
+						errs <- fmt.Errorf("goroutine %d rep %d: sddmm output diverged", gi, r)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

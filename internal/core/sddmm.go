@@ -30,6 +30,11 @@ type SDDMMKernel struct {
 	redTiles []partition.Range       // reduce-axis tiles (dot fast path only)
 	redAxis  *expr.Axis              // the dot pattern's reduction axis
 
+	// Engine state (see engine.go): uniform edge chunks over the traversal
+	// order and the run-state freelist.
+	edgeChunks []partition.Range
+	states     chan *sddmmRunState
+
 	gpu *sddmmGPU
 }
 
@@ -84,6 +89,21 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 		k.gpu = buildSDDMMGPU(k, udf, fds)
 	default:
 		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
+	}
+
+	// Engine schedule: SDDMM phases have uniform per-edge cost, so chunks
+	// split the traversal order evenly; balance comes from the pool's
+	// dynamic dequeue.
+	nnz := adj.NNZ()
+	k.edgeChunks = uniformChunks(nnz, numChunksFor(max(opts.NumThreads, 1), nnz, nnz))
+	k.states = make(chan *sddmmRunState, runStatePoolCap)
+
+	// Pre-create one run state (and GPU launch state) so scratch is
+	// allocated at build time and the first Run is already allocation-free;
+	// this also starts the shared worker pool before any run executes.
+	k.states <- k.newRunState()
+	if k.gpu != nil {
+		k.gpu.states <- k.newGPULaunch()
 	}
 	return k, nil
 }
@@ -156,9 +176,20 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 }
 
 // runCPU executes the multi-threaded CPU schedule, splitting the traversal
-// order (Hilbert or row-major) across workers. Workers poll the run control
-// between edge chunks so cancellation and failures stop the pool promptly.
+// order (Hilbert or row-major) across workers. The persistent engine
+// (engine.go) dispatches edges as chunks on the shared worker pool with
+// zero per-run allocation; Options.LegacySched selects the pre-engine
+// per-run-goroutine scheduler instead.
 func (k *SDDMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+	if k.opts.LegacySched {
+		return k.runCPULegacy(ctx, out)
+	}
+	return k.runCPUEngine(ctx, out)
+}
+
+// runCPULegacy is the pre-engine scheduler, kept as the measured ablation
+// baseline for the engine.
+func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error {
 	rc := newRunControl(ctx)
 	threads := max(k.opts.NumThreads, 1)
 	nnz := k.adj.NNZ()

@@ -18,8 +18,8 @@ import (
 // the "compilation": FDS validation, UDF lowering, pattern recognition,
 // graph partitioning, and scheduling-parameter resolution. Run executes it.
 //
-// A kernel may be Run concurrently only with distinct output tensors on the
-// CPU target; GPU kernels serialize internally per device.
+// A kernel may be Run concurrently only with distinct output tensors;
+// concurrent executions draw separate run states from the engine's pool.
 type SpMMKernel struct {
 	adj    *sparse.CSR
 	agg    AggOp
@@ -31,9 +31,19 @@ type SpMMKernel struct {
 
 	tiles []partition.Range
 
+	// Scratch sizing, hoisted to build time so runs allocate nothing.
+	maxTile int // widest feature tile
+	tmpLen  int // combined-feature length for the MLP fast path
+
 	// CPU state, built for both targets: it is the kernel's own schedule on
 	// CPU and the graceful-degradation retry path on GPU.
 	parts []*sparse.CSR // 1D column partitions (length 1 when disabled)
+
+	// Engine state (see engine.go, chunks.go): per-partition edge-balanced
+	// row chunks, uniform finalization chunks, and the run-state freelist.
+	chunks    [][]partition.Range
+	finChunks []partition.Range
+	states    chan *spmmRunState
 
 	// GPU state (see spmm_gpu.go). nil for a GPU-target kernel whose device
 	// build failed and degraded to the CPU path.
@@ -71,6 +81,12 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 		match:    codegen.Recognize(udf, inputs),
 	}
 	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
+	for _, t := range k.tiles {
+		k.maxTile = max(k.maxTile, t.Len())
+	}
+	if k.match.Pattern == codegen.MLPSrcDst {
+		k.tmpLen = k.match.W.Dim(0)
+	}
 
 	if opts.Target != CPU && opts.Target != GPU {
 		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
@@ -80,6 +96,18 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	} else {
 		k.parts = []*sparse.CSR{adj}
 	}
+
+	// Engine schedule: edge-balanced row chunks per partition (computed
+	// once, from the CSR prefix sums), uniform chunks for finalization, and
+	// a freelist so steady-state runs are allocation-free.
+	threads := max(opts.NumThreads, 1)
+	k.chunks = make([][]partition.Range, len(k.parts))
+	for i, p := range k.parts {
+		k.chunks[i] = edgeBalancedChunks(p, numChunksFor(threads, p.NumRows, p.NNZ()))
+	}
+	k.finChunks = uniformChunks(adj.NumRows, numChunksFor(threads, adj.NumRows, adj.NumRows))
+	k.states = make(chan *spmmRunState, runStatePoolCap)
+
 	if opts.Target == GPU {
 		k.gpu, err = buildSpMMGPU(k, udf, fds)
 		if err != nil {
@@ -92,6 +120,14 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 			k.gpu = nil
 			k.gpuBuildErr = err.Error()
 		}
+	}
+
+	// Pre-create one run state (and GPU launch state) so scratch is
+	// allocated at build time and the first Run is already allocation-free;
+	// this also starts the shared worker pool before any run executes.
+	k.states <- k.newRunState()
+	if k.gpu != nil {
+		k.gpu.states <- k.newGPULaunch()
 	}
 	return k, nil
 }
@@ -160,10 +196,21 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 // runCPU executes the tiled, partitioned, multi-threaded CPU schedule:
 // feature tiles outermost (each tile re-traverses the topology, the
 // trade-off of Figure 6), graph partitions next (all threads cooperate on
-// one partition at a time, §IV-A), rows split across threads innermost.
-// Workers poll the run control between row chunks so cancellation and
-// failures stop the pool promptly.
+// one partition at a time, §IV-A), rows across workers innermost. The
+// persistent engine (engine.go) dispatches rows as edge-balanced chunks on
+// the shared worker pool with zero per-run allocation; Options.LegacySched
+// selects the pre-engine per-run-goroutine scheduler instead.
 func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+	if k.opts.LegacySched {
+		return k.runCPULegacy(ctx, out)
+	}
+	return k.runCPUEngine(ctx, out)
+}
+
+// runCPULegacy is the pre-engine scheduler: fresh goroutines per phase over
+// a uniform contiguous row split, with scratch allocated per run. Kept as
+// the measured ablation baseline for the engine.
+func (k *SpMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error {
 	rc := newRunControl(ctx)
 	threads := max(k.opts.NumThreads, 1)
 	out.Fill(k.agg.identity())
@@ -171,19 +218,11 @@ func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
 	// Per-worker scratch: env and message buffer for the generic path,
 	// plus a combined-feature buffer for the MLP fast path.
 	scratch := make([]*spmmScratch, threads)
-	maxTile := 0
-	for _, t := range k.tiles {
-		maxTile = max(maxTile, t.Len())
-	}
-	tmpLen := 0
-	if k.match.Pattern == codegen.MLPSrcDst {
-		tmpLen = k.match.W.Dim(0)
-	}
 	for w := range scratch {
 		scratch[w] = &spmmScratch{
 			env: k.compiled.NewEnv(),
-			msg: make([]float32, maxTile),
-			tmp: make([]float32, tmpLen),
+			msg: make([]float32, k.maxTile),
+			tmp: make([]float32, k.tmpLen),
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"featgraph/internal/schedule"
 	"featgraph/internal/sparse"
 	"featgraph/internal/tensor"
+	"featgraph/internal/workpool"
 )
 
 // spmmGPU holds the GPU-side schedule of an SpMM kernel: the vertex
@@ -24,6 +25,69 @@ type spmmGPU struct {
 	parts    []*gpuPart
 	featPar  bool   // FDS bound the feature axis to thread.x
 	bodyCost uint64 // simulated cycles per generic-UDF output element
+
+	states chan *spmmGPULaunch // reusable launch-state freelist
+}
+
+// spmmGPULaunch is one GPU execution's worth of reusable state: the kernel
+// closure handed to the device (created once), the per-launch dispatch
+// parameters (set between launches; launches are synchronous), and host-side
+// per-slot scratch keyed by cudasim.Block.Slot.
+type spmmGPULaunch struct {
+	k          *SpMMKernel
+	out        *tensor.Tensor
+	gp         *gpuPart
+	tile       partition.Range
+	gridBlocks int
+	kernel     func(*cudasim.Block)
+	scratch    []*gpuScratch
+}
+
+// gpuScratch is per-runner-slot evaluation state for GPU blocks: the
+// analogue of spmmScratch on the device side. Allocated on a slot's first
+// block, reused for every later block and launch on that slot.
+type gpuScratch struct {
+	env *codegen.Env
+	msg []float32
+	tmp []float32
+}
+
+func (k *SpMMKernel) newGPULaunch() *spmmGPULaunch {
+	st := &spmmGPULaunch{k: k, scratch: make([]*gpuScratch, workpool.Default().MaxRunners())}
+	st.kernel = st.block
+	return st
+}
+
+func (g *spmmGPU) getLaunch(k *SpMMKernel) *spmmGPULaunch {
+	select {
+	case st := <-g.states:
+		return st
+	default:
+		return k.newGPULaunch()
+	}
+}
+
+func (g *spmmGPU) putLaunch(st *spmmGPULaunch) {
+	st.out = nil
+	st.gp = nil
+	select {
+	case g.states <- st:
+	default:
+	}
+}
+
+// block runs one grid block, routing the slot's scratch to the kernel body.
+func (st *spmmGPULaunch) block(b *cudasim.Block) {
+	sc := st.scratch[b.Slot()]
+	if sc == nil {
+		sc = &gpuScratch{
+			env: st.k.compiled.NewEnv(),
+			msg: make([]float32, st.k.maxTile),
+			tmp: make([]float32, st.k.tmpLen),
+		}
+		st.scratch[b.Slot()] = sc
+	}
+	st.k.gpuBlock(b, st.out, st.gp, st.tile, st.gridBlocks, sc)
 }
 
 // gpuPart is one column partition processed by one kernel launch. For
@@ -77,6 +141,7 @@ func buildSpMMGPU(k *SpMMKernel, udf *expr.UDF, fds *schedule.FDS) (*spmmGPU, er
 	} else {
 		g.parts = []*gpuPart{{csr: k.adj}}
 	}
+	g.states = make(chan *spmmGPULaunch, runStatePoolCap)
 	return g, nil
 }
 
@@ -107,16 +172,20 @@ func (k *SpMMKernel) gpuLaunchDims(tileLen int) (blocks, threads int) {
 // blocks (which poll Block.Cancelled between rows).
 func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	g := k.gpu
+	st := g.getLaunch(k)
+	defer g.putLaunch(st)
+	st.out = out
 	out.Fill(k.agg.identity())
 	var total uint64
 
 	for ti, tile := range k.tiles {
 		tileLen := tile.Len()
 		blocks, threads := k.gpuLaunchDims(tileLen)
+		st.tile = tile
+		st.gridBlocks = blocks
 		for pi, gp := range g.parts {
-			stats, err := g.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, func(b *cudasim.Block) {
-				k.gpuBlock(b, out, gp, tile, blocks)
-			})
+			st.gp = gp
+			stats, err := g.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, st.kernel)
 			if err != nil {
 				var kpe *cudasim.KernelPanicError
 				if errors.As(err, &kpe) {
@@ -134,7 +203,7 @@ func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, 
 
 // gpuBlock processes the rows assigned to one block (grid-strided) for one
 // feature tile of one column partition.
-func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart, tile partition.Range, gridBlocks int) {
+func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart, tile partition.Range, gridBlocks int, sc *gpuScratch) {
 	lo, hi := tile.Lo, tile.Hi
 	tileLen := hi - lo
 	part := gp.csr
@@ -251,8 +320,8 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 		xd, xs := x.Data(), x.RowStride()
 		wd, ws := w.Data(), w.RowStride()
 		d1 := w.Dim(0)
-		tmp := make([]float32, d1)
-		msg := make([]float32, tileLen)
+		tmp := sc.tmp[:d1]
+		msg := sc.msg[:tileLen]
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
 			if b.Cancelled() {
 				return
@@ -297,8 +366,8 @@ func (k *SpMMKernel) gpuBlock(b *cudasim.Block, out *tensor.Tensor, gp *gpuPart,
 	default:
 		// Generic path: evaluate the compiled UDF per edge. The feature
 		// tile is parallelized across threads when the FDS asks for it.
-		env := k.compiled.NewEnv()
-		msg := make([]float32, tileLen)
+		env := sc.env
+		msg := sc.msg[:tileLen]
 		for r := b.Idx(); r < part.NumRows; r += gridBlocks {
 			if b.Cancelled() {
 				return

@@ -25,12 +25,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
 	"featgraph/internal/faultinject"
+	"featgraph/internal/workpool"
 )
 
 // Config describes a simulated device.
@@ -58,17 +58,26 @@ const WarpWidth = 32
 
 // Device is a simulated GPU. Devices are safe for concurrent use; each
 // Launch runs to completion before returning (synchronous launches, as the
-// paper's kernel benchmarks measure).
+// paper's kernel benchmarks measure). Launches execute on the process-wide
+// persistent worker pool (internal/workpool) and draw reusable launch state
+// from a per-device freelist, so steady-state launches allocate nothing.
 type Device struct {
 	numSMs    int
 	sharedCap int
+	states    chan *launchState
 }
 
 // DefaultSharedMem is the default per-block shared memory capacity (48 KiB,
 // the V100 default; configurable up to 96 KiB on the real device).
 const DefaultSharedMem = 48 << 10
 
-// NewDevice creates a simulated device.
+// launchStatePoolCap bounds how many idle launch states a device retains;
+// additional concurrent launches fall back to transient states.
+const launchStatePoolCap = 4
+
+// NewDevice creates a simulated device. The shared worker pool is started
+// here (not at first launch) so the process goroutine count is stable by
+// the time any launch runs.
 func NewDevice(cfg Config) *Device {
 	n := cfg.NumSMs
 	if n <= 0 {
@@ -78,7 +87,9 @@ func NewDevice(cfg Config) *Device {
 	if cap <= 0 {
 		cap = DefaultSharedMem
 	}
-	return &Device{numSMs: n, sharedCap: cap}
+	d := &Device{numSMs: n, sharedCap: cap, states: make(chan *launchState, launchStatePoolCap)}
+	d.states <- d.newLaunchState()
+	return d
 }
 
 // NumSMs returns the number of concurrently executing blocks.
@@ -101,6 +112,7 @@ type LaunchConfig struct {
 type Block struct {
 	idx        int
 	dim        int
+	slot       int
 	dev        *Device
 	sharedUsed int
 	scratch    []float32 // reused shared-memory arena across blocks on one SM
@@ -115,6 +127,13 @@ func (b *Block) Idx() int { return b.idx }
 
 // Dim returns the number of threads per block.
 func (b *Block) Dim() int { return b.dim }
+
+// Slot returns the host runner slot executing this block: a small stable
+// index in [0, workpool.Default().MaxRunners()) identifying the simulated
+// SM. Blocks on the same slot run sequentially, so kernels can key reusable
+// host-side scratch (evaluation environments, staging buffers) by Slot and
+// stay allocation-free across blocks and launches.
+func (b *Block) Slot() int { return b.slot }
 
 // Cancelled reports whether the launch was cancelled or another block
 // failed. Long-running kernels poll it in their outer loops and return
@@ -257,11 +276,98 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, e
 	return d.LaunchCtx(context.Background(), cfg, kernel)
 }
 
+// launchState is one launch's worth of reusable execution state: a
+// workpool.Job whose closures are created once, a per-slot Block array
+// (each Block keeps its shared-memory arena across launches), and the cycle
+// accounting buffers. Devices keep a freelist of these so steady-state
+// launches perform no allocation.
+type launchState struct {
+	dev    *Device
+	job    workpool.Job
+	kernel func(b *Block)
+
+	done   <-chan struct{}
+	stop   atomic.Bool
+	mu     sync.Mutex
+	err    error
+	blocks []Block  // indexed by runner slot
+	cycles []uint64 // per-block charged cycles
+	load   []uint64 // per-SM accumulation scratch for makespan
+}
+
+func (d *Device) newLaunchState() *launchState {
+	st := &launchState{dev: d, blocks: make([]Block, workpool.Default().MaxRunners())}
+	st.job.Body = st.runSlot
+	st.job.Stop = st.stopped
+	return st
+}
+
+func (d *Device) getLaunchState() *launchState {
+	select {
+	case st := <-d.states:
+		return st
+	default:
+		return d.newLaunchState()
+	}
+}
+
+func (d *Device) putLaunchState(st *launchState) {
+	st.kernel = nil
+	st.done = nil
+	st.err = nil
+	select {
+	case d.states <- st:
+	default:
+	}
+}
+
+// stopped is the job's abandon predicate: runners stop popping blocks once
+// the launch is cancelled or a block has failed (the check before popping
+// that the per-launch worker loop used to perform).
+func (st *launchState) stopped() bool {
+	if st.stop.Load() {
+		return true
+	}
+	if st.done != nil {
+		select {
+		case <-st.done:
+			st.stop.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// fail records a block failure; the first error wins and stops the grid.
+func (st *launchState) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+	st.stop.Store(true)
+}
+
+// runSlot executes grid block i on runner slot, reusing the slot's Block.
+func (st *launchState) runSlot(slot, i int) {
+	blk := &st.blocks[slot]
+	blk.idx = i
+	blk.slot = slot
+	blk.sharedUsed = 0
+	blk.cycles = 0
+	if err := runBlock(blk, st.kernel); err != nil {
+		st.fail(err)
+		return
+	}
+	st.cycles[i] = blk.cycles
+}
+
 // LaunchCtx is Launch under a context. Cancellation stops the launch
-// promptly: workers stop popping blocks, in-flight blocks observe it via
+// promptly: runners stop popping blocks, in-flight blocks observe it via
 // Block.Cancelled, and LaunchCtx returns ctx.Err(). A failing block (panic
 // or shared-memory over-allocation) likewise stops the remaining grid; the
-// first error wins and the other workers drain. On any error the output the
+// first error wins and the other runners drain. On any error the output the
 // kernel wrote is undefined.
 func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
 	var stats LaunchStats
@@ -274,62 +380,56 @@ func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b 
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
-	workers := min(runtime.GOMAXPROCS(0), cfg.Blocks)
-	blockCycles := make([]uint64, cfg.Blocks)
-	done := ctx.Done()
-	var stop atomic.Bool
-	var next atomic.Int64
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			blk := &Block{dim: cfg.ThreadsPerBlock, dev: d, done: done, stop: &stop}
-			for {
-				if blk.Cancelled() {
-					return
-				}
-				i := next.Add(1) - 1
-				if i >= int64(cfg.Blocks) {
-					return
-				}
-				blk.idx = int(i)
-				blk.sharedUsed = 0
-				blk.cycles = 0
-				if err := runBlock(blk, kernel); err != nil {
-					errs[w] = err
-					stop.Store(true)
-					return
-				}
-				blockCycles[i] = blk.cycles
-			}
-		}(w)
+	st := d.getLaunchState()
+	defer d.putLaunchState(st)
+	st.kernel = kernel
+	st.done = ctx.Done()
+	st.stop.Store(false)
+	st.err = nil
+	if cap(st.cycles) < cfg.Blocks {
+		st.cycles = make([]uint64, cfg.Blocks)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats, err
-		}
+	st.cycles = st.cycles[:cfg.Blocks]
+	for s := range st.blocks {
+		b := &st.blocks[s]
+		b.dim = cfg.ThreadsPerBlock
+		b.dev = d
+		b.done = st.done
+		b.stop = &st.stop
+	}
+
+	pool := workpool.Default()
+	pool.Run(&st.job, cfg.Blocks, pool.MaxRunners())
+
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err != nil {
+		return stats, err
 	}
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
-	stats.SimCycles = makespan(blockCycles, d.numSMs)
+	stats.SimCycles = st.makespan(d.numSMs)
 	return stats, nil
 }
 
-// makespan assigns block cycle counts to sms simulated SMs with greedy
-// least-loaded dispatch and returns the busiest SM's total.
-func makespan(blockCycles []uint64, sms int) uint64 {
+// makespan assigns the launch's block cycle counts to sms simulated SMs
+// with greedy least-loaded dispatch and returns the busiest SM's total.
+func (st *launchState) makespan(sms int) uint64 {
 	if sms < 1 {
 		sms = 1
 	}
-	load := make([]uint64, min(sms, len(blockCycles)))
-	if len(load) == 0 {
+	n := min(sms, len(st.cycles))
+	if n == 0 {
 		return 0
 	}
-	for _, c := range blockCycles {
+	if cap(st.load) < n {
+		st.load = make([]uint64, n)
+	}
+	load := st.load[:n]
+	clear(load)
+	for _, c := range st.cycles {
 		minIdx := 0
 		for s := 1; s < len(load); s++ {
 			if load[s] < load[minIdx] {

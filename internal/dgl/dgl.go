@@ -74,6 +74,11 @@ type Graph struct {
 	// Stats accumulated across ops until ResetStats.
 	SimCycles uint64 // simulated GPU cycles (Target == GPU)
 	MsgBytes  uint64 // bytes of materialized messages (Naive backend)
+	// PlanCache counts kernel-plan cache traffic attributed to this graph
+	// (see plancache.go): op construction records misses, every Apply
+	// records hits, so a training loop can assert epochs 2..N rebuild
+	// nothing.
+	PlanCache CacheStats
 }
 
 // New builds a dgl graph. The adjacency is validated and retained.
@@ -113,6 +118,7 @@ func (g *Graph) Config() Config { return g.cfg }
 func (g *Graph) ResetStats() {
 	g.SimCycles = 0
 	g.MsgBytes = 0
+	g.PlanCache = CacheStats{}
 }
 
 // coreOptions translates the config into sparse-template options.

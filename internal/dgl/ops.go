@@ -15,6 +15,11 @@ import (
 // once per tape: FeatGraph-backend ops stage their inputs into buffers the
 // compiled kernels are bound to, so a second Apply on the same tape would
 // clobber state the backward pass still needs.
+//
+// Kernels are obtained through the plan cache (plancache.go): op
+// construction registers each plan (a miss builds it), and every Apply
+// re-fetches by key (a hit), so repeated epochs — and re-constructed models
+// sharing buffers — never re-run kernel compilation.
 
 // fdsFor builds the op's feature dimension schedule from the config: tile
 // the output axis on CPU, bind it to thread.x on GPU.
@@ -37,9 +42,9 @@ type CopyAggOp struct {
 	mean bool
 
 	// FeatGraph backend state.
-	xbuf, gbuf *tensor.Tensor
-	invDegEdge *tensor.Tensor // per-edge 1/deg(dst) weights (mean backward)
-	fwd, bwd   *core.SpMMKernel
+	xbuf, gbuf     *tensor.Tensor
+	invDegEdge     *tensor.Tensor // per-edge 1/deg(dst) weights (mean backward)
+	fwdKey, bwdKey planKey
 }
 
 // NewCopySum builds a sum-aggregation op for d-dimensional features
@@ -57,21 +62,10 @@ func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
 	n, m := g.NumVertices(), g.NumEdges()
 	op.xbuf = tensor.New(n, d)
 	op.gbuf = tensor.New(n, d)
-	opts := g.coreOptions()
 
 	agg := core.AggSum
 	if mean {
 		agg = core.AggMean
-	}
-	fwdUDF := expr.CopySrc(n, d)
-	fwd, err := core.BuildSpMM(g.adj, fwdUDF, []*tensor.Tensor{op.xbuf}, agg, g.fdsFor(fwdUDF), opts)
-	if err != nil {
-		return nil, fmt.Errorf("dgl: copy-agg forward: %w", err)
-	}
-	op.fwd = fwd
-
-	var bwd *core.SpMMKernel
-	if mean {
 		// dX[u] = Σ_{u→v} dOut[v] / deg(v): a weighted copy along the
 		// transposed edges with constant per-edge weights.
 		op.invDegEdge = tensor.New(m, 1)
@@ -81,17 +75,39 @@ func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
 				wd[g.adj.EID[p]] = g.invDeg[r]
 			}
 		}
-		bwdUDF := expr.SrcMulEdgeScalar(n, m, d)
-		bwd, err = core.BuildSpMM(g.adjT, bwdUDF, []*tensor.Tensor{op.gbuf, op.invDegEdge}, core.AggSum, g.fdsFor(bwdUDF), opts)
-	} else {
-		bwdUDF := expr.CopySrc(n, d)
-		bwd, err = core.BuildSpMM(g.adjT, bwdUDF, []*tensor.Tensor{op.gbuf}, core.AggSum, g.fdsFor(bwdUDF), opts)
 	}
-	if err != nil {
+	// The nil/non-nil invDegEdge distinguishes the sum and mean backward
+	// plans; everything else about the keys is shared.
+	op.fwdKey = g.planKeyFor("copyagg.fwd", g.adj, op.xbuf, nil, d, agg)
+	op.bwdKey = g.planKeyFor("copyagg.bwd", g.adjT, op.gbuf, op.invDegEdge, d, core.AggSum)
+	if _, err := g.spmmPlan(op.fwdKey, op.buildFwd); err != nil {
+		return nil, fmt.Errorf("dgl: copy-agg forward: %w", err)
+	}
+	if _, err := g.spmmPlan(op.bwdKey, op.buildBwd); err != nil {
 		return nil, fmt.Errorf("dgl: copy-agg backward: %w", err)
 	}
-	op.bwd = bwd
 	return op, nil
+}
+
+func (op *CopyAggOp) buildFwd() (*core.SpMMKernel, error) {
+	g := op.g
+	agg := core.AggSum
+	if op.mean {
+		agg = core.AggMean
+	}
+	udf := expr.CopySrc(g.NumVertices(), op.d)
+	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf}, agg, g.fdsFor(udf), g.coreOptions())
+}
+
+func (op *CopyAggOp) buildBwd() (*core.SpMMKernel, error) {
+	g := op.g
+	n, m := g.NumVertices(), g.NumEdges()
+	if op.mean {
+		udf := expr.SrcMulEdgeScalar(n, m, op.d)
+		return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.invDegEdge}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	}
+	udf := expr.CopySrc(n, op.d)
+	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 
 // Apply records the aggregation on the tape.
@@ -103,7 +119,7 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func() *tensor.Tensor {
 				copy(op.xbuf.Data(), x.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := op.fwd.Run(out)
+				stats, err := g.mustSpMM(op.fwdKey, op.buildFwd).Run(out)
 				if err != nil {
 					panic("dgl: copy-agg forward: " + err.Error())
 				}
@@ -113,7 +129,7 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := op.bwd.Run(dx)
+				stats, err := g.mustSpMM(op.bwdKey, op.buildBwd).Run(dx)
 				if err != nil {
 					panic("dgl: copy-agg backward: " + err.Error())
 				}
@@ -148,10 +164,9 @@ type WeightedSumOp struct {
 	g *Graph
 	d int
 
-	xbuf, gbuf *tensor.Tensor
-	wbuf       *tensor.Tensor // [m,1] edge weights
-	fwd, bwdX  *core.SpMMKernel
-	bwdW       *core.SDDMMKernel
+	xbuf, gbuf               *tensor.Tensor
+	wbuf                     *tensor.Tensor // [m,1] edge weights
+	fwdKey, bwdXKey, bwdWKey planKey
 }
 
 // NewWeightedSum builds a weighted-sum op for d-dimensional features.
@@ -164,30 +179,39 @@ func (g *Graph) NewWeightedSum(d int) (*WeightedSumOp, error) {
 	op.xbuf = tensor.New(n, d)
 	op.gbuf = tensor.New(n, d)
 	op.wbuf = tensor.New(m, 1)
-	opts := g.coreOptions()
 
-	fwdUDF := expr.SrcMulEdgeScalar(n, m, d)
-	fwd, err := core.BuildSpMM(g.adj, fwdUDF, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(fwdUDF), opts)
-	if err != nil {
+	op.fwdKey = g.planKeyFor("wsum.fwd", g.adj, op.xbuf, op.wbuf, d, core.AggSum)
+	op.bwdXKey = g.planKeyFor("wsum.bwdX", g.adjT, op.gbuf, op.wbuf, d, core.AggSum)
+	op.bwdWKey = g.planKeyFor("wsum.bwdW", g.adj, op.xbuf, op.gbuf, d, core.AggSum)
+	if _, err := g.spmmPlan(op.fwdKey, op.buildFwd); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum forward: %w", err)
 	}
-	op.fwd = fwd
-
-	bwdXUDF := expr.SrcMulEdgeScalar(n, m, d)
-	bwdX, err := core.BuildSpMM(g.adjT, bwdXUDF, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(bwdXUDF), opts)
-	if err != nil {
+	if _, err := g.spmmPlan(op.bwdXKey, op.buildBwdX); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum backward dX: %w", err)
 	}
-	op.bwdX = bwdX
-
-	// dW[e] = x[src] · dOut[dst]: an SDDMM.
-	bwdWUDF, inputs := dotUDF(n, d, op.xbuf, op.gbuf)
-	bwdW, err := core.BuildSDDMM(g.adj, bwdWUDF, inputs, sddmmFDS(g, bwdWUDF), opts)
-	if err != nil {
+	if _, err := g.sddmmPlan(op.bwdWKey, op.buildBwdW); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum backward dW: %w", err)
 	}
-	op.bwdW = bwdW
 	return op, nil
+}
+
+func (op *WeightedSumOp) buildFwd() (*core.SpMMKernel, error) {
+	g := op.g
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+}
+
+func (op *WeightedSumOp) buildBwdX() (*core.SpMMKernel, error) {
+	g := op.g
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+}
+
+// buildBwdW compiles dW[e] = x[src] · dOut[dst]: an SDDMM.
+func (op *WeightedSumOp) buildBwdW() (*core.SDDMMKernel, error) {
+	g := op.g
+	udf, inputs := dotUDF(g.NumVertices(), op.d, op.xbuf, op.gbuf)
+	return core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
 }
 
 // dotUDF builds the two-operand dot-product edge function
@@ -233,7 +257,7 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.wbuf.Data(), w.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := op.fwd.Run(out)
+				stats, err := g.mustSpMM(op.fwdKey, op.buildFwd).Run(out)
 				if err != nil {
 					panic("dgl: weighted-sum forward: " + err.Error())
 				}
@@ -243,7 +267,7 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := op.bwdX.Run(dx)
+				stats, err := g.mustSpMM(op.bwdXKey, op.buildBwdX).Run(dx)
 				if err != nil {
 					panic("dgl: weighted-sum backward dX: " + err.Error())
 				}
@@ -251,7 +275,7 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 				autodiff.SeedGrad(x, dx)
 
 				dw := tensor.New(m, 1)
-				stats, err = op.bwdW.Run(dw)
+				stats, err = g.mustSDDMM(op.bwdWKey, op.buildBwdW).Run(dw)
 				if err != nil {
 					panic("dgl: weighted-sum backward dW: " + err.Error())
 				}
@@ -283,10 +307,9 @@ type DotOp struct {
 	g *Graph
 	d int
 
-	xbuf, ybuf *tensor.Tensor
-	dattbuf    *tensor.Tensor
-	fwd        *core.SDDMMKernel
-	bwdX, bwdY *core.SpMMKernel
+	xbuf, ybuf               *tensor.Tensor
+	dattbuf                  *tensor.Tensor
+	fwdKey, bwdXKey, bwdYKey planKey
 }
 
 // NewDot builds a dot-product attention op for d-dimensional features.
@@ -299,30 +322,40 @@ func (g *Graph) NewDot(d int) (*DotOp, error) {
 	op.xbuf = tensor.New(n, d)
 	op.ybuf = tensor.New(n, d)
 	op.dattbuf = tensor.New(m, 1)
-	opts := g.coreOptions()
 
-	fwdUDF, inputs := dotUDF(n, d, op.xbuf, op.ybuf)
-	fwd, err := core.BuildSDDMM(g.adj, fwdUDF, inputs, sddmmFDS(g, fwdUDF), opts)
-	if err != nil {
+	op.fwdKey = g.planKeyFor("dot.fwd", g.adj, op.xbuf, op.ybuf, d, core.AggSum)
+	op.bwdXKey = g.planKeyFor("dot.bwdX", g.adjT, op.ybuf, op.dattbuf, d, core.AggSum)
+	op.bwdYKey = g.planKeyFor("dot.bwdY", g.adj, op.xbuf, op.dattbuf, d, core.AggSum)
+	if _, err := g.sddmmPlan(op.fwdKey, op.buildFwd); err != nil {
 		return nil, fmt.Errorf("dgl: dot forward: %w", err)
 	}
-	op.fwd = fwd
-
-	// dX[u] = Σ_{u→v} dAtt[e]·y[v] (SpMM on the transpose);
-	// dY[v] = Σ_{u→v} dAtt[e]·x[u] (SpMM on the adjacency).
-	bwdXUDF := expr.SrcMulEdgeScalar(n, m, d)
-	bwdX, err := core.BuildSpMM(g.adjT, bwdXUDF, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(bwdXUDF), opts)
-	if err != nil {
+	if _, err := g.spmmPlan(op.bwdXKey, op.buildBwdX); err != nil {
 		return nil, fmt.Errorf("dgl: dot backward dX: %w", err)
 	}
-	op.bwdX = bwdX
-	bwdYUDF := expr.SrcMulEdgeScalar(n, m, d)
-	bwdY, err := core.BuildSpMM(g.adj, bwdYUDF, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(bwdYUDF), opts)
-	if err != nil {
+	if _, err := g.spmmPlan(op.bwdYKey, op.buildBwdY); err != nil {
 		return nil, fmt.Errorf("dgl: dot backward dY: %w", err)
 	}
-	op.bwdY = bwdY
 	return op, nil
+}
+
+func (op *DotOp) buildFwd() (*core.SDDMMKernel, error) {
+	g := op.g
+	udf, inputs := dotUDF(g.NumVertices(), op.d, op.xbuf, op.ybuf)
+	return core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
+}
+
+// buildBwdX compiles dX[u] = Σ_{u→v} dAtt[e]·y[v] (SpMM on the transpose).
+func (op *DotOp) buildBwdX() (*core.SpMMKernel, error) {
+	g := op.g
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+}
+
+// buildBwdY compiles dY[v] = Σ_{u→v} dAtt[e]·x[u] (SpMM on the adjacency).
+func (op *DotOp) buildBwdY() (*core.SpMMKernel, error) {
+	g := op.g
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 
 // Apply records att = x·y per edge. x and y may be the same Var (GAT).
@@ -335,7 +368,7 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.ybuf.Data(), y.Value.Data())
 				att := tensor.New(m, 1)
-				stats, err := op.fwd.Run(att)
+				stats, err := g.mustSDDMM(op.fwdKey, op.buildFwd).Run(att)
 				if err != nil {
 					panic("dgl: dot forward: " + err.Error())
 				}
@@ -345,7 +378,7 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 			func(dOut *tensor.Tensor) {
 				copy(op.dattbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := op.bwdX.Run(dx)
+				stats, err := g.mustSpMM(op.bwdXKey, op.buildBwdX).Run(dx)
 				if err != nil {
 					panic("dgl: dot backward dX: " + err.Error())
 				}
@@ -353,7 +386,7 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 				autodiff.SeedGrad(x, dx)
 
 				dy := tensor.New(n, op.d)
-				stats, err = op.bwdY.Run(dy)
+				stats, err = g.mustSpMM(op.bwdYKey, op.buildBwdY).Run(dy)
 				if err != nil {
 					panic("dgl: dot backward dY: " + err.Error())
 				}

@@ -1,0 +1,181 @@
+package dgl
+
+import (
+	"container/list"
+	"sync"
+
+	"featgraph/internal/core"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The kernel plan cache. Building a FeatGraph kernel runs validation, UDF
+// compilation, pattern recognition, graph partitioning, and chunk-schedule
+// construction — per-topology work the paper amortizes over a whole training
+// run (§IV-B). The cache makes that amortization explicit and observable:
+// ops register their plans on construction (misses) and re-fetch them on
+// every Apply (hits), so epochs 2..N of a training loop never rebuild a
+// kernel, and a model constructed twice over the same graph and buffers
+// reuses the first model's compiled plans.
+//
+// Keying. A plan is identified by everything that determines its
+// compilation: the op kind, the adjacency identity (pointer — topology
+// objects are immutable once built), the identity of the input buffers the
+// kernel is bound to, the feature width, the aggregation operator, and the
+// full scheduling configuration (target, threads, partitions, FDS tile
+// factor, device). Buffer identity is part of the key because a compiled
+// kernel reads its inputs from the exact tensors it was built against;
+// two ops with distinct staging buffers can never share a plan, which is
+// what makes cache hits unconditionally safe. A shape change allocates new
+// buffers and therefore new keys: stale plans miss instead of corrupting.
+//
+// Eviction. The cache is a process-wide LRU bounded by PlanCacheCap;
+// inserting past the cap evicts the least-recently-used plan. Hit/miss/
+// eviction counters are accumulated per Graph (Graph.PlanCache) so a
+// training loop can assert its steady state reuses plans.
+
+// PlanCacheCap is the maximum number of compiled kernel plans retained by
+// the process-wide cache.
+const PlanCacheCap = 128
+
+// CacheStats counts plan-cache traffic. Counters accumulate per Graph
+// (the cache itself is process-wide) and are zeroed by Graph.ResetStats.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// planKey identifies one compiled kernel plan.
+type planKey struct {
+	kind     string         // op kind and role, e.g. "copyagg.fwd"
+	adj      *sparse.CSR    // adjacency identity
+	in0, in1 *tensor.Tensor // bound input buffer identities (in1 may be nil)
+	d        int            // feature width
+	agg      core.AggOp
+	opts     core.Options // full scheduling configuration
+	tile     int          // FDS feature tile factor
+}
+
+type planEntry struct {
+	key    planKey
+	kernel any // *core.SpMMKernel or *core.SDDMMKernel
+}
+
+var planCache = struct {
+	mu      sync.Mutex
+	entries map[planKey]*list.Element
+	lru     list.List // front = most recently used
+}{entries: make(map[planKey]*list.Element)}
+
+// planKeyFor assembles the cache key for a plan of this graph.
+func (g *Graph) planKeyFor(kind string, adj *sparse.CSR, in0, in1 *tensor.Tensor, d int, agg core.AggOp) planKey {
+	return planKey{
+		kind: kind, adj: adj, in0: in0, in1: in1, d: d, agg: agg,
+		opts: g.coreOptions(), tile: g.cfg.FeatureTileFactor,
+	}
+}
+
+// fetchPlan returns the cached kernel for key, building and inserting it on
+// a miss. Build errors are returned without polluting the cache.
+func (g *Graph) fetchPlan(key planKey, build func() (any, error)) (any, error) {
+	planCache.mu.Lock()
+	if el, ok := planCache.entries[key]; ok {
+		planCache.lru.MoveToFront(el)
+		g.PlanCache.Hits++
+		k := el.Value.(*planEntry).kernel
+		planCache.mu.Unlock()
+		return k, nil
+	}
+	g.PlanCache.Misses++
+	planCache.mu.Unlock()
+
+	// Build outside the lock: compilation can be slow and must not block
+	// unrelated fetches. Two goroutines racing to build the same key both
+	// succeed; the second insert wins and the duplicate is garbage.
+	kernel, err := build()
+	if err != nil {
+		return nil, err
+	}
+	planCache.mu.Lock()
+	if el, ok := planCache.entries[key]; ok {
+		planCache.lru.MoveToFront(el)
+		el.Value.(*planEntry).kernel = kernel
+	} else {
+		planCache.entries[key] = planCache.lru.PushFront(&planEntry{key: key, kernel: kernel})
+		for planCache.lru.Len() > PlanCacheCap {
+			oldest := planCache.lru.Back()
+			delete(planCache.entries, oldest.Value.(*planEntry).key)
+			planCache.lru.Remove(oldest)
+			g.PlanCache.Evictions++
+		}
+	}
+	planCache.mu.Unlock()
+	return kernel, nil
+}
+
+// spmmPlan is fetchPlan typed for SpMM kernels.
+func (g *Graph) spmmPlan(key planKey, build func() (*core.SpMMKernel, error)) (*core.SpMMKernel, error) {
+	k, err := g.fetchPlan(key, func() (any, error) { return build() })
+	if err != nil {
+		return nil, err
+	}
+	return k.(*core.SpMMKernel), nil
+}
+
+// sddmmPlan is fetchPlan typed for SDDMM kernels.
+func (g *Graph) sddmmPlan(key planKey, build func() (*core.SDDMMKernel, error)) (*core.SDDMMKernel, error) {
+	k, err := g.fetchPlan(key, func() (any, error) { return build() })
+	if err != nil {
+		return nil, err
+	}
+	return k.(*core.SDDMMKernel), nil
+}
+
+// mustSpMM re-fetches a plan that op construction already built once; a
+// failure here means the key's build stopped working, a programming error.
+func (g *Graph) mustSpMM(key planKey, build func() (*core.SpMMKernel, error)) *core.SpMMKernel {
+	k, err := g.spmmPlan(key, build)
+	if err != nil {
+		panic("dgl: kernel plan rebuild failed: " + err.Error())
+	}
+	return k
+}
+
+// mustSDDMM is mustSpMM for SDDMM plans.
+func (g *Graph) mustSDDMM(key planKey, build func() (*core.SDDMMKernel, error)) *core.SDDMMKernel {
+	k, err := g.sddmmPlan(key, build)
+	if err != nil {
+		panic("dgl: kernel plan rebuild failed: " + err.Error())
+	}
+	return k
+}
+
+// InvalidatePlans drops every cached plan compiled against this graph's
+// adjacency or its transpose, returning how many were removed. Use it when
+// replacing a graph's feature shapes wholesale (old plans would otherwise
+// linger until LRU eviction; they can never be wrongly hit, since new
+// buffers produce new keys).
+func (g *Graph) InvalidatePlans() int {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	removed := 0
+	for el := planCache.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*planEntry)
+		if e.key.adj == g.adj || e.key.adj == g.adjT {
+			delete(planCache.entries, e.key)
+			planCache.lru.Remove(el)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+// planCacheLen reports the number of cached plans (for tests).
+func planCacheLen() int {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return planCache.lru.Len()
+}

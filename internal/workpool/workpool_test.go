@@ -1,0 +1,101 @@
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryChunkOnce(t *testing.T) {
+	p := Default()
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		counts := make([]atomic.Int32, max(n, 1))
+		j := &Job{Body: func(slot, chunk int) { counts[chunk].Add(1) }}
+		p.Run(j, n, 8)
+		for i := 0; i < n; i++ {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: chunk %d ran %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestSlotsBoundedByMaxRunners(t *testing.T) {
+	p := Default()
+	const n, maxRunners = 256, 3
+	var maxSlot atomic.Int32
+	j := &Job{Body: func(slot, chunk int) {
+		for {
+			cur := maxSlot.Load()
+			if int32(slot) <= cur || maxSlot.CompareAndSwap(cur, int32(slot)) {
+				return
+			}
+		}
+	}}
+	for i := 0; i < 50; i++ {
+		p.Run(j, n, maxRunners)
+	}
+	if got := int(maxSlot.Load()); got >= maxRunners {
+		t.Fatalf("saw slot %d with maxRunners=%d", got, maxRunners)
+	}
+}
+
+func TestStopAbandonsRemainingChunks(t *testing.T) {
+	p := Default()
+	var ran atomic.Int32
+	var stopped atomic.Bool
+	j := &Job{
+		Body: func(slot, chunk int) {
+			if ran.Add(1) >= 4 {
+				stopped.Store(true)
+			}
+		},
+		Stop: stopped.Load,
+	}
+	p.Run(j, 10_000, 2)
+	if got := ran.Load(); got >= 10_000 {
+		t.Fatalf("stop did not abandon chunks: all %d ran", got)
+	}
+}
+
+func TestConcurrentRunsShareThePool(t *testing.T) {
+	p := Default()
+	const goroutines, n = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			j := &Job{Body: func(slot, chunk int) { sum.Add(int64(chunk)) }}
+			for rep := 0; rep < 20; rep++ {
+				sum.Store(0)
+				p.Run(j, n, 4)
+				if got := sum.Load(); got != n*(n-1)/2 {
+					t.Errorf("sum = %d, want %d", got, n*(n-1)/2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGoroutineCountStableAfterFirstRun(t *testing.T) {
+	p := Default()
+	p.Run(&Job{Body: func(slot, chunk int) {}}, 4, 4) // warm the pool
+	time.Sleep(10 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		p.Run(&Job{Body: func(slot, chunk int) { runtime.Gosched() }}, 64, 8)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew from %d to %d after warm pool", before, after)
+	}
+}
