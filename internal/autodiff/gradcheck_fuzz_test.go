@@ -1,0 +1,62 @@
+package autodiff_test
+
+// Finite-difference fuzzing of the tape: random small classifiers whose
+// reverse-mode gradients are cross-checked against central differences by
+// internal/oracle. Inputs and weights are kept strictly positive so ReLU
+// pre-activations stay in the linear region (finite differences are
+// meaningless across a kink).
+//
+// External test package so internal/oracle (which imports autodiff) can be
+// used without an import cycle.
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/oracle"
+	"featgraph/internal/tensor"
+)
+
+func FuzzTapeGradients(f *testing.F) {
+	for seed := int64(1); seed <= 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(checkTapeGradients)
+}
+
+func checkTapeGradients(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(6)
+	d := 1 + rng.Intn(5)
+	h := 1 + rng.Intn(5)
+	cls := 2 + rng.Intn(4)
+	pos := func(shape ...int) *tensor.Tensor {
+		ts := tensor.New(shape...)
+		ts.FillUniform(rng, 0.5, 1.5)
+		return ts
+	}
+	x, w1, b1, w2 := pos(n, d), pos(d, h), pos(1, h), pos(h, cls)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(cls)
+	}
+	activation := rng.Intn(3)
+
+	build := func(tp *autodiff.Tape, vars []*autodiff.Var) *autodiff.Var {
+		pre := tp.AddRowVec(tp.MatMul(vars[0], vars[1]), vars[2])
+		var hid *autodiff.Var
+		switch activation {
+		case 0:
+			hid = tp.ReLU(pre)
+		case 1:
+			hid = tp.LeakyReLU(pre, 0.1)
+		default:
+			hid = tp.Scale(pre, 1.5)
+		}
+		return tp.CrossEntropyLoss(tp.MatMul(hid, vars[3]), labels, nil)
+	}
+	if err := oracle.GradCheck([]*tensor.Tensor{x, w1, b1, w2}, build, 1e-2, 5e-2); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}

@@ -28,11 +28,13 @@ func numChunksFor(threads, rows, nnz int) int {
 	if threads <= 1 || rows <= 1 {
 		return 1
 	}
-	c := threads * chunksPerRunner
-	if byEdges := max(nnz/minChunkEdges, threads); c > byEdges {
+	// All sizing math in int64: threads*chunksPerRunner and nnz are
+	// externally supplied and must not wrap on 32-bit int platforms.
+	c := int64(threads) * chunksPerRunner
+	if byEdges := max(int64(nnz)/minChunkEdges, int64(threads)); c > byEdges {
 		c = byEdges
 	}
-	return max(min(c, rows), 1)
+	return int(max(min(c, int64(rows)), 1))
 }
 
 // edgeBalancedChunks splits the rows of part into nchunks contiguous chunks
@@ -62,9 +64,12 @@ func edgeBalancedChunks(part *sparse.CSR, nchunks int) []partition.Range {
 		// The boundary is the first row at or past this chunk's share of
 		// the edge total — and always at least one row beyond lo, so the
 		// chunk is never empty even when a single row exceeds the target.
-		target := int32(int64(nnz) * int64(c) / int64(nchunks))
+		// The target stays int64 end-to-end: narrowing nnz*c/nchunks to
+		// int32 wraps for graphs past 2^31 edges and would silently send
+		// every boundary to row 0.
+		target := int64(nnz) * int64(c) / int64(nchunks)
 		hi := lo + sort.Search(rows-lo, func(i int) bool {
-			return part.RowPtr[lo+i+1] >= target
+			return int64(part.RowPtr[lo+i+1]) >= target
 		}) + 1
 		if c == nchunks || hi > rows {
 			hi = rows

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/sparse"
+)
+
+// Property tests for the engine's chunking policy: for any CSR and any
+// requested chunk count, the chunks must exactly tile [0, rows) with no
+// overlaps, and edge counts must stay within one maximum row degree (plus
+// the integer-division remainder) of the ideal even share. These are the
+// invariants the work-stealing dequeue relies on — a gap or overlap means
+// rows silently skipped or aggregated twice.
+
+func TestEdgeBalancedChunksProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		adj := sparse.Random(rng, n, n, rng.Intn(6))
+		nchunks := 1 + rng.Intn(12)
+		chunks := edgeBalancedChunks(adj, nchunks)
+
+		if len(chunks) == 0 {
+			t.Fatalf("trial %d: no chunks for %d rows", trial, n)
+		}
+		lo := 0
+		for i, c := range chunks {
+			if c.Lo != lo {
+				t.Fatalf("trial %d: chunk %d starts at %d, previous ended at %d (gap or overlap)", trial, i, c.Lo, lo)
+			}
+			if c.Hi <= c.Lo {
+				t.Fatalf("trial %d: chunk %d is empty or inverted: [%d,%d)", trial, i, c.Lo, c.Hi)
+			}
+			lo = c.Hi
+		}
+		if lo != n {
+			t.Fatalf("trial %d: chunks cover [0,%d), want [0,%d)", trial, lo, n)
+		}
+
+		maxDeg := 0
+		for r := 0; r < n; r++ {
+			maxDeg = max(maxDeg, adj.RowDegree(r))
+		}
+		nnz := adj.NNZ()
+		share := nnz / min(nchunks, n)
+		for i, c := range chunks {
+			edges := int(adj.RowPtr[c.Hi] - adj.RowPtr[c.Lo])
+			if edges > share+maxDeg+1 {
+				t.Fatalf("trial %d: chunk %d has %d edges, ideal share %d, max degree %d", trial, i, edges, share, maxDeg)
+			}
+		}
+	}
+}
+
+// TestEdgeBalancedChunksSkewedRow pins the degenerate case the binary
+// search must survive: one row holding every edge forces all later chunk
+// targets to be already satisfied, so the remaining rows must still tile
+// without gaps.
+func TestEdgeBalancedChunksSkewedRow(t *testing.T) {
+	const n = 16
+	coo := &sparse.COO{NumRows: n, NumCols: n}
+	for c := 0; c < n; c++ {
+		coo.Row = append(coo.Row, 0)
+		coo.Col = append(coo.Col, int32(c))
+	}
+	adj, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := edgeBalancedChunks(adj, 4)
+	lo := 0
+	for _, c := range chunks {
+		if c.Lo != lo {
+			t.Fatalf("gap at row %d", lo)
+		}
+		lo = c.Hi
+	}
+	if lo != n {
+		t.Fatalf("chunks end at %d, want %d", lo, n)
+	}
+}
+
+func TestNumChunksForBounds(t *testing.T) {
+	cases := []struct {
+		threads, rows, nnz int
+	}{
+		{1, 100, 1000},
+		{4, 100, 1000},
+		{8, 3, 10},
+		{4, 1 << 20, 1 << 30},
+		{1 << 20, 1 << 20, 1 << 30}, // huge thread request must not wrap
+	}
+	for _, c := range cases {
+		got := numChunksFor(c.threads, c.rows, c.nnz)
+		if got < 1 || got > max(c.rows, 1) {
+			t.Fatalf("numChunksFor(%d,%d,%d) = %d, outside [1,%d]", c.threads, c.rows, c.nnz, got, c.rows)
+		}
+		if c.threads <= 1 && got != 1 {
+			t.Fatalf("single-threaded should use one chunk, got %d", got)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+// Native fuzz targets for the kernel correctness oracle. The fuzzing input
+// is a single int64 seed; internal/oracle derives the whole case (graph,
+// UDF, inputs, aggregation, schedule) from it deterministically, so every
+// crasher the fuzzer saves is a complete reproducer. The seeded-corpus
+// regression floor lives in internal/oracle; these targets let
+// `go test -fuzz` explore seeds beyond it.
+//
+// This file is an external test package so it can import internal/oracle
+// (which itself imports core) without a cycle.
+
+import (
+	"testing"
+
+	"featgraph/internal/cudasim"
+	"featgraph/internal/oracle"
+)
+
+func FuzzSpMMOracle(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	dev := cudasim.NewDevice(cudasim.Config{NumSMs: 2})
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := oracle.GenSpMM(seed)
+		if _, err := oracle.Check(c, dev); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.CheckPermutation(c, oracle.DefaultTol()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzSDDMMOracle(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	dev := cudasim.NewDevice(cudasim.Config{NumSMs: 2})
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := oracle.GenSDDMM(seed)
+		if _, err := oracle.Check(c, dev); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.CheckPermutation(c, oracle.DefaultTol()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

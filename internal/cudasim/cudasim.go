@@ -65,6 +65,7 @@ type Device struct {
 	numSMs    int
 	sharedCap int
 	states    chan *launchState
+	launches  atomic.Uint64
 }
 
 // DefaultSharedMem is the default per-block shared memory capacity (48 KiB,
@@ -101,6 +102,18 @@ func (d *Device) SharedMemPerBlock() int { return d.sharedCap }
 // SharedFloats returns how many float32 values fit in one block's shared
 // memory, the quantity hybrid partitioning sizes its chunks against.
 func (d *Device) SharedFloats() int { return d.sharedCap / 4 }
+
+// Describe returns a one-line human-readable description of the simulated
+// device, used by differential-testing harnesses to make divergence reports
+// self-contained reproducers.
+func (d *Device) Describe() string {
+	return fmt.Sprintf("cudasim{SMs:%d sharedMem:%dB launches:%d}", d.numSMs, d.sharedCap, d.launches.Load())
+}
+
+// Launches returns how many kernel launches (successful or failed) have been
+// issued on this device. Oracle harnesses read it to distinguish "GPU config
+// actually exercised the simulator" from "build fell back before launching".
+func (d *Device) Launches() uint64 { return d.launches.Load() }
 
 // LaunchConfig describes one kernel launch.
 type LaunchConfig struct {
@@ -370,6 +383,7 @@ func (st *launchState) runSlot(slot, i int) {
 // first error wins and the other runners drain. On any error the output the
 // kernel wrote is undefined.
 func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
+	d.launches.Add(1)
 	var stats LaunchStats
 	if cfg.Blocks <= 0 {
 		return stats, fmt.Errorf("cudasim: launch with %d blocks", cfg.Blocks)

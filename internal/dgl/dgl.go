@@ -77,7 +77,9 @@ type Graph struct {
 	// PlanCache counts kernel-plan cache traffic attributed to this graph
 	// (see plancache.go): op construction records misses, every Apply
 	// records hits, so a training loop can assert epochs 2..N rebuild
-	// nothing.
+	// nothing. The field is written under the cache mutex; read it
+	// directly only from the goroutine issuing the Applies, and use
+	// Stats() for a race-free snapshot under concurrency.
 	PlanCache CacheStats
 }
 
@@ -108,6 +110,12 @@ func (g *Graph) NumVertices() int { return g.adj.NumRows }
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return g.adj.NNZ() }
 
+// edgeExtent returns the first-dimension extent for edge-indexed staging
+// buffers and EID-bound placeholders. EID bindings only require the extent
+// to be ≥ NNZ, and expr rejects zero-sized placeholders, so a zero-edge
+// graph clamps to 1: the spare row is never indexed because no edge exists.
+func (g *Graph) edgeExtent() int { return max(g.NumEdges(), 1) }
+
 // Adj exposes the adjacency matrix.
 func (g *Graph) Adj() *sparse.CSR { return g.adj }
 
@@ -118,7 +126,7 @@ func (g *Graph) Config() Config { return g.cfg }
 func (g *Graph) ResetStats() {
 	g.SimCycles = 0
 	g.MsgBytes = 0
-	g.PlanCache = CacheStats{}
+	g.resetPlanCacheStats()
 }
 
 // coreOptions translates the config into sparse-template options.

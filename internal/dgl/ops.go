@@ -59,7 +59,7 @@ func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
 	if g.cfg.Backend != FeatGraph {
 		return op, nil
 	}
-	n, m := g.NumVertices(), g.NumEdges()
+	n := g.NumVertices()
 	op.xbuf = tensor.New(n, d)
 	op.gbuf = tensor.New(n, d)
 
@@ -68,7 +68,7 @@ func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
 		agg = core.AggMean
 		// dX[u] = Σ_{u→v} dOut[v] / deg(v): a weighted copy along the
 		// transposed edges with constant per-edge weights.
-		op.invDegEdge = tensor.New(m, 1)
+		op.invDegEdge = tensor.New(g.edgeExtent(), 1)
 		wd := op.invDegEdge.Data()
 		for r := 0; r < n; r++ {
 			for p := g.adj.RowPtr[r]; p < g.adj.RowPtr[r+1]; p++ {
@@ -101,9 +101,9 @@ func (op *CopyAggOp) buildFwd() (*core.SpMMKernel, error) {
 
 func (op *CopyAggOp) buildBwd() (*core.SpMMKernel, error) {
 	g := op.g
-	n, m := g.NumVertices(), g.NumEdges()
+	n := g.NumVertices()
 	if op.mean {
-		udf := expr.SrcMulEdgeScalar(n, m, op.d)
+		udf := expr.SrcMulEdgeScalar(n, g.edgeExtent(), op.d)
 		return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.invDegEdge}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 	}
 	udf := expr.CopySrc(n, op.d)
@@ -175,10 +175,10 @@ func (g *Graph) NewWeightedSum(d int) (*WeightedSumOp, error) {
 	if g.cfg.Backend != FeatGraph {
 		return op, nil
 	}
-	n, m := g.NumVertices(), g.NumEdges()
+	n := g.NumVertices()
 	op.xbuf = tensor.New(n, d)
 	op.gbuf = tensor.New(n, d)
-	op.wbuf = tensor.New(m, 1)
+	op.wbuf = tensor.New(g.edgeExtent(), 1)
 
 	op.fwdKey = g.planKeyFor("wsum.fwd", g.adj, op.xbuf, op.wbuf, d, core.AggSum)
 	op.bwdXKey = g.planKeyFor("wsum.bwdX", g.adjT, op.gbuf, op.wbuf, d, core.AggSum)
@@ -197,13 +197,13 @@ func (g *Graph) NewWeightedSum(d int) (*WeightedSumOp, error) {
 
 func (op *WeightedSumOp) buildFwd() (*core.SpMMKernel, error) {
 	g := op.g
-	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
 	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 
 func (op *WeightedSumOp) buildBwdX() (*core.SpMMKernel, error) {
 	g := op.g
-	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
 	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 
@@ -318,10 +318,10 @@ func (g *Graph) NewDot(d int) (*DotOp, error) {
 	if g.cfg.Backend != FeatGraph {
 		return op, nil
 	}
-	n, m := g.NumVertices(), g.NumEdges()
+	n := g.NumVertices()
 	op.xbuf = tensor.New(n, d)
 	op.ybuf = tensor.New(n, d)
-	op.dattbuf = tensor.New(m, 1)
+	op.dattbuf = tensor.New(g.edgeExtent(), 1)
 
 	op.fwdKey = g.planKeyFor("dot.fwd", g.adj, op.xbuf, op.ybuf, d, core.AggSum)
 	op.bwdXKey = g.planKeyFor("dot.bwdX", g.adjT, op.ybuf, op.dattbuf, d, core.AggSum)
@@ -347,14 +347,14 @@ func (op *DotOp) buildFwd() (*core.SDDMMKernel, error) {
 // buildBwdX compiles dX[u] = Σ_{u→v} dAtt[e]·y[v] (SpMM on the transpose).
 func (op *DotOp) buildBwdX() (*core.SpMMKernel, error) {
 	g := op.g
-	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
 	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 
 // buildBwdY compiles dY[v] = Σ_{u→v} dAtt[e]·x[u] (SpMM on the adjacency).
 func (op *DotOp) buildBwdY() (*core.SpMMKernel, error) {
 	g := op.g
-	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.NumEdges(), op.d)
+	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
 	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
 }
 

@@ -40,6 +40,12 @@ const PlanCacheCap = 128
 
 // CacheStats counts plan-cache traffic. Counters accumulate per Graph
 // (the cache itself is process-wide) and are zeroed by Graph.ResetStats.
+//
+// Eviction attribution: Evictions counts LRU evictions performed while
+// inserting on behalf of this graph. If graph B's insert pushes the cache
+// past PlanCacheCap, the eviction is charged to B even when the evicted
+// plan was compiled for graph A — the counter answers "how much cache
+// pressure did my inserts cause", not "how many of my plans were lost".
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -67,6 +73,25 @@ var planCache = struct {
 	entries map[planKey]*list.Element
 	lru     list.List // front = most recently used
 }{entries: make(map[planKey]*list.Element)}
+
+// Stats returns a consistent snapshot of the graph's plan-cache counters.
+// The counters are written under the cache mutex, so this accessor — not a
+// bare read of the PlanCache field — is the race-free way to observe them
+// while other goroutines Apply ops on the same graph.
+func (g *Graph) Stats() CacheStats {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return g.PlanCache
+}
+
+// resetPlanCacheStats zeroes the counters under the same lock that guards
+// their writers, keeping Graph.ResetStats safe to call concurrently with
+// Apply.
+func (g *Graph) resetPlanCacheStats() {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	g.PlanCache = CacheStats{}
+}
 
 // planKeyFor assembles the cache key for a plan of this graph.
 func (g *Graph) planKeyFor(kind string, adj *sparse.CSR, in0, in1 *tensor.Tensor, d int, agg core.AggOp) planKey {

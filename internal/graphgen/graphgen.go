@@ -99,6 +99,57 @@ func TwoTier(rng *rand.Rand, n int, highFrac float64, highDeg, lowDeg int) *spar
 	return csr
 }
 
+// Tiny returns a small square adversarial graph for correctness fuzzing
+// (internal/oracle). Unlike the benchmark generators above, it aims for
+// structural edge cases rather than realistic degree statistics: isolated
+// vertices (zero in-degree rows exercise aggregation identities), self
+// loops, single-vertex graphs, dense rows next to empty ones, and skewed
+// column degrees. The result always has at least one edge unless n == 1
+// and the coin flips land on the empty single vertex.
+func Tiny(rng *rand.Rand, maxN int) *sparse.CSR {
+	if maxN < 1 {
+		maxN = 1
+	}
+	n := 1 + rng.Intn(maxN)
+	switch rng.Intn(6) {
+	case 0:
+		// Uniform with moderate degree.
+		return sparse.Random(rng, n, n, 1+rng.Intn(4))
+	case 1:
+		// Heavy skew: most edges point at a handful of hub sources.
+		if n >= 4 {
+			return Skewed(rng, n, 1+rng.Intn(3), 1.5)
+		}
+		return sparse.Random(rng, n, n, 1)
+	}
+	// Hand-rolled sparse pattern: each destination independently gets
+	// between 0 and n in-edges, so isolated vertices and dense rows
+	// coexist; self loops allowed.
+	coo := &sparse.COO{NumRows: n, NumCols: n}
+	seen := make(map[int32]struct{}, 4)
+	for r := 0; r < n; r++ {
+		deg := 0
+		if rng.Intn(4) > 0 { // 1-in-4 rows stay isolated
+			deg = 1 + rng.Intn(n)
+		}
+		clear(seen)
+		for len(seen) < deg {
+			c := int32(rng.Intn(n))
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			coo.Row = append(coo.Row, int32(r))
+			coo.Col = append(coo.Col, c)
+		}
+	}
+	csr, err := sparse.FromCOO(coo)
+	if err != nil {
+		panic("graphgen: Tiny produced invalid COO: " + err.Error())
+	}
+	return csr
+}
+
 // Scale selects benchmark sizing. Quick keeps the suite laptop-friendly;
 // Full is closer to (but still well below) paper scale.
 type Scale int

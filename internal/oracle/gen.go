@@ -1,0 +1,226 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/tensor"
+
+	"featgraph/internal/sparse"
+)
+
+// Seeded case generation. Everything about a Case — topology, UDF shape,
+// feature values, aggregation operator, schedule knobs — is derived
+// deterministically from one int64 seed, so any divergence the checker
+// finds is reproduced in full by re-running that seed. This is also what
+// lets the native fuzz targets hand their raw fuzzing input straight to
+// GenSpMM/GenSDDMM.
+
+// Kind selects which sparse template a case exercises.
+type Kind int
+
+// Template kinds.
+const (
+	SpMM Kind = iota
+	SDDMM
+)
+
+func (k Kind) String() string {
+	if k == SpMM {
+		return "spmm"
+	}
+	return "sddmm"
+}
+
+// Role describes how an input tensor is indexed by the UDF, which is what
+// the metamorphic permutation check needs to know to permute consistently.
+type Role int
+
+// Input roles.
+const (
+	// VertexInput is indexed by Src/Dst in its first dimension.
+	VertexInput Role = iota
+	// EdgeInput is indexed by EID in its first dimension.
+	EdgeInput
+	// DenseInput is indexed only by iteration axes (e.g. a weight matrix).
+	DenseInput
+)
+
+// Case is one fully-specified differential test case: a graph, a UDF with
+// bound inputs, an aggregation operator, and the schedule/options knobs the
+// checker spreads across execution configurations.
+type Case struct {
+	Seed int64
+	Kind Kind
+
+	Adj    *sparse.CSR
+	UDF    *expr.UDF
+	Inputs []*tensor.Tensor
+	Roles  []Role
+	Agg    core.AggOp // SpMM only
+
+	// Schedule knobs (zero values mean "leave unset").
+	Tile    int // FDS feature-axis split factor for the CPU engine config
+	Threads int // CPU worker count
+	Parts   int // 1D graph partitions (SpMM engine config)
+	Hilbert bool
+
+	// GPU knobs.
+	Blocks          int
+	ThreadsPerBlock int
+	HybridThreshold int32
+
+	CheckNumerics bool
+}
+
+// Describe returns a one-line reproducer summary of the case.
+func (c *Case) Describe() string {
+	return fmt.Sprintf("seed=%d kind=%s n=%d nnz=%d outLen=%d agg=%v tile=%d threads=%d parts=%d hilbert=%v gpu={blocks:%d tpb:%d hybrid:%d} checkNumerics=%v udf=%s",
+		c.Seed, c.Kind, c.Adj.NumRows, c.Adj.NNZ(), c.UDF.OutLen(), c.Agg,
+		c.Tile, c.Threads, c.Parts, c.Hilbert,
+		c.Blocks, c.ThreadsPerBlock, c.HybridThreshold, c.CheckNumerics, c.UDF)
+}
+
+// GenSpMM derives an SpMM case from seed.
+func GenSpMM(seed int64) *Case {
+	c := gen(seed)
+	c.Kind = SpMM
+	return c
+}
+
+// GenSDDMM derives an SDDMM case from seed.
+func GenSDDMM(seed int64) *Case {
+	c := gen(seed)
+	c.Kind = SDDMM
+	return c
+}
+
+func gen(seed int64) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	adj := graphgen.Tiny(rng, 24)
+	d := []int{1, 2, 4, 7, 8, 12}[rng.Intn(6)]
+	udf, inputs, roles := genUDF(rng, adj.NumRows, adj.NNZ(), d)
+	aggs := []core.AggOp{core.AggSum, core.AggMax, core.AggMin, core.AggMean}
+	c := &Case{
+		Seed:   seed,
+		Adj:    adj,
+		UDF:    udf,
+		Inputs: inputs,
+		Roles:  roles,
+		Agg:    aggs[rng.Intn(len(aggs))],
+
+		Tile:    rng.Intn(4),
+		Threads: 1 + rng.Intn(4),
+		Parts:   rng.Intn(4),
+		Hilbert: rng.Intn(2) == 0,
+
+		CheckNumerics: rng.Intn(4) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		c.Blocks = 1 + rng.Intn(8)
+	}
+	if rng.Intn(2) == 0 {
+		c.ThreadsPerBlock = 1 << (3 + rng.Intn(4)) // 8..64
+	}
+	if rng.Intn(3) == 0 {
+		c.HybridThreshold = int32(1 + rng.Intn(4))
+	}
+	return c
+}
+
+// genUDF builds a random UDF over vertex features X [n,d], edge features
+// E [m,d], and (for reduction bodies) a weight matrix W [d,d2]. It mirrors
+// the UDF space of the paper's use cases: elementwise message trees and
+// reductions through a weight matrix, optionally ReLU-clamped. Values stay
+// in [0.5, 1.5] so Div and the float32 comparisons remain well-conditioned.
+func genUDF(rng *rand.Rand, n, m, d int) (*expr.UDF, []*tensor.Tensor, []Role) {
+	b := expr.NewBuilder()
+	// EID bindings only require extent >= NNZ; keep a non-empty first dim
+	// so empty graphs still build.
+	em := max(m, 1)
+	x := b.Placeholder("X", n, d)
+	e := b.Placeholder("E", em, d)
+
+	mk := func(shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		t.FillUniform(rng, 0.5, 1.5)
+		return t
+	}
+	xt, et := mk(n, d), mk(em, d)
+
+	if rng.Intn(2) == 0 {
+		// Elementwise UDF over output axis i.
+		i := b.OutAxis("i", d)
+		atoms := []expr.Expr{
+			x.At(expr.Src, i),
+			x.At(expr.Dst, i),
+			e.At(expr.EID, i),
+			expr.C(rng.Float32() + 0.5),
+		}
+		body := randTree(rng, atoms, 3)
+		return b.UDF(body, i), []*tensor.Tensor{xt, et}, []Role{VertexInput, EdgeInput}
+	}
+
+	// Reduction UDF: out[i] = reduce_k(tree(k) * W[k,i]), optionally
+	// post-processed elementwise.
+	d2 := 1 + rng.Intn(6)
+	w := b.Placeholder("W", d, d2)
+	wt := mk(d, d2)
+	i := b.OutAxis("i", d2)
+	k := b.ReduceAxis("k", d)
+	atoms := []expr.Expr{
+		x.At(expr.Src, k),
+		x.At(expr.Dst, k),
+		e.At(expr.EID, k),
+	}
+	inner := expr.Mul(randTree(rng, atoms, 2), w.At(k, i))
+	var body expr.Expr
+	if rng.Intn(2) == 0 {
+		body = expr.Sum(k, inner)
+	} else {
+		body = expr.MaxOver(k, inner)
+	}
+	if rng.Intn(2) == 0 {
+		body = expr.Max(body, expr.C(0))
+	}
+	return b.UDF(body, i), []*tensor.Tensor{xt, et, wt}, []Role{VertexInput, EdgeInput, DenseInput}
+}
+
+// randTree builds a random binary expression tree of the given depth over
+// the atom set, occasionally wrapped in a total (never-NaN) unary. Division
+// and the NaN-capable unaries (Log, Sqrt) are deliberately excluded so
+// generated cases never depend on undefined float behaviour.
+func randTree(rng *rand.Rand, atoms []expr.Expr, depth int) expr.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return atoms[rng.Intn(len(atoms))]
+	}
+	a := randTree(rng, atoms, depth-1)
+	b := randTree(rng, atoms, depth-1)
+	var node expr.Expr
+	switch rng.Intn(5) {
+	case 0:
+		node = expr.Add(a, b)
+	case 1:
+		node = expr.Sub(a, b)
+	case 2:
+		node = expr.Mul(a, b)
+	case 3:
+		node = expr.Max(a, b)
+	default:
+		node = expr.Min(a, b)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		node = expr.Neg(node)
+	case 1:
+		node = expr.Abs(node)
+	case 2:
+		node = expr.Sigmoid(node)
+	case 3:
+		node = expr.Tanh(node)
+	}
+	return node
+}

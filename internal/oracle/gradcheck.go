@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/tensor"
+)
+
+// Finite-difference gradient cross-check for the autodiff tape. Reverse-
+// mode gradients are exact up to float rounding; central differences
+// approximate them to O(eps²) plus float32 evaluation noise, so agreement
+// within a loose relative tolerance is strong evidence the recorded
+// backward closures match the forwards.
+
+// gradCheckMaxProbes bounds how many elements of each parameter are
+// perturbed, keeping the check O(probes) loss evaluations per tensor
+// instead of O(elements).
+const gradCheckMaxProbes = 64
+
+// GradCheck compares the tape gradients of a scalar loss against central
+// finite differences. build must construct the loss from the given
+// parameter Vars on the given tape and return a 1-element Var; it is
+// called repeatedly, so it must be deterministic in the parameter values.
+// Parameters are perturbed in place and restored before returning.
+func GradCheck(params []*tensor.Tensor, build func(tp *autodiff.Tape, vars []*autodiff.Var) *autodiff.Var, eps float32, tol float64) error {
+	// Analytic pass.
+	tp := autodiff.NewTape()
+	vars := make([]*autodiff.Var, len(params))
+	for i, p := range params {
+		vars[i] = tp.Param(p)
+	}
+	loss := build(tp, vars)
+	if n := len(loss.Value.Data()); n != 1 {
+		return fmt.Errorf("oracle: GradCheck loss must be scalar, got %d elements", n)
+	}
+	if err := tp.Backward(loss); err != nil {
+		return fmt.Errorf("oracle: GradCheck backward: %w", err)
+	}
+	grads := make([][]float32, len(params))
+	for i, v := range vars {
+		if g := v.Grad(); g != nil {
+			grads[i] = append([]float32(nil), g.Data()...)
+		}
+	}
+
+	lossAt := func() float64 {
+		tp := autodiff.NewTape()
+		vs := make([]*autodiff.Var, len(params))
+		for i, p := range params {
+			vs[i] = tp.Param(p)
+		}
+		return float64(build(tp, vs).Value.Data()[0])
+	}
+
+	for pi, p := range params {
+		data := p.Data()
+		if len(data) == 0 {
+			continue
+		}
+		stride := max(len(data)/gradCheckMaxProbes, 1)
+		for j := 0; j < len(data); j += stride {
+			orig := data[j]
+			data[j] = orig + eps
+			lp := lossAt()
+			data[j] = orig - eps
+			lm := lossAt()
+			data[j] = orig
+			fd := (lp - lm) / (2 * float64(eps))
+			var g float64
+			if grads[pi] != nil {
+				g = float64(grads[pi][j])
+			}
+			scale := math.Max(1, math.Max(math.Abs(fd), math.Abs(g)))
+			if math.Abs(fd-g) > tol*scale {
+				return fmt.Errorf("oracle: gradient mismatch param %d elem %d: tape %g, finite-difference %g (eps=%g, tol=%g)",
+					pi, j, g, fd, eps, tol)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"featgraph/internal/core"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Metamorphic invariants: properties that must hold between *related* runs
+// of the kernels without consulting the reference at all. They catch bug
+// classes element-wise differential testing can miss — e.g. an indexing
+// transposition that is self-consistent but wrong for every input.
+
+// CheckPermutation verifies vertex-permutation equivariance: relabelling
+// the vertices (keeping edge ids fixed) and permuting the vertex-indexed
+// inputs the same way must permute the SpMM output rows and leave the
+// eid-indexed SDDMM output unchanged. Aggregation order over a vertex's
+// in-edges changes under the relabelling, so rows agree within tol, not
+// bitwise.
+func CheckPermutation(c *Case, tol Tol) error {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5e3779b97f4a7c15))
+	n := c.Adj.NumRows
+	perm := rng.Perm(n)
+	adjP, err := permuteCSR(c.Adj, perm)
+	if err != nil {
+		return fmt.Errorf("oracle: seed %d: permute graph: %w", c.Seed, err)
+	}
+	inputsP := make([]*tensor.Tensor, len(c.Inputs))
+	for i, in := range c.Inputs {
+		if c.Roles[i] == VertexInput {
+			p := tensor.New(in.Dim(0), in.Dim(1))
+			for v := 0; v < in.Dim(0); v++ {
+				copy(p.Row(perm[v]), in.Row(v))
+			}
+			inputsP[i] = p
+		} else {
+			inputsP[i] = in
+		}
+	}
+
+	out, err := runEngine(c, c.Adj, c.Inputs)
+	if err != nil {
+		return err
+	}
+	outP, err := runEngine(c, adjP, inputsP)
+	if err != nil {
+		return err
+	}
+	if c.Kind == SDDMM {
+		// Edge ids are permutation-invariant, so the outputs line up 1:1.
+		if d := compare(c, "permuted", outP, out, tol, c.Describe()+" (permutation equivariance)"); d != nil {
+			return d
+		}
+		return nil
+	}
+	for v := 0; v < n; v++ {
+		a, b := out.Row(v), outP.Row(perm[v])
+		for j := range a {
+			if !tol.Close(b[j], a[j]) {
+				return &Divergence{
+					Seed: c.Seed, Config: "permuted", Kind: c.Kind.String(),
+					Row: v, Col: j, Got: b[j], Want: a[j], ULPs: ULPDist(b[j], a[j]),
+					Detail: fmt.Sprintf("permutation equivariance: out_perm[perm[%d]=%d] != out[%d]; %s", v, perm[v], v, c.Describe()),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// permuteCSR relabels vertices by perm while keeping every edge's id: edge
+// (u→v, e) becomes (perm[u]→perm[v], e). Assembling through COO indexed by
+// eid preserves ids because FromCOO assigns eid i to the i-th entry.
+func permuteCSR(adj *sparse.CSR, perm []int) (*sparse.CSR, error) {
+	nnz := adj.NNZ()
+	coo := &sparse.COO{
+		NumRows: adj.NumRows, NumCols: adj.NumCols,
+		Row: make([]int32, nnz), Col: make([]int32, nnz), Val: make([]float32, nnz),
+	}
+	for r := 0; r < adj.NumRows; r++ {
+		for p := adj.RowPtr[r]; p < adj.RowPtr[r+1]; p++ {
+			e := adj.EID[p]
+			coo.Row[e] = int32(perm[r])
+			coo.Col[e] = int32(perm[adj.ColIdx[p]])
+			coo.Val[e] = adj.Val[p]
+		}
+	}
+	return sparse.FromCOO(coo)
+}
+
+// runEngine builds and runs the case's engine configuration against the
+// given adjacency and inputs.
+func runEngine(c *Case, adj *sparse.CSR, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
+	var fds *schedule.FDS
+	if c.Tile > 0 {
+		fds = schedule.New().Split(c.UDF.OutAxes[0], c.Tile)
+	}
+	if c.Kind == SpMM {
+		opts := core.Options{Target: core.CPU, NumThreads: c.Threads, GraphPartitions: c.Parts}
+		k, err := core.BuildSpMM(adj, c.UDF, inputs, c.Agg, fds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: seed %d: build spmm: %w", c.Seed, err)
+		}
+		out := tensor.New(adj.NumRows, c.UDF.OutLen())
+		if _, err := k.Run(out); err != nil {
+			return nil, fmt.Errorf("oracle: seed %d: run spmm: %w", c.Seed, err)
+		}
+		return out, nil
+	}
+	opts := core.Options{Target: core.CPU, NumThreads: c.Threads, Hilbert: c.Hilbert}
+	k, err := core.BuildSDDMM(adj, c.UDF, inputs, fds, opts)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: seed %d: build sddmm: %w", c.Seed, err)
+	}
+	out := tensor.New(adj.NNZ(), c.UDF.OutLen())
+	if _, err := k.Run(out); err != nil {
+		return nil, fmt.Errorf("oracle: seed %d: run sddmm: %w", c.Seed, err)
+	}
+	return out, nil
+}
+
+// CheckLinearity verifies SpMM-sum linearity: for the copy-src kernel k
+// (pure aggregation, the GCN message function), k(αx+βy) must agree with
+// αk(x)+βk(y). Exercised through a staging buffer so one compiled kernel
+// serves all three evaluations, exactly as dgl ops reuse plans.
+func CheckLinearity(c *Case, tol Tol) error {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x51ea11))
+	adj := c.Adj
+	d := 1 + rng.Intn(8)
+	udf := expr.CopySrc(adj.NumCols, d)
+	stage := tensor.New(adj.NumCols, d)
+	var fds *schedule.FDS
+	if c.Tile > 0 {
+		fds = schedule.New().Split(udf.OutAxes[0], c.Tile)
+	}
+	k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{stage}, core.AggSum, fds,
+		core.Options{Target: core.CPU, NumThreads: c.Threads, GraphPartitions: c.Parts})
+	if err != nil {
+		return fmt.Errorf("oracle: seed %d: build copy-src spmm: %w", c.Seed, err)
+	}
+
+	x, y := tensor.New(adj.NumCols, d), tensor.New(adj.NumCols, d)
+	x.FillUniform(rng, 0.5, 1.5)
+	y.FillUniform(rng, 0.5, 1.5)
+	alpha, beta := rng.Float32()+0.5, rng.Float32()+0.5
+
+	run := func(in *tensor.Tensor) (*tensor.Tensor, error) {
+		copy(stage.Data(), in.Data())
+		out := tensor.New(adj.NumRows, d)
+		if _, err := k.Run(out); err != nil {
+			return nil, fmt.Errorf("oracle: seed %d: run copy-src spmm: %w", c.Seed, err)
+		}
+		return out, nil
+	}
+	outX, err := run(x)
+	if err != nil {
+		return err
+	}
+	outY, err := run(y)
+	if err != nil {
+		return err
+	}
+	mix := tensor.New(adj.NumCols, d)
+	md, xd, yd := mix.Data(), x.Data(), y.Data()
+	for i := range md {
+		md[i] = alpha*xd[i] + beta*yd[i]
+	}
+	outMix, err := run(mix)
+	if err != nil {
+		return err
+	}
+	want := tensor.New(adj.NumRows, d)
+	wd, oxd, oyd := want.Data(), outX.Data(), outY.Data()
+	for i := range wd {
+		wd[i] = alpha*oxd[i] + beta*oyd[i]
+	}
+	if dv := compare(c, "linearity", outMix, want, tol,
+		fmt.Sprintf("k(%g·x+%g·y) vs %g·k(x)+%g·k(y); %s", alpha, beta, alpha, beta, c.Describe())); dv != nil {
+		return dv
+	}
+	return nil
+}
+
+// CheckScheduleIndependence verifies the paper's core claim directly: the
+// same case under different (tile, threads, partitions) choices produces
+// the same tensor. All variants are compared against the plain
+// single-threaded engine build.
+func CheckScheduleIndependence(c *Case, tol Tol) error {
+	variants := []struct{ tile, threads, parts int }{
+		{0, 1, 0}, // baseline
+		{1, 2, 0},
+		{2, 1, 2},
+		{3, 3, 3},
+		{5, 4, 1},
+	}
+	var base *tensor.Tensor
+	for i, v := range variants {
+		vc := *c
+		vc.Tile, vc.Threads, vc.Parts = v.tile, v.threads, v.parts
+		out, err := runEngine(&vc, c.Adj, c.Inputs)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			base = out
+			continue
+		}
+		name := fmt.Sprintf("schedule-variant{tile:%d threads:%d parts:%d}", v.tile, v.threads, v.parts)
+		if d := compare(c, name, out, base, tol, c.Describe()+" (tile/partition-count independence)"); d != nil {
+			return d
+		}
+	}
+	return nil
+}

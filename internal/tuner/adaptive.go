@@ -84,6 +84,23 @@ func SuccessiveHalving(adj *sparse.CSR, x *tensor.Tensor, gps, tiles []int, thre
 		cands = cands[:(len(cands)+1)/2]
 		reps *= 2
 	}
+	if res.Measurements == 0 {
+		// Degenerate single-candidate space: the halving loop never ran,
+		// so the lone cell was never timed. Warm it up and measure it so
+		// Best carries a real latency instead of a zero.
+		if _, err := cands[0].kernel.Run(out); err != nil {
+			return AdaptiveResult{}, err
+		}
+		res.Measurements++
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := cands[0].kernel.Run(out); err != nil {
+				return AdaptiveResult{}, err
+			}
+		}
+		res.Measurements += reps
+		cands[0].cell.Seconds = time.Since(start).Seconds() / float64(reps)
+	}
 	res.Best = cands[0].cell
 	res.Survivors = []Cell{cands[0].cell}
 	return res, nil

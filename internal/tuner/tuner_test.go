@@ -124,3 +124,31 @@ func TestSuccessiveHalvingRejectsBadInputs(t *testing.T) {
 		t.Fatal("empty design space should error")
 	}
 }
+
+// TestSuccessiveHalvingSingleCandidate is the degenerate-space regression
+// test: with exactly one (gp, tile) cell the halving loop has nothing to
+// discard, but the lone candidate must still be warmed up and measured so
+// Best carries a real latency.
+func TestSuccessiveHalvingSingleCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	adj := sparse.Random(rng, 200, 200, 8)
+	x := tensor.New(200, 16)
+	x.FillUniform(rng, -1, 1)
+
+	res, err := SuccessiveHalving(adj, x, []int{4}, []int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.GraphPartitions != 4 || res.Best.FeatureTile != 8 {
+		t.Fatalf("best %+v, want the only candidate (gp=4, tile=8)", res.Best)
+	}
+	if res.Best.Seconds <= 0 {
+		t.Fatalf("single candidate was never timed: Seconds = %v", res.Best.Seconds)
+	}
+	if res.Measurements == 0 {
+		t.Fatal("single candidate was never measured")
+	}
+	if len(res.Survivors) != 1 {
+		t.Fatalf("survivors = %v, want exactly the lone candidate", res.Survivors)
+	}
+}
