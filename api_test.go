@@ -1,0 +1,116 @@
+package featgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"featgraph"
+)
+
+// Both concrete kernel types must satisfy the unified Kernel interface.
+var (
+	_ featgraph.Kernel = (*featgraph.SpMMKernel)(nil)
+	_ featgraph.Kernel = (*featgraph.SDDMMKernel)(nil)
+)
+
+// buildPair compiles one SpMM and one SDDMM kernel over a small graph.
+func buildPair(t *testing.T) (*featgraph.Graph, []featgraph.Kernel) {
+	t.Helper()
+	const n, d = 8, 4
+	g, err := featgraph.NewGraph(n, []int32{0, 1, 2, 3, 4, 5, 6, 7}, []int32{1, 2, 3, 4, 5, 6, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := featgraph.NewTensor(n, d)
+	x.Fill(1)
+	opts := featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU), featgraph.WithNumThreads(2))
+	spmm, err := featgraph.SpMM(g, featgraph.CopySrc(n, d), []*featgraph.Tensor{x}, featgraph.AggSum, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sddmm, err := featgraph.SDDMM(g, featgraph.DotAttention(n, d), []*featgraph.Tensor{x}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []featgraph.Kernel{spmm, sddmm}
+}
+
+func TestKernelInterfaceUniformUse(t *testing.T) {
+	g, kernels := buildPair(t)
+	for _, k := range kernels {
+		desc := k.Describe()
+		if desc == "" {
+			t.Fatal("empty kernel description")
+		}
+		rows, cols := k.OutShape()
+		out := featgraph.NewTensor(rows, cols)
+		stats, err := k.Run(out)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if stats.Duration <= 0 {
+			t.Errorf("%s: Duration not populated: %v", desc, stats.Duration)
+		}
+		if stats.EdgesProcessed != uint64(g.NumEdges()) {
+			t.Errorf("%s: EdgesProcessed = %d, want %d", desc, stats.EdgesProcessed, g.NumEdges())
+		}
+		if last := k.LastStats(); last != stats {
+			t.Errorf("%s: LastStats %+v != returned stats %+v", desc, last, stats)
+		}
+	}
+}
+
+func TestNewOptionsComposition(t *testing.T) {
+	opts := featgraph.NewOptions(
+		featgraph.WithTarget(featgraph.GPU),
+		featgraph.WithNumThreads(3),
+		featgraph.WithGraphPartitions(4),
+		featgraph.WithHilbert(),
+		featgraph.WithLaunchDims(32, 64),
+		featgraph.WithHybridThreshold(5),
+		featgraph.WithCheckNumerics(),
+		featgraph.WithMetrics(),
+		featgraph.WithNoFallback(),
+	)
+	want := featgraph.Options{
+		Target: featgraph.GPU, NumThreads: 3, GraphPartitions: 4, Hilbert: true,
+		NumBlocks: 32, ThreadsPerBlock: 64, HybridThreshold: 5,
+		CheckNumerics: true, Metrics: true, NoFallback: true,
+	}
+	if opts != want {
+		t.Fatalf("NewOptions = %+v, want %+v", opts, want)
+	}
+	if zero := featgraph.NewOptions(); zero != (featgraph.Options{}) {
+		t.Fatalf("NewOptions() = %+v, want zero Options", zero)
+	}
+}
+
+func TestMetricsSnapshotAndWriter(t *testing.T) {
+	featgraph.SetMetricsEnabled(true)
+	defer featgraph.SetMetricsEnabled(false)
+	_, kernels := buildPair(t)
+	for _, k := range kernels {
+		rows, cols := k.OutShape()
+		if _, err := k.Run(featgraph.NewTensor(rows, cols)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runs float64
+	for _, m := range featgraph.Metrics() {
+		if strings.HasPrefix(m.Name, "featgraph_kernel_runs_total") {
+			runs += m.Value
+		}
+	}
+	if runs < 2 {
+		t.Fatalf("kernel run counters sum to %v after 2 runs, want >= 2", runs)
+	}
+	var sb strings.Builder
+	if err := featgraph.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"featgraph_kernel_runs_total", "featgraph_kernel_run_seconds"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("Prometheus output missing %s:\n%s", name, sb.String())
+		}
+	}
+}

@@ -33,8 +33,17 @@ func main() {
 		reps    = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
 		jsonOut = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
 		rounds  = flag.Int("rounds", 3, "interleaved measurement rounds for -json")
+		metrics = flag.Bool("metrics", false, "run the telemetry smoke workload and print the Prometheus metrics snapshot")
 	)
 	flag.Parse()
+
+	if *metrics {
+		if err := bench.MetricsSmoke(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := writeEngineReport(*jsonOut, *rounds); err != nil {

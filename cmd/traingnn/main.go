@@ -23,6 +23,7 @@ import (
 	"featgraph/internal/graphgen"
 	"featgraph/internal/graphio"
 	"featgraph/internal/nn"
+	"featgraph/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		lr      = flag.Float64("lr", 0.01, "Adam learning rate")
 		threads = flag.Int("threads", 4, "CPU threads")
+		trace   = flag.String("trace", "", "record kernel spans and write a Chrome trace_event JSON file")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traingnn:", err)
 		os.Exit(2)
 	}
-	if err := run(*model, *backend, *target, *graph, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
+	if err := run(*model, *backend, *target, *graph, *trace, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "traingnn:", err)
 		os.Exit(1)
 	}
@@ -76,7 +78,12 @@ func validateFlags(epochs, heads, hidden, nverts, classes, feat, threads int, lr
 	return nil
 }
 
-func run(model, backend, target, graph string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
+func run(model, backend, target, graph, trace string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
+	if trace != "" {
+		// 1<<16 events keeps the most recent epochs of a long run; the ring
+		// overwrites the oldest spans rather than growing unbounded.
+		telemetry.StartTrace(1 << 16)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var ds *graphgen.Classified
 	if graph != "" {
@@ -160,6 +167,21 @@ func run(model, backend, target, graph string, epochs, heads, hidden, nverts, cl
 	}
 	if cfg.Backend == dgl.Naive {
 		fmt.Printf("materialized messages: %.1f MB total\n", float64(g.MsgBytes)/1e6)
+	}
+	if trace != "" {
+		kept := telemetry.StopTrace()
+		f, err := os.Create(trace)
+		if err != nil {
+			return fmt.Errorf("creating -trace file: %w", err)
+		}
+		if err := telemetry.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing -trace file: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d span events written to %s (open at chrome://tracing)\n", kept, trace)
 	}
 	return nil
 }

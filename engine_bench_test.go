@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"featgraph"
 	"featgraph/internal/core"
 	"featgraph/internal/expr"
 	"featgraph/internal/graphgen"
@@ -99,6 +100,42 @@ func BenchmarkEngineSteadyStateAllocs(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := k.Run(att); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTelemetryOverhead measures the observability layer's cost
+// on the steady-state run path: recording disabled (the budget is a few
+// atomic loads per run, and — asserted by TestDisabledTelemetryRunIsAllocFree
+// — zero allocations), enabled process-wide, and enabled per kernel via
+// Options.Metrics.
+func BenchmarkEngineTelemetryOverhead(b *testing.B) {
+	const n, d = 2048, 32
+	rng := rand.New(rand.NewSource(10))
+	adj := sparse.Random(rng, n, n, 8)
+	x := tensor.New(n, d)
+	x.FillUniform(rng, -1, 1)
+	out := tensor.New(n, d)
+	for _, mode := range []struct {
+		name   string
+		global bool
+		kernel bool
+	}{{"disabled", false, false}, {"enabled", true, false}, {"kernel-opt-in", false, true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			featgraph.SetMetricsEnabled(mode.global)
+			defer featgraph.SetMetricsEnabled(false)
+			k, err := core.BuildSpMM(adj, expr.CopySrc(n, d), []*tensor.Tensor{x}, core.AggSum, nil,
+				core.Options{Target: core.CPU, NumThreads: 4, Metrics: mode.kernel})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Run(out); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -25,7 +25,7 @@ func ExampleSpMM() {
 	udf := featgraph.CopySrc(4, 2)
 	fds := featgraph.NewFDS().Split(udf.OutAxes[0], 1)
 	kernel, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds,
-		featgraph.Options{Target: featgraph.CPU})
+		featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU)))
 	if err != nil {
 		panic(err)
 	}
@@ -51,7 +51,7 @@ func ExampleSDDMM() {
 	}, 3, 2)
 
 	kernel, err := featgraph.SDDMM(g, featgraph.DotAttention(3, 2), []*featgraph.Tensor{x}, nil,
-		featgraph.Options{Target: featgraph.CPU})
+		featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU)))
 	if err != nil {
 		panic(err)
 	}

@@ -51,7 +51,7 @@ func main() {
 
 	run := func(name string, fds *featgraph.FDS) *featgraph.Tensor {
 		kernel, err := featgraph.SDDMM(g, udf, []*featgraph.Tensor{x}, fds,
-			featgraph.Options{Target: featgraph.GPU, Device: dev})
+			featgraph.NewOptions(featgraph.WithTarget(featgraph.GPU), featgraph.WithDevice(dev)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,7 +82,7 @@ func main() {
 	xh := featgraph.NewTensor(n, h, d)
 	xh.FillUniform(rng, -1, 1)
 	mh, err := featgraph.SDDMM(g, featgraph.MultiHeadDot(n, h, d), []*featgraph.Tensor{xh}, nil,
-		featgraph.Options{Target: featgraph.GPU, Device: dev})
+		featgraph.NewOptions(featgraph.WithTarget(featgraph.GPU), featgraph.WithDevice(dev)))
 	if err != nil {
 		log.Fatal(err)
 	}

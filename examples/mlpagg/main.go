@@ -68,7 +68,7 @@ func main() {
 			label = fmt.Sprintf("split(i, %d)", tile)
 		}
 		kernel, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x, w}, featgraph.AggMax, fds,
-			featgraph.Options{Target: featgraph.CPU, GraphPartitions: 8})
+			featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU), featgraph.WithGraphPartitions(8)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -50,7 +50,7 @@ func main() {
 
 	// Build the kernel — FeatGraph's per-topology compilation — and run it.
 	kernel, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds,
-		featgraph.Options{Target: featgraph.CPU, GraphPartitions: 8})
+		featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU), featgraph.WithGraphPartitions(8)))
 	if err != nil {
 		log.Fatal(err)
 	}

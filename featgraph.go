@@ -13,7 +13,8 @@
 //	udf := featgraph.CopySrc(n, d)
 //	fds := featgraph.NewFDS().Split(udf.OutAxes[0], 8) // tile features
 //	k, _ := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum,
-//	        fds, featgraph.Options{Target: featgraph.CPU, GraphPartitions: 16})
+//	        fds, featgraph.NewOptions(featgraph.WithTarget(featgraph.CPU),
+//	                featgraph.WithGraphPartitions(16)))
 //	out := featgraph.NewTensor(n, d)
 //	k.Run(out)
 //
@@ -72,6 +73,12 @@ type (
 	// NumericError reports the first non-finite output value found by an
 	// Options.CheckNumerics scan.
 	NumericError = core.NumericError
+	// Kernel is the interface every built kernel satisfies — run it,
+	// describe its compiled configuration, and read its last run's stats —
+	// so schedulers, caches and test harnesses can treat SpMM and SDDMM
+	// kernels uniformly. The concrete types below remain exported for
+	// code that needs template-specific behavior.
+	Kernel = core.Kernel
 	// SpMMKernel is a built generalized-SpMM kernel.
 	SpMMKernel = core.SpMMKernel
 	// SDDMMKernel is a built generalized-SDDMM kernel.

@@ -25,10 +25,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
 	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 )
 
@@ -122,6 +124,11 @@ type Options struct {
 	// run and fails it with a *NumericError naming the first offending
 	// vertex/edge and feature. The scan costs one pass over the output.
 	CheckNumerics bool
+	// Metrics enables telemetry recording for this kernel's runs even when
+	// the process-wide switch (telemetry.SetEnabled) is off. RunStats
+	// fields are populated either way; this only controls the shared
+	// counters and histograms behind featgraph.Metrics().
+	Metrics bool
 	// NoFallback disables the transparent CPU retry a GPU-target kernel
 	// performs when the device build or run fails.
 	NoFallback bool
@@ -139,6 +146,19 @@ type Options struct {
 // for GPU runs; see the cudasim package for the cost model.
 type RunStats struct {
 	SimCycles uint64
+
+	// Duration is the wall-clock time of the run, populated on every
+	// completed RunCtx regardless of telemetry settings.
+	Duration time.Duration
+	// EdgesProcessed counts edge traversals the run performed. Each
+	// feature tile re-traverses the topology, so an untiled run reports
+	// nnz and a T-tile run reports T x nnz. GPU runs report the nominal
+	// traversal count of the launched grid.
+	EdgesProcessed uint64
+	// ChunksStolen counts engine chunks executed by pool helpers rather
+	// than the submitting goroutine — the work-stealing imbalance signal.
+	// Zero under Options.LegacySched and on the GPU path.
+	ChunksStolen uint64
 
 	// Fallback reports that the GPU target failed to build or run and the
 	// result was produced by the CPU path instead (graceful degradation).
@@ -306,6 +326,9 @@ func parallelFor(rc *runControl, site workerSite, n, numWorkers int, body func(w
 	guarded := func(w, lo, hi int) {
 		defer func() {
 			if r := recover(); r != nil {
+				if telemetry.Enabled() {
+					mRecoveredPanics.Inc()
+				}
 				rc.fail(&KernelError{
 					Kernel: site.kernel, Target: site.target,
 					Worker: w, Tile: site.tile, Part: site.part, Value: r,

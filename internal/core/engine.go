@@ -22,11 +22,14 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
+	"time"
 
 	"featgraph/internal/codegen"
 	"featgraph/internal/faultinject"
 	"featgraph/internal/partition"
 	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 	"featgraph/internal/workpool"
 )
@@ -44,6 +47,9 @@ func guard(rc *runControl, site *workerSite, body func(slot, chunk int)) func(sl
 	return func(slot, chunk int) {
 		defer func() {
 			if r := recover(); r != nil {
+				if telemetry.Enabled() {
+					mRecoveredPanics.Inc()
+				}
 				rc.fail(&KernelError{
 					Kernel: site.kernel, Target: site.target,
 					Worker: slot, Tile: site.tile, Part: site.part, Value: r,
@@ -77,6 +83,14 @@ type spmmRunState struct {
 	tile     partition.Range
 	chunks   []partition.Range
 	finalize bool
+
+	// Per-run accounting, reset by runCPUEngine and folded into RunStats:
+	// edge traversals performed and chunks executed by helper slots
+	// (stolen from the submitter). Atomic because chunks retire on
+	// concurrent pool runners; two uncontended-in-practice adds per chunk,
+	// cheap enough to populate RunStats unconditionally.
+	edges  atomic.Uint64
+	stolen atomic.Uint64
 
 	scratch []*spmmScratch // indexed by runner slot
 }
@@ -119,10 +133,14 @@ func (k *SpMMKernel) putRunState(st *spmmRunState) {
 // current (tile, partition) pass, or of the finalization pass.
 func (st *spmmRunState) runChunk(slot, ci int) {
 	r := st.chunks[ci]
+	if slot != 0 {
+		st.stolen.Add(1)
+	}
 	if st.finalize {
 		finalizeAgg(st.k.agg, st.out, st.k.adj, r.Lo, r.Hi)
 		return
 	}
+	st.edges.Add(uint64(st.part.RowPtr[r.Hi] - st.part.RowPtr[r.Lo]))
 	faultinject.Hit(faultinject.SiteSpMMCPUWorker, st.rc.done)
 	for lo := r.Lo; lo < r.Hi; lo += cancelChunk {
 		if st.rc.stop() {
@@ -140,15 +158,19 @@ func (st *spmmRunState) runChunk(slot, ci int) {
 // (feature tiles outermost, partitions next, rows innermost) but with rows
 // split into edge-balanced chunks drained from the shared pool, and zero
 // per-run allocation.
-func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) error {
+func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
 	threads := max(k.opts.NumThreads, 1)
 	pool := workpool.Default()
 	st := k.getRunState()
 	defer k.putRunState(st)
 	st.rc.reset(ctx)
 	st.out = out
+	st.edges.Store(0)
+	st.stolen.Store(0)
+	tracing := telemetry.TraceActive()
 	out.Fill(k.agg.identity())
 
+	var phaseStart time.Time
 	for ti, tile := range k.tiles {
 		for pi, part := range k.parts {
 			if st.rc.stop() {
@@ -156,15 +178,29 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) error
 			}
 			st.tile, st.part, st.chunks, st.finalize = tile, part, k.chunks[pi], false
 			st.site.tile, st.site.part = ti, pi
+			if tracing {
+				phaseStart = time.Now()
+			}
 			pool.Run(&st.job, len(st.chunks), threads)
+			if tracing {
+				telemetry.RecordSpan("spmm.phase", 0, phaseStart, time.Since(phaseStart), "tile", int64(ti), "part", int64(pi), 2)
+			}
 		}
 	}
 	if !st.rc.stop() {
 		st.finalize = true
 		st.chunks = k.finChunks
 		st.site.tile, st.site.part = -1, -1
+		if tracing {
+			phaseStart = time.Now()
+		}
 		pool.Run(&st.job, len(k.finChunks), threads)
+		if tracing {
+			telemetry.RecordSpan("spmm.finalize", 0, phaseStart, time.Since(phaseStart), "chunks", int64(len(k.finChunks)), "", 0, 1)
+		}
 	}
+	stats.EdgesProcessed = st.edges.Load()
+	stats.ChunksStolen = st.stolen.Load()
 	return st.rc.verdict()
 }
 
@@ -181,6 +217,10 @@ type sddmmRunState struct {
 	chunks []partition.Range
 	lo, hi int  // active tile bounds: reduce axis (dot) or output axis
 	dot    bool // dot fast path vs generic compiled path
+
+	// Per-run accounting (see spmmRunState).
+	edges  atomic.Uint64
+	stolen atomic.Uint64
 
 	envs []*codegen.Env // indexed by runner slot (generic path)
 }
@@ -217,6 +257,10 @@ func (k *SDDMMKernel) putRunState(st *sddmmRunState) {
 // runChunk processes one edge chunk of the current phase.
 func (st *sddmmRunState) runChunk(slot, ci int) {
 	r := st.chunks[ci]
+	if slot != 0 {
+		st.stolen.Add(1)
+	}
+	st.edges.Add(uint64(r.Hi - r.Lo))
 	k := st.k
 	ed := k.edges
 	odata := st.out.Data()
@@ -264,7 +308,7 @@ func (st *sddmmRunState) runChunk(slot, ci int) {
 // runCPUEngine executes the SDDMM CPU schedule on the persistent engine:
 // one pooled phase per tile over uniform edge chunks of the traversal order
 // (Hilbert or row-major), with zero per-run allocation.
-func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) error {
+func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
 	threads := max(k.opts.NumThreads, 1)
 	pool := workpool.Default()
 	st := k.getRunState()
@@ -272,7 +316,11 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) erro
 	st.rc.reset(ctx)
 	st.out = out
 	st.chunks = k.edgeChunks
+	st.edges.Store(0)
+	st.stolen.Store(0)
+	tracing := telemetry.TraceActive()
 
+	var phaseStart time.Time
 	if k.match.Pattern == codegen.DotSrcDst {
 		out.Zero()
 		st.dot = true
@@ -282,8 +330,16 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) erro
 			}
 			st.lo, st.hi = kt.Lo, kt.Hi
 			st.site.tile = kti
+			if tracing {
+				phaseStart = time.Now()
+			}
 			pool.Run(&st.job, len(st.chunks), threads)
+			if tracing {
+				telemetry.RecordSpan("sddmm.phase", 0, phaseStart, time.Since(phaseStart), "tile", int64(kti), "", 0, 1)
+			}
 		}
+		stats.EdgesProcessed = st.edges.Load()
+		stats.ChunksStolen = st.stolen.Load()
 		return st.rc.verdict()
 	}
 
@@ -294,7 +350,15 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor) erro
 		}
 		st.lo, st.hi = tile.Lo, tile.Hi
 		st.site.tile = ti
+		if tracing {
+			phaseStart = time.Now()
+		}
 		pool.Run(&st.job, len(st.chunks), threads)
+		if tracing {
+			telemetry.RecordSpan("sddmm.phase", 0, phaseStart, time.Since(phaseStart), "tile", int64(ti), "", 0, 1)
+		}
 	}
+	stats.EdgesProcessed = st.edges.Load()
+	stats.ChunksStolen = st.stolen.Load()
 	return st.rc.verdict()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 )
 
@@ -71,6 +72,9 @@ func checkNumerics(kernel string, out *tensor.Tensor) error {
 			row, col := 0, i
 			if stride > 0 {
 				row, col = i/stride, i%stride
+			}
+			if telemetry.Enabled() {
+				mNumericFailures.Inc()
 			}
 			return &NumericError{Kernel: kernel, Row: row, Col: col, Value: v}
 		}

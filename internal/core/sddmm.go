@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
@@ -10,6 +12,7 @@ import (
 	"featgraph/internal/partition"
 	"featgraph/internal/schedule"
 	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 )
 
@@ -36,10 +39,19 @@ type SDDMMKernel struct {
 	states     chan *sddmmRunState
 
 	gpu *sddmmGPU
+
+	// LastStats storage (see kernel.go).
+	lastMu sync.Mutex
+	last   RunStats
 }
 
 // BuildSDDMM builds a generalized SDDMM kernel. fds may be nil.
 func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options) (*SDDMMKernel, error) {
+	tracing := telemetry.TraceActive()
+	var buildStart, stepStart time.Time
+	if tracing {
+		buildStart = time.Now()
+	}
 	if err := adj.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid adjacency: %w", err)
 	}
@@ -52,9 +64,15 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 	if err := validateBindings(adj, udf, inputs); err != nil {
 		return nil, err
 	}
+	if tracing {
+		stepStart = time.Now()
+	}
 	compiled, err := codegen.Compile(udf, inputs)
 	if err != nil {
 		return nil, err
+	}
+	if tracing {
+		telemetry.RecordSpan("sddmm.lower", 0, stepStart, time.Since(stepStart), "out_len", int64(compiled.OutLen()), "", 0, 1)
 	}
 	k := &SDDMMKernel{
 		adj:      adj,
@@ -77,6 +95,9 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 		k.redTiles = partition.FeatureTiles(d, fds.SplitFactor(k.redAxis))
 	}
 
+	if tracing {
+		stepStart = time.Now()
+	}
 	switch opts.Target {
 	case CPU:
 		if opts.Hilbert {
@@ -97,6 +118,9 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 	nnz := adj.NNZ()
 	k.edgeChunks = uniformChunks(nnz, numChunksFor(max(opts.NumThreads, 1), nnz, nnz))
 	k.states = make(chan *sddmmRunState, runStatePoolCap)
+	if tracing {
+		telemetry.RecordSpan("sddmm.partition", 0, stepStart, time.Since(stepStart), "chunks", int64(len(k.edgeChunks)), "tiles", int64(len(k.tiles)), 2)
+	}
 
 	// Pre-create one run state (and GPU launch state) so scratch is
 	// allocated at build time and the first Run is already allocation-free;
@@ -104,6 +128,9 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 	k.states <- k.newRunState()
 	if k.gpu != nil {
 		k.gpu.states <- k.newGPULaunch()
+	}
+	if tracing {
+		telemetry.RecordSpan("sddmm.build", 0, buildStart, time.Since(buildStart), "rows", int64(adj.NumRows), "nnz", int64(adj.NNZ()), 2)
 	}
 	return k, nil
 }
@@ -150,6 +177,9 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	metricsOn := k.opts.Metrics || telemetry.Enabled()
+	tracing := telemetry.TraceActive()
+	start := time.Now()
 	var stats RunStats
 	if k.opts.Target == GPU {
 		var err error
@@ -159,12 +189,20 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 				return RunStats{}, err
 			}
 			// Graceful degradation: one retry on the CPU path.
-			if cpuErr := k.runCPU(ctx, out); cpuErr != nil {
+			stats = RunStats{}
+			if cpuErr := k.runCPU(ctx, out, &stats); cpuErr != nil {
 				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
 			}
-			stats = RunStats{Fallback: true, FallbackReason: err.Error()}
+			stats.Fallback = true
+			stats.FallbackReason = err.Error()
+			if metricsOn {
+				sddmmMetrics.recordFallback(false)
+			}
+			if tracing {
+				telemetry.RecordInstant("sddmm.fallback", 0, "run_stage", 1, 1)
+			}
 		}
-	} else if err := k.runCPU(ctx, out); err != nil {
+	} else if err := k.runCPU(ctx, out, &stats); err != nil {
 		return RunStats{}, err
 	}
 	if k.opts.CheckNumerics {
@@ -172,6 +210,7 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 			return stats, err
 		}
 	}
+	finishRun("sddmm.run", sddmmMetrics, k.opts.Target, &k.lastMu, &k.last, start, &stats, metricsOn, tracing)
 	return stats, nil
 }
 
@@ -180,11 +219,21 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 // (engine.go) dispatches edges as chunks on the shared worker pool with
 // zero per-run allocation; Options.LegacySched selects the pre-engine
 // per-run-goroutine scheduler instead.
-func (k *SDDMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+func (k *SDDMMKernel) runCPU(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
 	if k.opts.LegacySched {
-		return k.runCPULegacy(ctx, out)
+		err := k.runCPULegacy(ctx, out)
+		if err == nil {
+			// The legacy scheduler has no chunk accounting; report the
+			// nominal traversal count (every tile revisits every edge).
+			tiles := len(k.tiles)
+			if k.match.Pattern == codegen.DotSrcDst && len(k.redTiles) > 0 {
+				tiles = len(k.redTiles)
+			}
+			stats.EdgesProcessed = uint64(k.adj.NNZ()) * uint64(tiles)
+		}
+		return err
 	}
-	return k.runCPUEngine(ctx, out)
+	return k.runCPUEngine(ctx, out, stats)
 }
 
 // runCPULegacy is the pre-engine scheduler, kept as the measured ablation

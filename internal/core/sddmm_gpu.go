@@ -147,7 +147,8 @@ func (k *SDDMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats,
 	if err != nil {
 		return RunStats{}, wrapSDDMMLaunchErr(err)
 	}
-	return RunStats{SimCycles: stats.SimCycles}, nil
+	// Nominal traversal count: the single launch visits every edge once.
+	return RunStats{SimCycles: stats.SimCycles, EdgesProcessed: uint64(nnz)}, nil
 }
 
 // gpuDotBlock runs the dot fast path for one block's edges.

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
@@ -10,6 +12,7 @@ import (
 	"featgraph/internal/partition"
 	"featgraph/internal/schedule"
 	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 )
 
@@ -49,6 +52,10 @@ type SpMMKernel struct {
 	// build failed and degraded to the CPU path.
 	gpu         *spmmGPU
 	gpuBuildErr string // the device build failure behind gpu == nil
+
+	// LastStats storage (see kernel.go).
+	lastMu sync.Mutex
+	last   RunStats
 }
 
 // BuildSpMM builds a generalized SpMM kernel over adjacency matrix adj.
@@ -56,6 +63,11 @@ type SpMMKernel struct {
 // agg is the aggregation operator; fds may be nil for the unscheduled
 // degradation the paper describes in §III-B.
 func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp, fds *schedule.FDS, opts Options) (*SpMMKernel, error) {
+	tracing := telemetry.TraceActive()
+	var buildStart, stepStart time.Time
+	if tracing {
+		buildStart = time.Now()
+	}
 	if err := adj.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid adjacency: %w", err)
 	}
@@ -68,9 +80,15 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	if err := validateBindings(adj, udf, inputs); err != nil {
 		return nil, err
 	}
+	if tracing {
+		stepStart = time.Now()
+	}
 	compiled, err := codegen.Compile(udf, inputs)
 	if err != nil {
 		return nil, err
+	}
+	if tracing {
+		telemetry.RecordSpan("spmm.lower", 0, stepStart, time.Since(stepStart), "out_len", int64(compiled.OutLen()), "", 0, 1)
 	}
 	k := &SpMMKernel{
 		adj:      adj,
@@ -91,6 +109,9 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	if opts.Target != CPU && opts.Target != GPU {
 		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
 	}
+	if tracing {
+		stepStart = time.Now()
+	}
 	if opts.GraphPartitions > 1 {
 		k.parts = partition.OneD(adj, opts.GraphPartitions).Parts
 	} else {
@@ -107,6 +128,9 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	}
 	k.finChunks = uniformChunks(adj.NumRows, numChunksFor(threads, adj.NumRows, adj.NumRows))
 	k.states = make(chan *spmmRunState, runStatePoolCap)
+	if tracing {
+		telemetry.RecordSpan("spmm.partition", 0, stepStart, time.Since(stepStart), "parts", int64(len(k.parts)), "tiles", int64(len(k.tiles)), 2)
+	}
 
 	if opts.Target == GPU {
 		k.gpu, err = buildSpMMGPU(k, udf, fds)
@@ -128,6 +152,9 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	k.states <- k.newRunState()
 	if k.gpu != nil {
 		k.gpu.states <- k.newGPULaunch()
+	}
+	if tracing {
+		telemetry.RecordSpan("spmm.build", 0, buildStart, time.Since(buildStart), "rows", int64(adj.NumRows), "nnz", int64(adj.NNZ()), 2)
 	}
 	return k, nil
 }
@@ -161,6 +188,9 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	metricsOn := k.opts.Metrics || telemetry.Enabled()
+	tracing := telemetry.TraceActive()
+	start := time.Now()
 	var stats RunStats
 	if k.opts.Target == GPU && k.gpu != nil {
 		var err error
@@ -170,19 +200,33 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 				return RunStats{}, err
 			}
 			// Graceful degradation: one retry on the CPU path.
-			if cpuErr := k.runCPU(ctx, out); cpuErr != nil {
+			stats = RunStats{}
+			if cpuErr := k.runCPU(ctx, out, &stats); cpuErr != nil {
 				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
 			}
-			stats = RunStats{Fallback: true, FallbackReason: err.Error()}
+			stats.Fallback = true
+			stats.FallbackReason = err.Error()
+			if metricsOn {
+				spmmMetrics.recordFallback(false)
+			}
+			if tracing {
+				telemetry.RecordInstant("spmm.fallback", 0, "run_stage", 1, 1)
+			}
 		}
 	} else {
-		if err := k.runCPU(ctx, out); err != nil {
+		if err := k.runCPU(ctx, out, &stats); err != nil {
 			return RunStats{}, err
 		}
 		if k.opts.Target == GPU {
 			// The device build already degraded to the CPU path.
 			stats.Fallback = true
 			stats.FallbackReason = k.gpuBuildErr
+			if metricsOn {
+				spmmMetrics.recordFallback(true)
+			}
+			if tracing {
+				telemetry.RecordInstant("spmm.fallback", 0, "build_stage", 1, 1)
+			}
 		}
 	}
 	if k.opts.CheckNumerics {
@@ -190,6 +234,10 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 			return stats, err
 		}
 	}
+	if metricsOn {
+		mSpMMRows.Add(uint64(k.adj.NumRows) * uint64(len(k.tiles)))
+	}
+	finishRun("spmm.run", spmmMetrics, k.opts.Target, &k.lastMu, &k.last, start, &stats, metricsOn, tracing)
 	return stats, nil
 }
 
@@ -200,11 +248,17 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 // persistent engine (engine.go) dispatches rows as edge-balanced chunks on
 // the shared worker pool with zero per-run allocation; Options.LegacySched
 // selects the pre-engine per-run-goroutine scheduler instead.
-func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor) error {
+func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
 	if k.opts.LegacySched {
-		return k.runCPULegacy(ctx, out)
+		err := k.runCPULegacy(ctx, out)
+		if err == nil {
+			// The legacy scheduler has no chunk accounting; report the
+			// nominal traversal count (every tile revisits every edge).
+			stats.EdgesProcessed = uint64(k.adj.NNZ()) * uint64(len(k.tiles))
+		}
+		return err
 	}
-	return k.runCPUEngine(ctx, out)
+	return k.runCPUEngine(ctx, out, stats)
 }
 
 // runCPULegacy is the pre-engine scheduler: fresh goroutines per phase over

@@ -198,7 +198,10 @@ func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, 
 	}
 	finalizeAgg(k.agg, out, k.adj, 0, k.adj.NumRows)
 	total += uint64(k.adj.NumRows) // epilogue pass
-	return RunStats{SimCycles: total}, nil
+	// Nominal traversal count: the launched grid visits every edge once
+	// per feature tile (no host-side chunk accounting on the device path).
+	edges := uint64(k.adj.NNZ()) * uint64(len(k.tiles))
+	return RunStats{SimCycles: total, EdgesProcessed: edges}, nil
 }
 
 // gpuBlock processes the rows assigned to one block (grid-strided) for one

@@ -27,9 +27,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"featgraph/internal/faultinject"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/workpool"
 )
 
@@ -306,6 +308,9 @@ type launchState struct {
 	blocks []Block  // indexed by runner slot
 	cycles []uint64 // per-block charged cycles
 	load   []uint64 // per-SM accumulation scratch for makespan
+	// metrics caches telemetry.Enabled() for this launch so per-block
+	// accounting is a plain branch when telemetry is off.
+	metrics bool
 }
 
 func (d *Device) newLaunchState() *launchState {
@@ -374,6 +379,9 @@ func (st *launchState) runSlot(slot, i int) {
 		return
 	}
 	st.cycles[i] = blk.cycles
+	if st.metrics {
+		mBlocks.Add(slot, 1)
+	}
 }
 
 // LaunchCtx is Launch under a context. Cancellation stops the launch
@@ -384,14 +392,32 @@ func (st *launchState) runSlot(slot, i int) {
 // kernel wrote is undefined.
 func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b *Block)) (LaunchStats, error) {
 	d.launches.Add(1)
+	metrics := telemetry.Enabled()
+	tracing := telemetry.TraceActive()
+	var launchStart time.Time
+	if tracing {
+		launchStart = time.Now()
+	}
+	if metrics {
+		mLaunches.Inc()
+	}
 	var stats LaunchStats
 	if cfg.Blocks <= 0 {
+		if metrics {
+			mLaunchFailures.Inc()
+		}
 		return stats, fmt.Errorf("cudasim: launch with %d blocks", cfg.Blocks)
 	}
 	if cfg.ThreadsPerBlock <= 0 || cfg.ThreadsPerBlock > 1024 {
+		if metrics {
+			mLaunchFailures.Inc()
+		}
 		return stats, fmt.Errorf("cudasim: threads per block %d outside [1,1024]", cfg.ThreadsPerBlock)
 	}
 	if err := ctx.Err(); err != nil {
+		if metrics {
+			mLaunchFailures.Inc()
+		}
 		return stats, err
 	}
 	st := d.getLaunchState()
@@ -400,6 +426,7 @@ func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b 
 	st.done = ctx.Done()
 	st.stop.Store(false)
 	st.err = nil
+	st.metrics = metrics
 	if cap(st.cycles) < cfg.Blocks {
 		st.cycles = make([]uint64, cfg.Blocks)
 	}
@@ -418,13 +445,25 @@ func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b 
 	st.mu.Lock()
 	err := st.err
 	st.mu.Unlock()
-	if err != nil {
-		return stats, err
+	if err == nil {
+		err = ctx.Err()
 	}
-	if err := ctx.Err(); err != nil {
+	if err != nil {
+		if metrics {
+			mLaunchFailures.Inc()
+		}
+		if tracing {
+			telemetry.RecordSpan("gpu.launch", 0, launchStart, time.Since(launchStart), "blocks", int64(cfg.Blocks), "failed", 1, 2)
+		}
 		return stats, err
 	}
 	stats.SimCycles = st.makespan(d.numSMs)
+	if metrics {
+		mSimCycles.Add(stats.SimCycles)
+	}
+	if tracing {
+		telemetry.RecordSpan("gpu.launch", 0, launchStart, time.Since(launchStart), "blocks", int64(cfg.Blocks), "sim_cycles", int64(stats.SimCycles), 2)
+	}
 	return stats, nil
 }
 

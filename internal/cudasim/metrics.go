@@ -1,0 +1,17 @@
+package cudasim
+
+import "featgraph/internal/telemetry"
+
+// Simulated-device metrics: launch traffic, failure rate, charged
+// simulated cycles, and per-slot block execution counts (sharded — blocks
+// are retired by concurrent pool runners).
+var (
+	mLaunches = telemetry.NewCounter("featgraph_cudasim_launches_total", "",
+		"Kernel launches issued on simulated devices.")
+	mLaunchFailures = telemetry.NewCounter("featgraph_cudasim_launch_failures_total", "",
+		"Launches that failed (bad config, shared-memory over-allocation, kernel panic, cancellation).")
+	mSimCycles = telemetry.NewCounter("featgraph_cudasim_sim_cycles_total", "",
+		"Simulated cycles accumulated across successful launches (makespan model).")
+	mBlocks = telemetry.NewShardedCounter("featgraph_cudasim_blocks_total", "",
+		"Grid blocks executed by simulated SMs.")
+)

@@ -74,6 +74,15 @@ type Graph struct {
 	// Stats accumulated across ops until ResetStats.
 	SimCycles uint64 // simulated GPU cycles (Target == GPU)
 	MsgBytes  uint64 // bytes of materialized messages (Naive backend)
+	// Fallbacks counts kernel runs that degraded from the simulated GPU to
+	// the CPU path (core.RunStats.Fallback), and LastFallbackReason keeps
+	// the most recent degradation's reason verbatim — the same string a
+	// direct core kernel run reports, so GPU faults surface identically
+	// whether a kernel is run standalone or through a cached dgl plan.
+	// Like SimCycles, these are written by the goroutine executing Apply;
+	// read them from that goroutine only.
+	Fallbacks          uint64
+	LastFallbackReason string
 	// PlanCache counts kernel-plan cache traffic attributed to this graph
 	// (see plancache.go): op construction records misses, every Apply
 	// records hits, so a training loop can assert epochs 2..N rebuild
@@ -126,6 +135,8 @@ func (g *Graph) Config() Config { return g.cfg }
 func (g *Graph) ResetStats() {
 	g.SimCycles = 0
 	g.MsgBytes = 0
+	g.Fallbacks = 0
+	g.LastFallbackReason = ""
 	g.resetPlanCacheStats()
 }
 
@@ -142,6 +153,16 @@ func (g *Graph) coreOptions() core.Options {
 func (g *Graph) charge(cycles uint64) {
 	if g.cfg.Target == core.GPU {
 		g.SimCycles += cycles
+	}
+}
+
+// record accumulates one kernel run's stats onto the graph: simulated
+// cycles, and GPU→CPU degradations with their reason preserved verbatim.
+func (g *Graph) record(stats core.RunStats) {
+	g.charge(stats.SimCycles)
+	if stats.Fallback {
+		g.Fallbacks++
+		g.LastFallbackReason = stats.FallbackReason
 	}
 }
 

@@ -80,34 +80,45 @@ func (g *Graph) newCopyAgg(d int, mean bool) (*CopyAggOp, error) {
 	// plans; everything else about the keys is shared.
 	op.fwdKey = g.planKeyFor("copyagg.fwd", g.adj, op.xbuf, nil, d, agg)
 	op.bwdKey = g.planKeyFor("copyagg.bwd", g.adjT, op.gbuf, op.invDegEdge, d, core.AggSum)
-	if _, err := g.spmmPlan(op.fwdKey, op.buildFwd); err != nil {
+	if _, err := g.plan(op.fwdKey, op.buildFwd); err != nil {
 		return nil, fmt.Errorf("dgl: copy-agg forward: %w", err)
 	}
-	if _, err := g.spmmPlan(op.bwdKey, op.buildBwd); err != nil {
+	if _, err := g.plan(op.bwdKey, op.buildBwd); err != nil {
 		return nil, fmt.Errorf("dgl: copy-agg backward: %w", err)
 	}
 	return op, nil
 }
 
-func (op *CopyAggOp) buildFwd() (*core.SpMMKernel, error) {
+func (op *CopyAggOp) buildFwd() (core.Kernel, error) {
 	g := op.g
 	agg := core.AggSum
 	if op.mean {
 		agg = core.AggMean
 	}
 	udf := expr.CopySrc(g.NumVertices(), op.d)
-	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf}, agg, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf}, agg, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
-func (op *CopyAggOp) buildBwd() (*core.SpMMKernel, error) {
+func (op *CopyAggOp) buildBwd() (core.Kernel, error) {
 	g := op.g
 	n := g.NumVertices()
+	var udf *expr.UDF
+	inputs := []*tensor.Tensor{op.gbuf}
 	if op.mean {
-		udf := expr.SrcMulEdgeScalar(n, g.edgeExtent(), op.d)
-		return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.invDegEdge}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+		udf = expr.SrcMulEdgeScalar(n, g.edgeExtent(), op.d)
+		inputs = append(inputs, op.invDegEdge)
+	} else {
+		udf = expr.CopySrc(n, op.d)
 	}
-	udf := expr.CopySrc(n, op.d)
-	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adjT, udf, inputs, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // Apply records the aggregation on the tape.
@@ -119,21 +130,21 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func() *tensor.Tensor {
 				copy(op.xbuf.Data(), x.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustSpMM(op.fwdKey, op.buildFwd).Run(out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(out)
 				if err != nil {
 					panic("dgl: copy-agg forward: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				return out
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustSpMM(op.bwdKey, op.buildBwd).Run(dx)
+				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).Run(dx)
 				if err != nil {
 					panic("dgl: copy-agg backward: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				autodiff.SeedGrad(x, dx)
 			})
 	}
@@ -183,35 +194,47 @@ func (g *Graph) NewWeightedSum(d int) (*WeightedSumOp, error) {
 	op.fwdKey = g.planKeyFor("wsum.fwd", g.adj, op.xbuf, op.wbuf, d, core.AggSum)
 	op.bwdXKey = g.planKeyFor("wsum.bwdX", g.adjT, op.gbuf, op.wbuf, d, core.AggSum)
 	op.bwdWKey = g.planKeyFor("wsum.bwdW", g.adj, op.xbuf, op.gbuf, d, core.AggSum)
-	if _, err := g.spmmPlan(op.fwdKey, op.buildFwd); err != nil {
+	if _, err := g.plan(op.fwdKey, op.buildFwd); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum forward: %w", err)
 	}
-	if _, err := g.spmmPlan(op.bwdXKey, op.buildBwdX); err != nil {
+	if _, err := g.plan(op.bwdXKey, op.buildBwdX); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum backward dX: %w", err)
 	}
-	if _, err := g.sddmmPlan(op.bwdWKey, op.buildBwdW); err != nil {
+	if _, err := g.plan(op.bwdWKey, op.buildBwdW); err != nil {
 		return nil, fmt.Errorf("dgl: weighted-sum backward dW: %w", err)
 	}
 	return op, nil
 }
 
-func (op *WeightedSumOp) buildFwd() (*core.SpMMKernel, error) {
+func (op *WeightedSumOp) buildFwd() (core.Kernel, error) {
 	g := op.g
 	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
-	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
-func (op *WeightedSumOp) buildBwdX() (*core.SpMMKernel, error) {
+func (op *WeightedSumOp) buildBwdX() (core.Kernel, error) {
 	g := op.g
 	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
-	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.gbuf, op.wbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // buildBwdW compiles dW[e] = x[src] · dOut[dst]: an SDDMM.
-func (op *WeightedSumOp) buildBwdW() (*core.SDDMMKernel, error) {
+func (op *WeightedSumOp) buildBwdW() (core.Kernel, error) {
 	g := op.g
 	udf, inputs := dotUDF(g.NumVertices(), op.d, op.xbuf, op.gbuf)
-	return core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
+	k, err := core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // dotUDF builds the two-operand dot-product edge function
@@ -257,29 +280,29 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.wbuf.Data(), w.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustSpMM(op.fwdKey, op.buildFwd).Run(out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(out)
 				if err != nil {
 					panic("dgl: weighted-sum forward: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				return out
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustSpMM(op.bwdXKey, op.buildBwdX).Run(dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).Run(dx)
 				if err != nil {
 					panic("dgl: weighted-sum backward dX: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				autodiff.SeedGrad(x, dx)
 
 				dw := tensor.New(m, 1)
-				stats, err = g.mustSDDMM(op.bwdWKey, op.buildBwdW).Run(dw)
+				stats, err = g.mustPlan(op.bwdWKey, op.buildBwdW).Run(dw)
 				if err != nil {
 					panic("dgl: weighted-sum backward dW: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				autodiff.SeedGrad(w, dw)
 			})
 	}
@@ -326,36 +349,48 @@ func (g *Graph) NewDot(d int) (*DotOp, error) {
 	op.fwdKey = g.planKeyFor("dot.fwd", g.adj, op.xbuf, op.ybuf, d, core.AggSum)
 	op.bwdXKey = g.planKeyFor("dot.bwdX", g.adjT, op.ybuf, op.dattbuf, d, core.AggSum)
 	op.bwdYKey = g.planKeyFor("dot.bwdY", g.adj, op.xbuf, op.dattbuf, d, core.AggSum)
-	if _, err := g.sddmmPlan(op.fwdKey, op.buildFwd); err != nil {
+	if _, err := g.plan(op.fwdKey, op.buildFwd); err != nil {
 		return nil, fmt.Errorf("dgl: dot forward: %w", err)
 	}
-	if _, err := g.spmmPlan(op.bwdXKey, op.buildBwdX); err != nil {
+	if _, err := g.plan(op.bwdXKey, op.buildBwdX); err != nil {
 		return nil, fmt.Errorf("dgl: dot backward dX: %w", err)
 	}
-	if _, err := g.spmmPlan(op.bwdYKey, op.buildBwdY); err != nil {
+	if _, err := g.plan(op.bwdYKey, op.buildBwdY); err != nil {
 		return nil, fmt.Errorf("dgl: dot backward dY: %w", err)
 	}
 	return op, nil
 }
 
-func (op *DotOp) buildFwd() (*core.SDDMMKernel, error) {
+func (op *DotOp) buildFwd() (core.Kernel, error) {
 	g := op.g
 	udf, inputs := dotUDF(g.NumVertices(), op.d, op.xbuf, op.ybuf)
-	return core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
+	k, err := core.BuildSDDMM(g.adj, udf, inputs, sddmmFDS(g, udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // buildBwdX compiles dX[u] = Σ_{u→v} dAtt[e]·y[v] (SpMM on the transpose).
-func (op *DotOp) buildBwdX() (*core.SpMMKernel, error) {
+func (op *DotOp) buildBwdX() (core.Kernel, error) {
 	g := op.g
 	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
-	return core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adjT, udf, []*tensor.Tensor{op.ybuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // buildBwdY compiles dY[v] = Σ_{u→v} dAtt[e]·x[u] (SpMM on the adjacency).
-func (op *DotOp) buildBwdY() (*core.SpMMKernel, error) {
+func (op *DotOp) buildBwdY() (core.Kernel, error) {
 	g := op.g
 	udf := expr.SrcMulEdgeScalar(g.NumVertices(), g.edgeExtent(), op.d)
-	return core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	k, err := core.BuildSpMM(g.adj, udf, []*tensor.Tensor{op.xbuf, op.dattbuf}, core.AggSum, g.fdsFor(udf), g.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
 }
 
 // Apply records att = x·y per edge. x and y may be the same Var (GAT).
@@ -368,29 +403,29 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.ybuf.Data(), y.Value.Data())
 				att := tensor.New(m, 1)
-				stats, err := g.mustSDDMM(op.fwdKey, op.buildFwd).Run(att)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(att)
 				if err != nil {
 					panic("dgl: dot forward: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				return att
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.dattbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustSpMM(op.bwdXKey, op.buildBwdX).Run(dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).Run(dx)
 				if err != nil {
 					panic("dgl: dot backward dX: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				autodiff.SeedGrad(x, dx)
 
 				dy := tensor.New(n, op.d)
-				stats, err = g.mustSpMM(op.bwdYKey, op.buildBwdY).Run(dy)
+				stats, err = g.mustPlan(op.bwdYKey, op.buildBwdY).Run(dy)
 				if err != nil {
 					panic("dgl: dot backward dY: " + err.Error())
 				}
-				g.charge(stats.SimCycles)
+				g.record(stats)
 				autodiff.SeedGrad(y, dy)
 			})
 	}

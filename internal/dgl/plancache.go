@@ -6,8 +6,27 @@ import (
 
 	"featgraph/internal/core"
 	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
 )
+
+// Process-wide plan-cache metrics, mirroring the per-Graph CacheStats for
+// scrape-style observation (the per-Graph counters answer "did MY loop
+// reuse plans"; these answer "how is the shared cache behaving overall").
+var (
+	mPlanHits = telemetry.NewCounter("featgraph_plancache_hits_total", "",
+		"Plan-cache fetches served from the cache.")
+	mPlanMisses = telemetry.NewCounter("featgraph_plancache_misses_total", "",
+		"Plan-cache fetches that had to build a kernel.")
+	mPlanEvictions = telemetry.NewCounter("featgraph_plancache_evictions_total", "",
+		"Plans evicted by the LRU cap.")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("featgraph_plancache_entries", "",
+		"Compiled kernel plans currently cached.",
+		func() float64 { return float64(planCacheLen()) })
+}
 
 // The kernel plan cache. Building a FeatGraph kernel runs validation, UDF
 // compilation, pattern recognition, graph partitioning, and chunk-schedule
@@ -65,7 +84,7 @@ type planKey struct {
 
 type planEntry struct {
 	key    planKey
-	kernel any // *core.SpMMKernel or *core.SDDMMKernel
+	kernel core.Kernel
 }
 
 var planCache = struct {
@@ -101,19 +120,28 @@ func (g *Graph) planKeyFor(kind string, adj *sparse.CSR, in0, in1 *tensor.Tensor
 	}
 }
 
-// fetchPlan returns the cached kernel for key, building and inserting it on
-// a miss. Build errors are returned without polluting the cache.
-func (g *Graph) fetchPlan(key planKey, build func() (any, error)) (any, error) {
+// plan returns the cached kernel for key, building and inserting it on a
+// miss. Build errors are returned without polluting the cache. Both
+// template types travel as core.Kernel, so one cache and one fetch path
+// serve SpMM and SDDMM plans alike.
+func (g *Graph) plan(key planKey, build func() (core.Kernel, error)) (core.Kernel, error) {
+	metrics := telemetry.Enabled()
 	planCache.mu.Lock()
 	if el, ok := planCache.entries[key]; ok {
 		planCache.lru.MoveToFront(el)
 		g.PlanCache.Hits++
 		k := el.Value.(*planEntry).kernel
 		planCache.mu.Unlock()
+		if metrics {
+			mPlanHits.Inc()
+		}
 		return k, nil
 	}
 	g.PlanCache.Misses++
 	planCache.mu.Unlock()
+	if metrics {
+		mPlanMisses.Inc()
+	}
 
 	// Build outside the lock: compilation can be slow and must not block
 	// unrelated fetches. Two goroutines racing to build the same key both
@@ -122,6 +150,7 @@ func (g *Graph) fetchPlan(key planKey, build func() (any, error)) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	evicted := uint64(0)
 	planCache.mu.Lock()
 	if el, ok := planCache.entries[key]; ok {
 		planCache.lru.MoveToFront(el)
@@ -133,43 +162,20 @@ func (g *Graph) fetchPlan(key planKey, build func() (any, error)) (any, error) {
 			delete(planCache.entries, oldest.Value.(*planEntry).key)
 			planCache.lru.Remove(oldest)
 			g.PlanCache.Evictions++
+			evicted++
 		}
 	}
 	planCache.mu.Unlock()
+	if metrics && evicted > 0 {
+		mPlanEvictions.Add(evicted)
+	}
 	return kernel, nil
 }
 
-// spmmPlan is fetchPlan typed for SpMM kernels.
-func (g *Graph) spmmPlan(key planKey, build func() (*core.SpMMKernel, error)) (*core.SpMMKernel, error) {
-	k, err := g.fetchPlan(key, func() (any, error) { return build() })
-	if err != nil {
-		return nil, err
-	}
-	return k.(*core.SpMMKernel), nil
-}
-
-// sddmmPlan is fetchPlan typed for SDDMM kernels.
-func (g *Graph) sddmmPlan(key planKey, build func() (*core.SDDMMKernel, error)) (*core.SDDMMKernel, error) {
-	k, err := g.fetchPlan(key, func() (any, error) { return build() })
-	if err != nil {
-		return nil, err
-	}
-	return k.(*core.SDDMMKernel), nil
-}
-
-// mustSpMM re-fetches a plan that op construction already built once; a
+// mustPlan re-fetches a plan that op construction already built once; a
 // failure here means the key's build stopped working, a programming error.
-func (g *Graph) mustSpMM(key planKey, build func() (*core.SpMMKernel, error)) *core.SpMMKernel {
-	k, err := g.spmmPlan(key, build)
-	if err != nil {
-		panic("dgl: kernel plan rebuild failed: " + err.Error())
-	}
-	return k
-}
-
-// mustSDDMM is mustSpMM for SDDMM plans.
-func (g *Graph) mustSDDMM(key planKey, build func() (*core.SDDMMKernel, error)) *core.SDDMMKernel {
-	k, err := g.sddmmPlan(key, build)
+func (g *Graph) mustPlan(key planKey, build func() (core.Kernel, error)) core.Kernel {
+	k, err := g.plan(key, build)
 	if err != nil {
 		panic("dgl: kernel plan rebuild failed: " + err.Error())
 	}

@@ -97,12 +97,12 @@ func TestPlanCacheEvictionAttribution(t *testing.T) {
 		gA.InvalidatePlans()
 		gB.InvalidatePlans()
 	}()
-	build := func() (any, error) { return new(int), nil }
+	build := func() (core.Kernel, error) { return nil, nil }
 
 	// Fill the process-wide cache to capacity with plans owned by A.
 	for i := 0; i < PlanCacheCap; i++ {
 		key := gA.planKeyFor(fmt.Sprintf("test.evict.%d", i), gA.adj, nil, nil, i, core.AggSum)
-		if _, err := gA.fetchPlan(key, build); err != nil {
+		if _, err := gA.plan(key, build); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,7 +114,7 @@ func TestPlanCacheEvictionAttribution(t *testing.T) {
 	// B inserts one plan: the LRU victim is one of A's plans, but the
 	// eviction is pressure caused by B and is charged to B.
 	keyB := gB.planKeyFor("test.evict.B", gB.adj, nil, nil, 0, core.AggSum)
-	if _, err := gB.fetchPlan(keyB, build); err != nil {
+	if _, err := gB.plan(keyB, build); err != nil {
 		t.Fatal(err)
 	}
 	if got := gB.Stats().Evictions; got != 1 {

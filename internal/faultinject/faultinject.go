@@ -22,7 +22,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"featgraph/internal/telemetry"
 )
+
+// mFired counts faults that actually triggered, process-wide. The counter
+// is recorded only on the fire path (faults are armed, the experiment is
+// already paying for injection), so the unarmed fast path stays one atomic
+// load.
+var mFired = telemetry.NewCounter("featgraph_faultinject_fired_total", "",
+	"Injected faults that triggered (panic, stall, or NaN poisoning).")
 
 // Kind selects a fault's effect.
 type Kind int
@@ -161,6 +170,9 @@ func (f *Fault) fires(site string) bool {
 		}
 	}
 	f.fired.Add(1)
+	if telemetry.Enabled() {
+		mFired.Inc()
+	}
 	return true
 }
 

@@ -155,44 +155,94 @@ func CheckTol(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
 	return checkSDDMM(c, dev, tol)
 }
 
+// kernelCfg names one execution configuration of a case: a schedule plus
+// scheduling options under which the case's kernel is compiled.
+type kernelCfg struct {
+	name string
+	fds  *schedule.FDS
+	opts core.Options
+}
+
+// buildFn compiles the case's kernel under one configuration. Both
+// templates hide behind core.Kernel, so the differential loop below is
+// written once for SpMM and SDDMM alike.
+type buildFn func(fds *schedule.FDS, opts core.Options) (core.Kernel, error)
+
 func checkSpMM(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
-	var res Result
 	want, err := core.ReferenceSpMM(c.Adj, c.UDF, c.Inputs, c.Agg)
 	if err != nil {
-		return res, fmt.Errorf("oracle: seed %d: reference spmm: %w", c.Seed, err)
+		return Result{}, fmt.Errorf("oracle: seed %d: reference spmm: %w", c.Seed, err)
 	}
 	outAxis := c.UDF.OutAxes[0]
-
-	var engineOut *tensor.Tensor
-	type cfg struct {
-		name string
-		fds  *schedule.FDS
-		opts core.Options
-	}
 	var tiled *schedule.FDS
 	if c.Tile > 0 {
 		tiled = schedule.New().Split(outAxis, c.Tile)
 	}
-	cfgs := []cfg{
+	cfgs := []kernelCfg{
 		{"engine", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
 			GraphPartitions: c.Parts, CheckNumerics: c.CheckNumerics}},
 		{"legacy", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
 			GraphPartitions: c.Parts, LegacySched: true}},
 	}
 	if dev != nil {
-		cfgs = append(cfgs, cfg{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX),
+		cfgs = append(cfgs, kernelCfg{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX),
 			core.Options{Target: core.GPU, Device: dev, NumBlocks: c.Blocks,
 				ThreadsPerBlock: c.ThreadsPerBlock, HybridThreshold: c.HybridThreshold}})
 	}
+	build := func(fds *schedule.FDS, opts core.Options) (core.Kernel, error) {
+		return core.BuildSpMM(c.Adj, c.UDF, c.Inputs, c.Agg, fds, opts)
+	}
+	return runConfigs(c, dev, tol, want, build, cfgs)
+}
+
+func checkSDDMM(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
+	want, err := core.ReferenceSDDMM(c.Adj, c.UDF, c.Inputs)
+	if err != nil {
+		return Result{}, fmt.Errorf("oracle: seed %d: reference sddmm: %w", c.Seed, err)
+	}
+	outAxis := c.UDF.OutAxes[0]
+	var tiled *schedule.FDS
+	if c.Tile > 0 {
+		tiled = schedule.New().Split(outAxis, c.Tile)
+	}
+	cfgs := []kernelCfg{
+		{"engine", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
+			Hilbert: c.Hilbert, CheckNumerics: c.CheckNumerics}},
+		{"legacy", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
+			Hilbert: c.Hilbert, LegacySched: true}},
+	}
+	if dev != nil {
+		cfgs = append(cfgs, kernelCfg{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX),
+			core.Options{Target: core.GPU, Device: dev, NumBlocks: c.Blocks,
+				ThreadsPerBlock: c.ThreadsPerBlock}})
+	}
+	build := func(fds *schedule.FDS, opts core.Options) (core.Kernel, error) {
+		return core.BuildSDDMM(c.Adj, c.UDF, c.Inputs, fds, opts)
+	}
+	return runConfigs(c, dev, tol, want, build, cfgs)
+}
+
+// runConfigs is the differential loop shared by both templates: compile and
+// run the case under every configuration, compare each output against the
+// reference, bitwise-check an engine rerun (pooled run state must not leak
+// between executions), and bitwise-check a rebuilt kernel against the first
+// engine build (the plan-cache safety property at the core level). The
+// first configuration must be the engine configuration; its options are
+// reused for the rebuild.
+func runConfigs(c *Case, dev *cudasim.Device, tol Tol, want *tensor.Tensor, build buildFn, cfgs []kernelCfg) (Result, error) {
+	var res Result
+	kind := c.Kind.String()
+	var engineOut *tensor.Tensor
 	for _, f := range cfgs {
-		k, err := core.BuildSpMM(c.Adj, c.UDF, c.Inputs, c.Agg, f.fds, f.opts)
+		k, err := build(f.fds, f.opts)
 		if err != nil {
-			return res, fmt.Errorf("oracle: seed %d: build spmm %s: %w\ncase: %s", c.Seed, f.name, err, c.Describe())
+			return res, fmt.Errorf("oracle: seed %d: build %s %s: %w\ncase: %s", c.Seed, kind, f.name, err, c.Describe())
 		}
-		out := tensor.New(c.Adj.NumRows, c.UDF.OutLen())
+		rows, cols := k.OutShape()
+		out := tensor.New(rows, cols)
 		stats, err := k.Run(out)
 		if err != nil {
-			return res, fmt.Errorf("oracle: seed %d: run spmm %s: %w\ncase: %s", c.Seed, f.name, err, c.Describe())
+			return res, fmt.Errorf("oracle: seed %d: run %s %s: %w\ncase: %s", c.Seed, kind, f.name, err, c.Describe())
 		}
 		detail := c.Describe() + " pattern=" + k.Pattern()
 		if f.name == "gpu" {
@@ -210,9 +260,9 @@ func checkSpMM(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
 			engineOut = out
 			// Re-run the same compiled kernel: pooled run state must not
 			// leak between executions, so the rerun is bit-identical.
-			out2 := tensor.New(c.Adj.NumRows, c.UDF.OutLen())
+			out2 := tensor.New(rows, cols)
 			if _, err := k.Run(out2); err != nil {
-				return res, fmt.Errorf("oracle: seed %d: rerun spmm: %w", c.Seed, err)
+				return res, fmt.Errorf("oracle: seed %d: rerun %s: %w", c.Seed, kind, err)
 			}
 			if d := bitwise(c, "engine-rerun", out2, out, detail); d != nil {
 				return res, d
@@ -222,96 +272,15 @@ func checkSpMM(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
 	}
 
 	// A freshly built kernel with identical parameters computes in the
-	// same order, so it must match the first build bit-for-bit — the
-	// plan-cache safety property at the core level.
-	k2, err := core.BuildSpMM(c.Adj, c.UDF, c.Inputs, c.Agg, tiled,
-		core.Options{Target: core.CPU, NumThreads: c.Threads, GraphPartitions: c.Parts, CheckNumerics: c.CheckNumerics})
+	// same order, so it must match the first build bit-for-bit.
+	k2, err := build(cfgs[0].fds, cfgs[0].opts)
 	if err != nil {
-		return res, fmt.Errorf("oracle: seed %d: rebuild spmm: %w", c.Seed, err)
+		return res, fmt.Errorf("oracle: seed %d: rebuild %s: %w", c.Seed, kind, err)
 	}
-	out := tensor.New(c.Adj.NumRows, c.UDF.OutLen())
+	rows, cols := k2.OutShape()
+	out := tensor.New(rows, cols)
 	if _, err := k2.Run(out); err != nil {
-		return res, fmt.Errorf("oracle: seed %d: run rebuilt spmm: %w", c.Seed, err)
-	}
-	if d := bitwise(c, "rebuild", out, engineOut, c.Describe()); d != nil {
-		return res, d
-	}
-	res.Configs = append(res.Configs, "rebuild")
-	return res, nil
-}
-
-func checkSDDMM(c *Case, dev *cudasim.Device, tol Tol) (Result, error) {
-	var res Result
-	want, err := core.ReferenceSDDMM(c.Adj, c.UDF, c.Inputs)
-	if err != nil {
-		return res, fmt.Errorf("oracle: seed %d: reference sddmm: %w", c.Seed, err)
-	}
-	outAxis := c.UDF.OutAxes[0]
-
-	var tiled *schedule.FDS
-	if c.Tile > 0 {
-		tiled = schedule.New().Split(outAxis, c.Tile)
-	}
-	type cfg struct {
-		name string
-		fds  *schedule.FDS
-		opts core.Options
-	}
-	cfgs := []cfg{
-		{"engine", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
-			Hilbert: c.Hilbert, CheckNumerics: c.CheckNumerics}},
-		{"legacy", tiled, core.Options{Target: core.CPU, NumThreads: c.Threads,
-			Hilbert: c.Hilbert, LegacySched: true}},
-	}
-	if dev != nil {
-		cfgs = append(cfgs, cfg{"gpu", schedule.New().Bind(outAxis, schedule.ThreadX),
-			core.Options{Target: core.GPU, Device: dev, NumBlocks: c.Blocks,
-				ThreadsPerBlock: c.ThreadsPerBlock}})
-	}
-	var engineOut *tensor.Tensor
-	for _, f := range cfgs {
-		k, err := core.BuildSDDMM(c.Adj, c.UDF, c.Inputs, f.fds, f.opts)
-		if err != nil {
-			return res, fmt.Errorf("oracle: seed %d: build sddmm %s: %w\ncase: %s", c.Seed, f.name, err, c.Describe())
-		}
-		out := tensor.New(c.Adj.NNZ(), c.UDF.OutLen())
-		stats, err := k.Run(out)
-		if err != nil {
-			return res, fmt.Errorf("oracle: seed %d: run sddmm %s: %w\ncase: %s", c.Seed, f.name, err, c.Describe())
-		}
-		detail := c.Describe() + " pattern=" + k.Pattern()
-		if f.name == "gpu" {
-			detail += " device=" + dev.Describe()
-			if stats.Fallback {
-				res.Fallbacks = append(res.Fallbacks, f.name+": "+stats.FallbackReason)
-			}
-		}
-		if d := compare(c, f.name, out, want, tol, detail); d != nil {
-			return res, d
-		}
-		res.Configs = append(res.Configs, f.name)
-
-		if f.name == "engine" {
-			engineOut = out
-			out2 := tensor.New(c.Adj.NNZ(), c.UDF.OutLen())
-			if _, err := k.Run(out2); err != nil {
-				return res, fmt.Errorf("oracle: seed %d: rerun sddmm: %w", c.Seed, err)
-			}
-			if d := bitwise(c, "engine-rerun", out2, out, detail); d != nil {
-				return res, d
-			}
-			res.Configs = append(res.Configs, "engine-rerun")
-		}
-	}
-
-	k2, err := core.BuildSDDMM(c.Adj, c.UDF, c.Inputs, tiled,
-		core.Options{Target: core.CPU, NumThreads: c.Threads, Hilbert: c.Hilbert, CheckNumerics: c.CheckNumerics})
-	if err != nil {
-		return res, fmt.Errorf("oracle: seed %d: rebuild sddmm: %w", c.Seed, err)
-	}
-	out := tensor.New(c.Adj.NNZ(), c.UDF.OutLen())
-	if _, err := k2.Run(out); err != nil {
-		return res, fmt.Errorf("oracle: seed %d: run rebuilt sddmm: %w", c.Seed, err)
+		return res, fmt.Errorf("oracle: seed %d: run rebuilt %s: %w", c.Seed, kind, err)
 	}
 	if d := bitwise(c, "rebuild", out, engineOut, c.Describe()); d != nil {
 		return res, d

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Metrics registered once for the whole test binary (the registry is
+// process-global and rejects duplicate names).
+var (
+	testCounter   = NewCounter("telemetrytest_ops_total", `kind="plain"`, "Test counter.")
+	testSharded   = NewShardedCounter("telemetrytest_sharded_total", "", "Test sharded counter.")
+	testGauge     = NewGauge("telemetrytest_depth", "", "Test gauge.")
+	testHistogram = NewDurationHistogram("telemetrytest_latency_seconds", "", "Test histogram.")
+)
+
+func init() {
+	NewGaugeFunc("telemetrytest_derived", "", "Test derived gauge.", func() float64 { return 42 })
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	testCounter.Inc()
+	testCounter.Add(4)
+	if got := testCounter.Load(); got < 5 {
+		t.Fatalf("counter = %d, want >= 5", got)
+	}
+	testGauge.Set(7)
+	testGauge.Add(-2)
+	if got := testGauge.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestShardedCounterSumsAcrossSlots(t *testing.T) {
+	before := testSharded.Load()
+	var wg sync.WaitGroup
+	const perSlot = 1000
+	for slot := 0; slot < 8; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < perSlot; i++ {
+				testSharded.Add(slot, 1)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if got := testSharded.Load() - before; got != 8*perSlot {
+		t.Fatalf("sharded counter delta = %d, want %d", got, 8*perSlot)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	before := testHistogram.Count()
+	testHistogram.Observe(3 * time.Microsecond)
+	testHistogram.Observe(30 * time.Millisecond)
+	testHistogram.Observe(100 * time.Second) // lands in +Inf
+	if got := testHistogram.Count() - before; got != 3 {
+		t.Fatalf("histogram count delta = %d, want 3", got)
+	}
+	var inf, sum, count bool
+	for _, s := range Snapshot() {
+		switch {
+		case s.Name == `telemetrytest_latency_seconds_bucket{le="+Inf"}`:
+			inf = true
+			if s.Value < 3 {
+				t.Errorf("+Inf bucket = %v, want >= 3", s.Value)
+			}
+		case s.Name == "telemetrytest_latency_seconds_sum":
+			sum = true
+			if s.Value < 100 {
+				t.Errorf("sum = %v, want >= 100s", s.Value)
+			}
+		case s.Name == "telemetrytest_latency_seconds_count":
+			count = true
+		}
+	}
+	if !inf || !sum || !count {
+		t.Fatalf("snapshot missing histogram series: inf=%v sum=%v count=%v", inf, sum, count)
+	}
+}
+
+func TestSnapshotAndValue(t *testing.T) {
+	if v, ok := Value("telemetrytest_derived"); !ok || v != 42 {
+		t.Fatalf("Value(derived) = %v, %v; want 42, true", v, ok)
+	}
+	if _, ok := Value("telemetrytest_no_such_series"); ok {
+		t.Fatal("Value on unknown series reported ok")
+	}
+	s := Snapshot()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name > s[i].Name {
+			t.Fatalf("snapshot not sorted: %q > %q", s[i-1].Name, s[i].Name)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP telemetrytest_ops_total Test counter.",
+		"# TYPE telemetrytest_ops_total counter",
+		`telemetrytest_ops_total{kind="plain"}`,
+		"# TYPE telemetrytest_latency_seconds histogram",
+		`telemetrytest_latency_seconds_bucket{le="+Inf"}`,
+		"# TYPE telemetrytest_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+	if err := checkPrometheusText(text); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+}
+
+// checkPrometheusText is a minimal validator of the text exposition
+// format: comment lines start with #, sample lines are "<series> <value>",
+// and every sample's family has a preceding TYPE line.
+func checkPrometheusText(text string) error {
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return errLine(line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return errLine(line)
+		}
+		series := fields[0]
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if typed[strings.TrimSuffix(base, suffix)] {
+				base = strings.TrimSuffix(base, suffix)
+				break
+			}
+		}
+		if !typed[base] {
+			return errLine(line)
+		}
+	}
+	return nil
+}
+
+type errLine string
+
+func (e errLine) Error() string { return "bad exposition line: " + string(e) }
+
+func TestEnableGate(t *testing.T) {
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("Enabled() = false after SetEnabled(true)")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+}
+
+func TestConcurrentSnapshotWhileRecording(t *testing.T) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				testCounter.Inc()
+				testSharded.Add(slot, 1)
+				testHistogram.Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		Snapshot()
+		var b strings.Builder
+		if err := WritePrometheus(&b); err != nil {
+			t.Errorf("WritePrometheus: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

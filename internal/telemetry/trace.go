@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// The trace recorder captures per-run span events (kernel build, lower,
+// partition, launch, chunk phases, fallbacks) into a fixed-capacity ring
+// buffer and dumps them in the Chrome trace_event JSON format, loadable in
+// chrome://tracing or Perfetto.
+//
+// Recording is designed for the hot path: a slot is claimed with one
+// atomic add, the event is written into preallocated storage (static
+// string name + two int64 args, no allocation), and the ring wraps by
+// overwriting the oldest events. When no trace is active, instrumented
+// code pays a single atomic load (TraceActive).
+//
+// WriteTrace and StopTrace read slots non-atomically and must only be
+// called after instrumented runs have quiesced — the intended usage is
+// StartTrace → run workload → StopTrace → WriteTrace, as wired into
+// `traingnn -trace out.json`.
+
+// Phase codes, mirroring the Chrome trace_event "ph" field.
+const (
+	phaseComplete = "X" // span with start + duration
+	phaseInstant  = "i" // point event
+)
+
+// traceEvent is one fixed-size ring slot. Name and the arg keys are static
+// strings supplied by the instrumentation sites, so claiming and filling a
+// slot never allocates.
+type traceEvent struct {
+	name     string
+	phase    string
+	startNs  int64 // wall-clock nanoseconds since epoch
+	durNs    int64 // span duration (phaseComplete only)
+	goid     int   // logical track: worker slot, or 0 for the submitter
+	argKey1  string
+	argVal1  int64
+	argKey2  string
+	argVal2  int64
+	hasArgs  int
+	sequence uint64 // claim order, to sort wrapped rings
+}
+
+type traceRing struct {
+	events []traceEvent
+	next   atomic.Uint64 // total slots ever claimed
+}
+
+var (
+	traceActive atomic.Bool
+	ring        atomic.Pointer[traceRing]
+)
+
+// TraceActive reports whether a trace recorder is currently capturing.
+// This is the only cost instrumented code pays when tracing is off.
+func TraceActive() bool { return traceActive.Load() }
+
+// StartTrace installs a ring buffer of the given capacity (minimum 64)
+// and begins capturing span events. Starting while a trace is active
+// discards the previous buffer.
+func StartTrace(capacity int) {
+	if capacity < 64 {
+		capacity = 64
+	}
+	r := &traceRing{events: make([]traceEvent, capacity)}
+	ring.Store(r)
+	traceActive.Store(true)
+}
+
+// StopTrace stops capturing and returns the number of events recorded
+// (before any ring wrap-around loss). The buffer is retained for
+// WriteTrace until the next StartTrace.
+func StopTrace() int {
+	traceActive.Store(false)
+	r := ring.Load()
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.events)) {
+		n = uint64(len(r.events))
+	}
+	return int(n)
+}
+
+// claim reserves a ring slot, or returns nil when tracing is off.
+func claim() (*traceEvent, uint64) {
+	if !traceActive.Load() {
+		return nil, 0
+	}
+	r := ring.Load()
+	if r == nil {
+		return nil, 0
+	}
+	seq := r.next.Add(1) - 1
+	return &r.events[seq%uint64(len(r.events))], seq
+}
+
+// RecordSpan records a completed span. name and the arg keys must be
+// static strings; track is the logical lane (worker slot) the span is
+// drawn on. hasArgs selects how many of the two arg pairs are meaningful.
+func RecordSpan(name string, track int, start time.Time, dur time.Duration, argKey1 string, argVal1 int64, argKey2 string, argVal2 int64, hasArgs int) {
+	ev, seq := claim()
+	if ev == nil {
+		return
+	}
+	*ev = traceEvent{
+		name: name, phase: phaseComplete,
+		startNs: start.UnixNano(), durNs: int64(dur),
+		goid:    track,
+		argKey1: argKey1, argVal1: argVal1,
+		argKey2: argKey2, argVal2: argVal2,
+		hasArgs: hasArgs, sequence: seq,
+	}
+}
+
+// RecordInstant records a point event (e.g. a GPU→CPU fallback decision).
+func RecordInstant(name string, track int, argKey1 string, argVal1 int64, hasArgs int) {
+	ev, seq := claim()
+	if ev == nil {
+		return
+	}
+	*ev = traceEvent{
+		name: name, phase: phaseInstant,
+		startNs: time.Now().UnixNano(),
+		goid:    track,
+		argKey1: argKey1, argVal1: argVal1,
+		hasArgs: hasArgs, sequence: seq,
+	}
+}
+
+// WriteTrace dumps the captured events as a Chrome trace_event JSON array
+// (the "JSON Array Format": a bare array of event objects, which both
+// chrome://tracing and Perfetto accept). Call only after StopTrace.
+func WriteTrace(w io.Writer) error {
+	r := ring.Load()
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	total := r.next.Load()
+	n := total
+	if n > uint64(len(r.events)) {
+		n = uint64(len(r.events))
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	// Oldest surviving event first: with wrap-around the ring holds the
+	// last len(events) claims in claim order total-n .. total-1.
+	first := true
+	for i := uint64(0); i < n; i++ {
+		seq := total - n + i
+		ev := &r.events[seq%uint64(len(r.events))]
+		if ev.name == "" {
+			continue // claimed but not yet filled (racing writer at stop)
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := writeEvent(w, ev); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// writeEvent renders one trace_event object. Timestamps are microseconds
+// per the format; pid is fixed (single process) and tid is the logical
+// track.
+func writeEvent(w io.Writer, ev *traceEvent) error {
+	if _, err := fmt.Fprintf(w, `{"name":%q,"ph":%q,"ts":%d,"pid":1,"tid":%d`,
+		ev.name, ev.phase, ev.startNs/1e3, ev.goid+1); err != nil {
+		return err
+	}
+	if ev.phase == phaseComplete {
+		if _, err := fmt.Fprintf(w, `,"dur":%d`, ev.durNs/1e3); err != nil {
+			return err
+		}
+	}
+	if ev.phase == phaseInstant {
+		if _, err := io.WriteString(w, `,"s":"t"`); err != nil {
+			return err
+		}
+	}
+	if ev.hasArgs > 0 {
+		if _, err := fmt.Fprintf(w, `,"args":{%q:%d`, ev.argKey1, ev.argVal1); err != nil {
+			return err
+		}
+		if ev.hasArgs > 1 {
+			if _, err := fmt.Fprintf(w, `,%q:%d`, ev.argKey2, ev.argVal2); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}

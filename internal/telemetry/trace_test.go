@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	StartTrace(128)
+	if !TraceActive() {
+		t.Fatal("TraceActive() = false after StartTrace")
+	}
+	start := time.Now()
+	RecordSpan("spmm.run", 0, start, 3*time.Millisecond, "tile", 2, "part", 1, 2)
+	RecordSpan("chunk", 3, start, 50*time.Microsecond, "chunk", 7, "", 0, 1)
+	RecordInstant("fallback", 0, "stage", 1, 1)
+	n := StopTrace()
+	if TraceActive() {
+		t.Fatal("TraceActive() = true after StopTrace")
+	}
+	if n != 3 {
+		t.Fatalf("StopTrace() = %d events, want 3", n)
+	}
+
+	var b strings.Builder
+	if err := WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	if events[0]["name"] != "spmm.run" || events[0]["ph"] != "X" {
+		t.Fatalf("event 0 = %v, want spmm.run complete span", events[0])
+	}
+	args, ok := events[0]["args"].(map[string]any)
+	if !ok || args["tile"] != float64(2) || args["part"] != float64(1) {
+		t.Fatalf("event 0 args = %v, want tile=2 part=1", events[0]["args"])
+	}
+	if _, ok := events[0]["dur"]; !ok {
+		t.Fatal("complete span missing dur")
+	}
+	if events[2]["ph"] != "i" {
+		t.Fatalf("event 2 ph = %v, want instant", events[2]["ph"])
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	StartTrace(64) // minimum capacity
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		RecordSpan("wrap", 0, start, time.Microsecond, "i", int64(i), "", 0, 1)
+	}
+	StopTrace()
+	var b strings.Builder
+	if err := WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("wrapped trace is not valid JSON: %v", err)
+	}
+	if len(events) != 64 {
+		t.Fatalf("wrapped ring kept %d events, want 64", len(events))
+	}
+	// Oldest surviving claim is 200-64 = 136; events must be in claim order.
+	first := events[0]["args"].(map[string]any)["i"].(float64)
+	last := events[63]["args"].(map[string]any)["i"].(float64)
+	if first != 136 || last != 199 {
+		t.Fatalf("wrap kept claims %v..%v, want 136..199", first, last)
+	}
+}
+
+func TestTraceInactiveRecordsNothing(t *testing.T) {
+	StartTrace(64)
+	StopTrace()
+	before := ring.Load().next.Load()
+	RecordSpan("ignored", 0, time.Now(), time.Microsecond, "", 0, "", 0, 0)
+	RecordInstant("ignored", 0, "", 0, 0)
+	if got := ring.Load().next.Load(); got != before {
+		t.Fatalf("records landed while trace inactive: %d -> %d", before, got)
+	}
+}
+
+func TestWriteTraceWithoutStart(t *testing.T) {
+	// A fresh process (or one whose ring was never installed) must still
+	// produce valid JSON. We can't uninstall the global ring here, so this
+	// exercises the empty-after-stop path via a tiny fresh ring.
+	StartTrace(64)
+	StopTrace()
+	var b strings.Builder
+	if err := WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace decoded %d events, want 0", len(events))
+	}
+}

@@ -1,0 +1,35 @@
+package workpool
+
+import "featgraph/internal/telemetry"
+
+// Pool metrics. The pool is queueless by design (offers are non-blocking
+// and the submitter always runs inline), so "queue depth" is exposed as
+// the number of phases currently executing; utilization is the fraction of
+// requested helpers that were actually idle and joined — the direct signal
+// for whether kernels are degrading toward inline execution under load.
+var (
+	mPhases = telemetry.NewCounter("featgraph_workpool_phases_total", "",
+		"Parallel phases submitted to the worker pool.")
+	mChunks = telemetry.NewShardedCounter("featgraph_workpool_chunks_total", "",
+		"Chunks executed by pool runners across all phases.")
+	mHelpersRequested = telemetry.NewCounter("featgraph_workpool_helpers_requested_total", "",
+		"Helper slots phases asked the pool for.")
+	mHelpersJoined = telemetry.NewCounter("featgraph_workpool_helpers_joined_total", "",
+		"Helper slots that were idle and joined a phase.")
+	mWorkers = telemetry.NewGauge("featgraph_workpool_workers", "",
+		"Persistent pool worker goroutines.")
+	mActive = telemetry.NewGauge("featgraph_workpool_active_phases", "",
+		"Phases currently executing (the pool has no queue; this is its depth analogue).")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("featgraph_workpool_utilization_ratio", "",
+		"Fraction of requested helpers that joined their phase (1 = pool fully available).",
+		func() float64 {
+			req := mHelpersRequested.Load()
+			if req == 0 {
+				return 0
+			}
+			return float64(mHelpersJoined.Load()) / float64(req)
+		})
+}

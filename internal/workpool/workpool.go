@@ -22,9 +22,14 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"featgraph/internal/telemetry"
 )
 
 // Job is one parallel phase: Body is invoked for every chunk index in
@@ -47,6 +52,10 @@ type Job struct {
 	cursor atomic.Int32
 	slots  atomic.Int32
 	wg     sync.WaitGroup
+	// metrics caches telemetry.Enabled() for the current phase so the
+	// per-chunk loop pays a plain branch, not an atomic load, when
+	// telemetry is off. Set by Pool.Run.
+	metrics bool
 }
 
 // run drains chunks on one runner slot until the cursor is exhausted or
@@ -62,6 +71,9 @@ func (j *Job) run(slot int) {
 			return
 		}
 		j.Body(slot, int(i))
+		if j.metrics {
+			mChunks.Add(slot, 1)
+		}
 	}
 }
 
@@ -88,8 +100,15 @@ func (p *Pool) ensure() {
 		p.size = max(runtime.GOMAXPROCS(0)-1, 0)
 		p.offers = make(chan *Job)
 		for i := 0; i < p.size; i++ {
-			go p.worker()
+			go func(i int) {
+				// Label the worker so pprof profiles attribute kernel
+				// chunk time to the pool rather than anonymous goroutines.
+				labels := pprof.Labels("pool", "featgraph-workpool", "worker", strconv.Itoa(i))
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), labels))
+				p.worker()
+			}(i)
 		}
+		mWorkers.Set(int64(p.size))
 	})
 }
 
@@ -124,7 +143,13 @@ func (p *Pool) Run(j *Job, n, maxRunners int) {
 	j.n = int32(n)
 	j.cursor.Store(0)
 	j.slots.Store(1)
-	helpers := min(maxRunners, n) - 1
+	j.metrics = telemetry.Enabled()
+	if j.metrics {
+		mPhases.Inc()
+		mActive.Add(1)
+	}
+	helpers := max(min(maxRunners, n)-1, 0)
+	joined := 0
 	for i := 0; i < helpers; i++ {
 		j.wg.Add(1)
 		ok := false
@@ -138,7 +163,13 @@ func (p *Pool) Run(j *Job, n, maxRunners int) {
 			j.wg.Done()
 			break
 		}
+		joined++
 	}
 	j.run(0)
 	j.wg.Wait()
+	if j.metrics {
+		mHelpersRequested.Add(uint64(helpers))
+		mHelpersJoined.Add(uint64(joined))
+		mActive.Add(-1)
+	}
 }

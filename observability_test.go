@@ -1,0 +1,155 @@
+// Tests for the kernel observability layer (PR 4): RunStats population,
+// metric counters under concurrent runs and polling, and the zero-alloc
+// guarantee of the disabled-telemetry run path.
+package featgraph_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"featgraph"
+)
+
+// ringGraph returns an n-vertex ring with features, plus a built SpMM
+// kernel under opts.
+func ringSpMM(t testing.TB, n, d int, opts featgraph.Options) (featgraph.Kernel, *featgraph.Tensor) {
+	t.Helper()
+	srcs := make([]int32, n)
+	dsts := make([]int32, n)
+	for i := range srcs {
+		srcs[i] = int32(i)
+		dsts[i] = int32((i + 1) % n)
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := featgraph.NewTensor(n, d)
+	x.Fill(1)
+	udf := featgraph.CopySrc(n, d)
+	fds := featgraph.NewFDS().Split(udf.OutAxes[0], d/2)
+	k, err := featgraph.SpMM(g, udf, []*featgraph.Tensor{x}, featgraph.AggSum, fds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, featgraph.NewTensor(n, d)
+}
+
+func TestRunStatsPopulatedWithTelemetryDisabled(t *testing.T) {
+	featgraph.SetMetricsEnabled(false)
+	const n, d = 128, 8
+	k, out := ringSpMM(t, n, d, featgraph.NewOptions(
+		featgraph.WithNumThreads(4), featgraph.WithGraphPartitions(4)))
+	stats, err := k.Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", stats.Duration)
+	}
+	// The feature axis is split in two tiles; each tile traverses every
+	// edge of the n-edge ring once.
+	if want := uint64(2 * n); stats.EdgesProcessed != want {
+		t.Errorf("EdgesProcessed = %d, want %d", stats.EdgesProcessed, want)
+	}
+	if k.LastStats() != stats {
+		t.Errorf("LastStats %+v != returned stats %+v", k.LastStats(), stats)
+	}
+}
+
+// TestConcurrentRunsWithMetricsPoller drives concurrent RunCtx calls while
+// another goroutine polls Metrics and WriteMetrics — the shape a sidecar
+// scraper produces. Run with -race this doubles as the data-race check for
+// the telemetry layer.
+func TestConcurrentRunsWithMetricsPoller(t *testing.T) {
+	featgraph.SetMetricsEnabled(true)
+	defer featgraph.SetMetricsEnabled(false)
+
+	runsBefore := sumSeries(t, "featgraph_kernel_runs_total")
+
+	const n, d, runners, reps = 64, 8, 4, 25
+	k, _ := ringSpMM(t, n, d, featgraph.NewOptions(
+		featgraph.WithNumThreads(2), featgraph.WithGraphPartitions(2)))
+
+	var pollerErr error
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // metrics poller
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			featgraph.Metrics()
+			var sb strings.Builder
+			if err := featgraph.WriteMetrics(&sb); err != nil {
+				pollerErr = err
+				return
+			}
+		}
+	}()
+	var runWg sync.WaitGroup
+	for r := 0; r < runners; r++ {
+		runWg.Add(1)
+		go func() {
+			defer runWg.Done()
+			rows, cols := k.OutShape()
+			out := featgraph.NewTensor(rows, cols)
+			for i := 0; i < reps; i++ {
+				if _, err := k.RunCtx(context.Background(), out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	runWg.Wait()
+	close(stop)
+	wg.Wait()
+	if pollerErr != nil {
+		t.Fatal(pollerErr)
+	}
+
+	runsAfter := sumSeries(t, "featgraph_kernel_runs_total")
+	if got, want := runsAfter-runsBefore, float64(runners*reps); got < want {
+		t.Fatalf("run counters moved by %v across %v concurrent runs", got, want)
+	}
+}
+
+// sumSeries totals every sample whose series name starts with prefix.
+func sumSeries(t *testing.T, prefix string) float64 {
+	t.Helper()
+	var sum float64
+	for _, m := range featgraph.Metrics() {
+		if strings.HasPrefix(m.Name, prefix) {
+			sum += m.Value
+		}
+	}
+	return sum
+}
+
+// TestDisabledTelemetryRunIsAllocFree pins the observability layer's core
+// budget: with recording off, the steady-state run path must stay
+// allocation-free exactly as it was before instrumentation.
+func TestDisabledTelemetryRunIsAllocFree(t *testing.T) {
+	featgraph.SetMetricsEnabled(false)
+	const n, d = 256, 16
+	k, out := ringSpMM(t, n, d, featgraph.NewOptions(
+		featgraph.WithNumThreads(2), featgraph.WithGraphPartitions(2)))
+	if _, err := k.Run(out); err != nil { // warm the run-state freelist
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := k.Run(out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-telemetry run path allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,65 @@
+package featgraph
+
+// Option is a functional setting for kernel construction. NewOptions
+// composes them into the Options struct the builders take, so call sites
+// name only the parameters they care about:
+//
+//	opts := featgraph.NewOptions(
+//	        featgraph.WithTarget(featgraph.CPU),
+//	        featgraph.WithGraphPartitions(16))
+//	k, _ := featgraph.SpMM(g, udf, inputs, featgraph.AggSum, fds, opts)
+//
+// The Options struct remains the canonical representation (it is
+// comparable, which the dgl plan cache relies on); Option values are just
+// constructors for it.
+type Option func(*Options)
+
+// NewOptions builds an Options value from functional settings. Zero
+// settings yield the zero Options: single-threaded CPU, no partitioning.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithTarget selects CPU or simulated-GPU execution.
+func WithTarget(t Target) Option { return func(o *Options) { o.Target = t } }
+
+// WithNumThreads sets the CPU worker count; 0 or 1 means single-threaded.
+func WithNumThreads(n int) Option { return func(o *Options) { o.NumThreads = n } }
+
+// WithGraphPartitions sets the number of 1D source-vertex partitions on
+// CPU; 0 or 1 disables graph partitioning.
+func WithGraphPartitions(n int) Option { return func(o *Options) { o.GraphPartitions = n } }
+
+// WithHilbert enables Hilbert-curve edge traversal for CPU SDDMM.
+func WithHilbert() Option { return func(o *Options) { o.Hilbert = true } }
+
+// WithDevice sets the simulated GPU device for Target == GPU.
+func WithDevice(d *Device) Option { return func(o *Options) { o.Device = d } }
+
+// WithLaunchDims sets the CUDA grid and block sizes; 0 derives either from
+// the workload.
+func WithLaunchDims(blocks, threadsPerBlock int) Option {
+	return func(o *Options) { o.NumBlocks = blocks; o.ThreadsPerBlock = threadsPerBlock }
+}
+
+// WithHybridThreshold enables hybrid degree partitioning on GPU: source
+// vertices with out-degree >= threshold are staged through shared memory.
+func WithHybridThreshold(threshold int32) Option {
+	return func(o *Options) { o.HybridThreshold = threshold }
+}
+
+// WithCheckNumerics scans the output for NaN/±Inf after every successful
+// run, failing it with a *NumericError.
+func WithCheckNumerics() Option { return func(o *Options) { o.CheckNumerics = true } }
+
+// WithMetrics enables telemetry recording for this kernel's runs even when
+// the process-wide switch (SetMetricsEnabled) is off.
+func WithMetrics() Option { return func(o *Options) { o.Metrics = true } }
+
+// WithNoFallback disables the transparent CPU retry a GPU-target kernel
+// performs when the device build or run fails.
+func WithNoFallback() Option { return func(o *Options) { o.NoFallback = true } }
