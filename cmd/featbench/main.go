@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"featgraph/internal/bench"
@@ -24,6 +27,11 @@ import (
 )
 
 func main() {
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the root context
+	// so in-flight work drains and partial reports still flush; a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -46,7 +54,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeEngineReport(*jsonOut, *rounds); err != nil {
+		if err := writeEngineReport(ctx, *jsonOut, *rounds); err != nil {
 			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -96,6 +104,10 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "featbench: interrupted, skipping remaining experiments")
+				return
+			}
 			run(e)
 		}
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -20,12 +21,13 @@ func gitRev() string {
 }
 
 // writeEngineReport runs the engine-vs-legacy measurements and writes the
-// JSON report to path.
-func writeEngineReport(path string, rounds int) error {
+// JSON report to path. A cancelled ctx (SIGINT/SIGTERM) stops measuring
+// but still writes the partial report.
+func writeEngineReport(ctx context.Context, path string, rounds int) error {
 	if rounds <= 0 {
 		return fmt.Errorf("-rounds must be positive, got %d", rounds)
 	}
-	rep, err := bench.RunEngineReport(os.Stderr, gitRev(), rounds)
+	rep, err := bench.RunEngineReport(ctx, os.Stderr, gitRev(), rounds)
 	if err != nil {
 		return err
 	}

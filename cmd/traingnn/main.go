@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"featgraph/internal/core"
@@ -49,7 +53,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traingnn:", err)
 		os.Exit(2)
 	}
-	if err := run(*model, *backend, *target, *graph, *trace, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the root context,
+	// aborting the current epoch's kernels; training stops, the summary and
+	// any -trace file are still written. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *model, *backend, *target, *graph, *trace, *epochs, *heads, *hidden, *nverts, *classes, *feat, *seed, float32(*lr), *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "traingnn:", err)
 		os.Exit(1)
 	}
@@ -78,7 +87,7 @@ func validateFlags(epochs, heads, hidden, nverts, classes, feat, threads int, lr
 	return nil
 }
 
-func run(model, backend, target, graph, trace string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
+func run(ctx context.Context, model, backend, target, graph, trace string, epochs, heads, hidden, nverts, classes, feat int, seed int64, lr float32, threads int) error {
 	if trace != "" {
 		// 1<<16 events keeps the most recent epochs of a long run; the ring
 		// overwrites the oldest spans rather than growing unbounded.
@@ -125,6 +134,9 @@ func run(model, backend, target, graph, trace string, epochs, heads, hidden, nve
 	if err != nil {
 		return err
 	}
+	// Route the shutdown context into every kernel the training loop runs,
+	// so a signal aborts the in-flight epoch rather than waiting it out.
+	g.UseContext(ctx)
 
 	mrng := rand.New(rand.NewSource(seed + 1))
 	var m nn.Model
@@ -146,22 +158,36 @@ func run(model, backend, target, graph, trace string, epochs, heads, hidden, nve
 
 	opt := nn.NewAdam(lr)
 	start := time.Now()
+	done := 0
+	aborted := false
 	for e := 0; e < epochs; e++ {
 		loss, err := nn.TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt)
 		if err != nil {
+			// An abort (SIGINT/SIGTERM, deadline, load shed, stall) ends
+			// training early but still flushes the summary and -trace file;
+			// any other failure is fatal.
+			var ae *dgl.AbortError
+			if errors.As(err, &ae) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "traingnn: training aborted at epoch %d: %v\n", e+1, err)
+				aborted = true
+				break
+			}
 			return err
 		}
+		done = e + 1
 		if (e+1)%10 == 0 || e == 0 {
 			val := nn.Evaluate(m, ds.Features, ds.Labels, ds.ValMask)
 			fmt.Printf("epoch %4d  loss %.4f  val acc %.3f\n", e+1, loss, val)
 		}
 	}
 	elapsed := time.Since(start)
-	test := nn.Evaluate(m, ds.Features, ds.Labels, ds.TestMask)
 	fmt.Printf("\n%s/%s/%s: %d epochs in %s (%.1fms/epoch)\n",
-		m.Name(), backend, target, epochs, elapsed.Round(time.Millisecond),
-		elapsed.Seconds()*1e3/float64(epochs))
-	fmt.Printf("test accuracy: %.3f\n", test)
+		m.Name(), backend, target, done, elapsed.Round(time.Millisecond),
+		elapsed.Seconds()*1e3/float64(max(done, 1)))
+	if !aborted {
+		test := nn.Evaluate(m, ds.Features, ds.Labels, ds.TestMask)
+		fmt.Printf("test accuracy: %.3f\n", test)
+	}
 	if cfg.Target == core.GPU {
 		fmt.Printf("simulated GPU cycles: %.1f Mcycles total\n", float64(g.SimCycles)/1e6)
 	}

@@ -37,6 +37,7 @@ package featgraph
 import (
 	"fmt"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/core"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
@@ -93,7 +94,41 @@ type (
 	DeviceConfig = cudasim.Config
 	// Resource is a GPU execution resource an axis can bind to.
 	Resource = schedule.Resource
+	// Governor is the serving governor every kernel run passes through:
+	// admission control (bounded concurrency/memory with FIFO queueing and
+	// load shedding), deadline feasibility checks, and the stall watchdog.
+	Governor = admission.Governor
+	// AdmissionConfig configures a Governor.
+	AdmissionConfig = admission.Config
+	// OverloadError is the typed shed error: it matches ErrOverloaded and
+	// carries the queue depth plus a retry-after hint.
+	OverloadError = admission.OverloadError
+	// DeadlineError reports a run rejected at admission because its
+	// deadline could not be met; it matches context.DeadlineExceeded.
+	DeadlineError = admission.DeadlineError
+	// StallError reports a run cancelled by the stall watchdog, naming the
+	// stuck execution site.
+	StallError = admission.StallError
+	// BreakerState is the GPU circuit breaker's state (see RunStats).
+	BreakerState = admission.BreakerState
 )
+
+// ErrOverloaded is the sentinel shed errors match:
+// errors.Is(err, featgraph.ErrOverloaded).
+var ErrOverloaded = admission.ErrOverloaded
+
+// NewGovernor builds a serving governor; see AdmissionConfig for the
+// knobs. A zero config means unlimited admission with no watchdog.
+func NewGovernor(cfg AdmissionConfig) *Governor { return admission.NewGovernor(cfg) }
+
+// DefaultGovernor returns the process-wide governor used by kernels built
+// without WithAdmission. The initial default is unlimited.
+func DefaultGovernor() *Governor { return admission.Default() }
+
+// SetDefaultGovernor replaces the process-wide governor for subsequently
+// admitted runs. Kernels already waiting in the old governor's queue
+// drain under the old policy.
+func SetDefaultGovernor(g *Governor) { admission.SetDefault(g) }
 
 // Re-exported constants.
 const (

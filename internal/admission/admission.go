@@ -1,0 +1,406 @@
+// Package admission is the serving governor every kernel run passes
+// through: the overload-protection layer between FeatGraph's callers (a
+// training loop, a serving framework issuing concurrent inference
+// requests) and the shared execution engine.
+//
+// The paper positions FeatGraph as the kernel backend of a GNN framework;
+// under production traffic many RunCtx calls arrive at once, and nothing
+// in the kernel layer itself bounds them. The governor provides the four
+// classical serving defenses:
+//
+//   - admission control: a concurrency limit plus memory-budget accounting
+//     (estimated from plan shapes at build time), with bounded FIFO
+//     queueing and typed load shedding (*OverloadError, matching
+//     ErrOverloaded, carrying a retry-after hint) once the queue is full;
+//   - deadline awareness: a queued run whose context deadline cannot be
+//     met — judged against an EWMA of recent run durations — is rejected
+//     immediately instead of wasting its slot;
+//   - a GPU circuit breaker (see Breaker): consecutive device failures
+//     open the breaker and route runs straight to the CPU path, with
+//     half-open probing to recover;
+//   - a stall watchdog (see Watch): per-run progress beacons ticked by the
+//     workpool, scanned by a monitor goroutine that cancels runs making no
+//     progress past a threshold with a *StallError naming the stuck site.
+//
+// The zero-config Default governor is unlimited and watchdog-less: the
+// only cost on the steady-state run path is two atomic operations, keeping
+// the engine's zero-allocation guarantee intact.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the sentinel matched (via errors.Is) by every
+// *OverloadError the governor sheds. Callers use it to distinguish "back
+// off and retry" from genuine failures.
+var ErrOverloaded = errors.New("featgraph: overloaded")
+
+// OverloadError is returned by Admit when the governor is saturated and
+// its waiting queue is full. It matches ErrOverloaded and carries the
+// load-shedding hint a serving tier forwards to its clients.
+type OverloadError struct {
+	// QueueDepth is how many runs were already waiting when this one was
+	// shed.
+	QueueDepth int
+	// RetryAfter estimates when capacity will free up, derived from the
+	// governor's EWMA of recent run durations and the current backlog.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("featgraph: overloaded: admission queue full (%d waiting); retry after %v",
+		e.QueueDepth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match every shed run.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// DeadlineError is returned by Admit for a run whose context deadline
+// cannot be met: either it already expired, or the time remaining is
+// shorter than the governor's estimate of one run. It matches
+// context.DeadlineExceeded so callers need only one check for "ran out of
+// time", whether the deadline fired before, during, or after queueing.
+type DeadlineError struct {
+	// Remaining was the time left until the run's deadline at rejection.
+	Remaining time.Duration
+	// Estimate was the governor's expected run duration.
+	Estimate time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("featgraph: deadline unmeetable: %v remaining, runs take ~%v", e.Remaining, e.Estimate)
+}
+
+// Unwrap makes errors.Is(err, context.DeadlineExceeded) match.
+func (e *DeadlineError) Unwrap() error { return context.DeadlineExceeded }
+
+// Config parameterizes a Governor. The zero value is unlimited: every run
+// is admitted immediately and the stall watchdog is off.
+type Config struct {
+	// MaxConcurrent caps how many runs execute at once; 0 means no limit.
+	MaxConcurrent int
+	// MaxQueue bounds how many runs may wait for admission once
+	// MaxConcurrent are in flight; runs beyond it are shed with an
+	// *OverloadError. 0 means no queueing — shed immediately at the limit.
+	MaxQueue int
+	// MemoryBudget caps the summed memory estimates (bytes, from plan
+	// shapes) of in-flight runs; 0 means no budget. A single run larger
+	// than the whole budget is still admitted when nothing else is in
+	// flight, so oversized work degrades to serial execution instead of
+	// deadlocking.
+	MemoryBudget int64
+	// StallThreshold enables the stall watchdog: a run whose progress
+	// beacon does not advance for this long is cancelled with a
+	// *StallError. 0 disables the watchdog.
+	StallThreshold time.Duration
+	// WatchdogInterval is how often the watchdog scans its beacons;
+	// 0 derives it from StallThreshold (a quarter, at least 1ms).
+	WatchdogInterval time.Duration
+}
+
+// Governor applies one Config to the runs routed through it. Kernels
+// resolve their governor per run (Options.Admission, else Default), so one
+// process can serve several isolation domains.
+type Governor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	memUsed  int64
+	queue    []*waiter
+
+	// ewma tracks recent run durations (nanoseconds) for deadline
+	// feasibility checks and retry-after hints. Atomic so Release feeds it
+	// without taking mu on the unlimited fast path.
+	ewma atomic.Int64
+	// fastInflight counts in-flight runs on the unlimited fast path, which
+	// never takes mu.
+	fastInflight atomic.Int64
+
+	// Stall-watchdog state (watchdog.go).
+	wmu      sync.Mutex
+	watches  map[*watch]struct{}
+	scanning bool
+}
+
+// waiter is one queued Admit call. granted marks that Release handed it a
+// slot (closing ready); the flag disambiguates the race where the waiter's
+// context fires at the same moment.
+type waiter struct {
+	bytes   int64
+	ready   chan struct{}
+	granted bool
+}
+
+// NewGovernor returns a Governor enforcing cfg.
+func NewGovernor(cfg Config) *Governor {
+	if cfg.MaxConcurrent < 0 {
+		cfg.MaxConcurrent = 0
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.MemoryBudget < 0 {
+		cfg.MemoryBudget = 0
+	}
+	return &Governor{cfg: cfg}
+}
+
+// defaultGov is the process-wide governor used by runs that do not carry
+// one (Options.Admission == nil). It starts unlimited.
+var defaultGov atomic.Pointer[Governor]
+
+func init() { defaultGov.Store(NewGovernor(Config{})) }
+
+// Default returns the process-wide governor.
+func Default() *Governor { return defaultGov.Load() }
+
+// SetDefault replaces the process-wide governor; nil restores the
+// unlimited default. In-flight runs keep the governor they were admitted
+// by, so swapping is safe at any time.
+func SetDefault(g *Governor) {
+	if g == nil {
+		g = NewGovernor(Config{})
+	}
+	defaultGov.Store(g)
+}
+
+// Resolve returns g, or the process default when g is nil.
+func Resolve(g *Governor) *Governor {
+	if g != nil {
+		return g
+	}
+	return Default()
+}
+
+// Config returns the governor's configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// limited reports whether this governor constrains admission at all.
+func (g *Governor) limited() bool {
+	return g.cfg.MaxConcurrent > 0 || g.cfg.MemoryBudget > 0
+}
+
+// Ticket is proof of admission; every successful Admit must be paired with
+// exactly one Release. It is a value type so the unlimited fast path does
+// not allocate.
+type Ticket struct {
+	g      *Governor
+	bytes  int64
+	start  time.Time
+	queued time.Duration
+}
+
+// Queued is how long the run waited for admission (zero when admitted
+// immediately).
+func (t Ticket) Queued() time.Duration { return t.queued }
+
+// Admit blocks until the run (whose working set is estimated at bytes) may
+// execute, and returns its Ticket. It fails fast with an *OverloadError
+// when the waiting queue is full, with a *DeadlineError when ctx's
+// deadline cannot be met, and with ctx.Err() when the context ends while
+// queued.
+func (g *Governor) Admit(ctx context.Context, bytes int64) (Ticket, error) {
+	tk := Ticket{g: g, bytes: bytes, start: time.Now()}
+	if !g.limited() {
+		g.fastInflight.Add(1)
+		inflightCount.Add(1)
+		if mOn() {
+			mAdmitted.Inc()
+		}
+		return tk, nil
+	}
+
+	g.mu.Lock()
+	if g.canAdmitLocked(bytes) {
+		g.admitLocked(bytes)
+		g.mu.Unlock()
+		if mOn() {
+			mAdmitted.Inc()
+		}
+		return tk, nil
+	}
+	if len(g.queue) >= g.cfg.MaxQueue {
+		depth := len(g.queue)
+		retry := g.retryAfterLocked(depth)
+		g.mu.Unlock()
+		if mOn() {
+			mShed.Inc()
+		}
+		return Ticket{}, &OverloadError{QueueDepth: depth, RetryAfter: retry}
+	}
+	// Deadline feasibility: queueing a run that cannot finish in time only
+	// wastes the slot it will eventually get.
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if est := g.Estimate(); remaining <= 0 || (est > 0 && remaining < est) {
+			g.mu.Unlock()
+			if mOn() {
+				mDeadlineRejects.Inc()
+			}
+			return Ticket{}, &DeadlineError{Remaining: remaining, Estimate: est}
+		}
+	}
+	w := &waiter{bytes: bytes, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	queuedCount.Add(1)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		tk.queued = time.Since(tk.start)
+		if mOn() {
+			mAdmitted.Inc()
+		}
+		return tk, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: hand the slot straight to
+			// the next waiter.
+			g.releaseLocked(bytes)
+		} else {
+			g.removeWaiterLocked(w)
+		}
+		g.mu.Unlock()
+		if mOn() {
+			mDeadlineRejects.Inc()
+		}
+		return Ticket{}, ctx.Err()
+	}
+}
+
+// Release returns a run's capacity to the governor and feeds its duration
+// into the run-time estimate. Releasing the zero Ticket is a no-op.
+func (g *Governor) Release(tk Ticket) {
+	if tk.g == nil {
+		return
+	}
+	g.observeRun(time.Since(tk.start) - tk.queued)
+	if !g.limited() {
+		g.fastInflight.Add(-1)
+		inflightCount.Add(-1)
+		return
+	}
+	g.mu.Lock()
+	g.releaseLocked(tk.bytes)
+	g.mu.Unlock()
+}
+
+// canAdmitLocked checks the concurrency and memory constraints. A run
+// larger than the whole memory budget is admitted when nothing is in
+// flight (starvation guard: it would otherwise wait forever).
+func (g *Governor) canAdmitLocked(bytes int64) bool {
+	if g.cfg.MaxConcurrent > 0 && g.inflight >= g.cfg.MaxConcurrent {
+		return false
+	}
+	if g.cfg.MemoryBudget > 0 && g.memUsed+bytes > g.cfg.MemoryBudget && g.inflight > 0 {
+		return false
+	}
+	return true
+}
+
+func (g *Governor) admitLocked(bytes int64) {
+	g.inflight++
+	g.memUsed += bytes
+	inflightCount.Add(1)
+}
+
+// releaseLocked returns capacity and wakes as many queued waiters as now
+// fit, preserving FIFO order.
+func (g *Governor) releaseLocked(bytes int64) {
+	g.inflight--
+	g.memUsed -= bytes
+	inflightCount.Add(-1)
+	for len(g.queue) > 0 && g.canAdmitLocked(g.queue[0].bytes) {
+		w := g.queue[0]
+		g.queue[0] = nil
+		g.queue = g.queue[1:]
+		w.granted = true
+		g.admitLocked(w.bytes)
+		queuedCount.Add(-1)
+		close(w.ready)
+	}
+}
+
+func (g *Governor) removeWaiterLocked(w *waiter) {
+	for i, q := range g.queue {
+		if q == w {
+			copy(g.queue[i:], g.queue[i+1:])
+			g.queue[len(g.queue)-1] = nil
+			g.queue = g.queue[:len(g.queue)-1]
+			queuedCount.Add(-1)
+			return
+		}
+	}
+}
+
+// observeRun folds one run duration into the EWMA (weight 1/8).
+func (g *Governor) observeRun(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	old := g.ewma.Load()
+	if old == 0 {
+		g.ewma.Store(int64(d))
+		return
+	}
+	g.ewma.Store(old - old/8 + int64(d)/8)
+}
+
+// Estimate returns the governor's EWMA of recent run durations (0 before
+// any run completes).
+func (g *Governor) Estimate() time.Duration { return time.Duration(g.ewma.Load()) }
+
+// retryAfterLocked estimates when a shed caller should try again: the
+// backlog ahead of it, in units of estimated run time, spread over the
+// concurrency limit.
+func (g *Governor) retryAfterLocked(depth int) time.Duration {
+	est := g.Estimate()
+	if est <= 0 {
+		est = time.Millisecond
+	}
+	lanes := max(g.cfg.MaxConcurrent, 1)
+	return est * time.Duration(depth+1) / time.Duration(lanes)
+}
+
+// Inflight returns how many runs the governor currently has executing.
+func (g *Governor) Inflight() int {
+	if !g.limited() {
+		return int(g.fastInflight.Load())
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// QueueDepth returns how many runs are waiting for admission.
+func (g *Governor) QueueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// SleepBackoff sleeps the jittered exponential backoff for a 0-based retry
+// attempt (base 1ms, doubling, ±50% jitter, capped near 64ms) and reports
+// whether it completed; false means ctx ended first. The jitter is drawn
+// from the wall clock's low bits — cheap, and uniform enough to de-herd
+// concurrent retriers.
+func SleepBackoff(ctx context.Context, attempt int) bool {
+	base := time.Millisecond << min(attempt, 6)
+	d := base/2 + time.Duration(time.Now().UnixNano())%base
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

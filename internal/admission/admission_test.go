@@ -1,0 +1,267 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// admitOne admits with a background context and fails the test on error.
+func admitOne(t *testing.T, g *Governor, bytes int64) Ticket {
+	t.Helper()
+	tk, err := g.Admit(context.Background(), bytes)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	return tk
+}
+
+func TestUnlimitedGovernorAdmitsImmediately(t *testing.T) {
+	g := NewGovernor(Config{})
+	var tks []Ticket
+	for i := 0; i < 64; i++ {
+		tks = append(tks, admitOne(t, g, 1<<20))
+	}
+	if got := g.Inflight(); got != 64 {
+		t.Fatalf("Inflight = %d, want 64", got)
+	}
+	for _, tk := range tks {
+		g.Release(tk)
+	}
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight after release = %d, want 0", got)
+	}
+}
+
+func TestConcurrencyLimitSheds(t *testing.T) {
+	g := NewGovernor(Config{MaxConcurrent: 2, MaxQueue: 1})
+	a := admitOne(t, g, 0)
+	b := admitOne(t, g, 0)
+
+	// Third run queues; it must be parked before the fourth can be shed.
+	queued := make(chan error, 1)
+	go func() {
+		tk, err := g.Admit(context.Background(), 0)
+		if err == nil {
+			g.Release(tk)
+		}
+		queued <- err
+	}()
+	waitDepth(t, g, 1)
+
+	// Fourth run finds the queue full and is shed with a typed error.
+	_, err := g.Admit(context.Background(), 0)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Admit over full queue = %v, want *OverloadError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("shed error does not match ErrOverloaded: %v", err)
+	}
+	if oe.QueueDepth != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", oe.QueueDepth)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", oe.RetryAfter)
+	}
+
+	g.Release(a)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Admit after Release: %v", err)
+	}
+	g.Release(b)
+}
+
+func TestQueueWakesInFIFOOrder(t *testing.T) {
+	g := NewGovernor(Config{MaxConcurrent: 1, MaxQueue: 8})
+	first := admitOne(t, g, 0)
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := g.Admit(context.Background(), 0)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			g.Release(tk)
+		}()
+		// Park each waiter before launching the next so queue order is the
+		// launch order.
+		waitDepth(t, g, i+1)
+	}
+	g.Release(first)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("wake order = %v, want FIFO 0..3", order)
+		}
+	}
+}
+
+func TestMemoryBudgetAndStarvationGuard(t *testing.T) {
+	g := NewGovernor(Config{MemoryBudget: 100, MaxQueue: 4})
+	small := admitOne(t, g, 60)
+
+	// 60 + 50 > 100: the second run must wait.
+	got := make(chan Ticket, 1)
+	go func() {
+		tk, err := g.Admit(context.Background(), 50)
+		if err != nil {
+			t.Errorf("budget waiter: %v", err)
+		}
+		got <- tk
+	}()
+	waitDepth(t, g, 1)
+	g.Release(small)
+	g.Release(<-got)
+
+	// Starvation guard: a run bigger than the whole budget is admitted when
+	// nothing is in flight, instead of queueing forever.
+	huge, err := g.Admit(context.Background(), 10_000)
+	if err != nil {
+		t.Fatalf("oversized run with idle governor: %v", err)
+	}
+	g.Release(huge)
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	g := NewGovernor(Config{MaxConcurrent: 1, MaxQueue: 4})
+	tk := admitOne(t, g, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx, 0)
+		errc <- err
+	}()
+	waitDepth(t, g, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	if got := g.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after cancel = %d, want 0", got)
+	}
+	// The slot the cancelled waiter never took must still be usable.
+	g.Release(tk)
+	g.Release(admitOne(t, g, 0))
+}
+
+func TestDeadlineRejectsUnmeetableQueuedRun(t *testing.T) {
+	g := NewGovernor(Config{MaxConcurrent: 1, MaxQueue: 4})
+	// Teach the EWMA that runs take ~100ms.
+	g.observeRun(100 * time.Millisecond)
+
+	tk := admitOne(t, g, 0)
+	defer g.Release(tk)
+
+	// 1ms of headroom cannot fit a ~100ms run: reject at admission.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := g.Admit(ctx, 0)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("Admit with unmeetable deadline = %v, want *DeadlineError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError does not match context.DeadlineExceeded: %v", err)
+	}
+	if de.Estimate != g.Estimate() {
+		t.Fatalf("Estimate = %v, want %v", de.Estimate, g.Estimate())
+	}
+}
+
+func TestEstimateEWMA(t *testing.T) {
+	g := NewGovernor(Config{})
+	if g.Estimate() != 0 {
+		t.Fatalf("fresh Estimate = %v, want 0", g.Estimate())
+	}
+	g.observeRun(80 * time.Millisecond)
+	if got := g.Estimate(); got != 80*time.Millisecond {
+		t.Fatalf("first observation Estimate = %v, want 80ms", got)
+	}
+	// 1/8 weight: 80ms - 10ms + 1ms = 71ms.
+	g.observeRun(8 * time.Millisecond)
+	if got := g.Estimate(); got != 71*time.Millisecond {
+		t.Fatalf("EWMA after 8ms run = %v, want 71ms", got)
+	}
+	g.observeRun(0) // ignored
+	if got := g.Estimate(); got != 71*time.Millisecond {
+		t.Fatalf("EWMA after zero-duration run = %v, want unchanged 71ms", got)
+	}
+}
+
+// TestAdmitReleaseRace hammers a small governor from many goroutines; run
+// under -race it checks the locking, and the final counters check that no
+// capacity leaks.
+func TestAdmitReleaseRace(t *testing.T) {
+	g := NewGovernor(Config{MaxConcurrent: 4, MaxQueue: 8, MemoryBudget: 1 << 20})
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tk, err := g.Admit(context.Background(), 1<<10)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected Admit error: %v", err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				g.Release(tk)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Inflight() != 0 || g.QueueDepth() != 0 {
+		t.Fatalf("leaked capacity: inflight=%d queued=%d", g.Inflight(), g.QueueDepth())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no run was ever admitted")
+	}
+	t.Logf("admitted=%d shed=%d", admitted.Load(), shed.Load())
+}
+
+func TestSleepBackoffHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if SleepBackoff(ctx, 10) {
+		t.Fatal("SleepBackoff returned true with a cancelled context")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("SleepBackoff took %v to notice cancellation", d)
+	}
+	if !SleepBackoff(context.Background(), 0) {
+		t.Fatal("SleepBackoff returned false with a live context")
+	}
+}
+
+// waitDepth spins until the governor's queue holds want waiters.
+func waitDepth(t *testing.T, g *Governor, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.QueueDepth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (now %d)", want, g.QueueDepth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,174 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults, used when BuildSpMM/BuildSDDMM see zero Options.
+const (
+	// DefaultBreakerThreshold is how many consecutive GPU failures open
+	// the breaker when Options.BreakerThreshold is 0.
+	DefaultBreakerThreshold = 8
+	// DefaultBreakerCooldown is how long an open breaker routes straight
+	// to CPU before allowing a half-open probe.
+	DefaultBreakerCooldown = 250 * time.Millisecond
+)
+
+// BreakerState is the classical three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every attempt through (normal operation).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every attempt until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe attempt through; its verdict
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker quarantines a flaky protected path — in FeatGraph, the simulated
+// GPU of a GPU-target kernel, whose per-run failures otherwise cost a full
+// device attempt plus a CPU fallback on every single request. After
+// threshold consecutive failures the breaker opens and Allow refuses the
+// path outright; after the cooldown one probe is allowed through
+// (half-open), and its success closes the breaker again.
+//
+// State is per kernel instance: each built kernel guards its own device
+// schedule, so one misbehaving kernel cannot quarantine another's GPU
+// path. All methods are safe for concurrent use and safe on a nil
+// receiver (a nil *Breaker is permanently closed).
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	onChange  func(BreakerState)
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+// NewBreaker returns a breaker opening after threshold consecutive
+// failures (<= 0 uses DefaultBreakerThreshold) with the given cooldown
+// (<= 0 uses DefaultBreakerCooldown). onChange, if non-nil, is called with
+// the new state on every transition, under the breaker's lock — keep it
+// cheap (the kernel layer uses it to drive telemetry).
+func NewBreaker(threshold int, cooldown time.Duration, onChange func(BreakerState)) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, onChange: onChange}
+}
+
+// Allow reports whether the protected path may be attempted now. A true
+// return must be followed by exactly one RecordSuccess, RecordFailure, or
+// RecordCancel.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Now().Before(b.openUntil) {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// RecordSuccess notes a successful attempt, closing the breaker.
+func (b *Breaker) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.transitionLocked(BreakerClosed)
+	}
+}
+
+// RecordFailure notes a failed attempt: it re-opens a half-open breaker
+// immediately and opens a closed one at the failure threshold.
+func (b *Breaker) RecordFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.transitionLocked(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openUntil = time.Now().Add(b.cooldown)
+			b.transitionLocked(BreakerOpen)
+		}
+	}
+}
+
+// RecordCancel notes that an allowed attempt ended without a verdict on
+// the protected path (the run's context was cancelled). It releases a
+// half-open probe slot without changing state, so a cancelled probe does
+// not wedge the breaker half-open forever.
+func (b *Breaker) RecordCancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State returns the current breaker state (BreakerClosed for nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) transitionLocked(s BreakerState) {
+	b.state = s
+	if s == BreakerClosed {
+		b.failures = 0
+	}
+	if b.onChange != nil {
+		b.onChange(s)
+	}
+}

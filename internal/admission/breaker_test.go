@@ -1,0 +1,142 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	var transitions []BreakerState
+	b := NewBreaker(3, time.Hour, func(s BreakerState) { transitions = append(transitions, s) })
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("Allow refused below threshold (failure %d)", i)
+		}
+		b.RecordFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("Allow refused while closed")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow passed while open inside cooldown")
+	}
+	if len(transitions) != 1 || transitions[0] != BreakerOpen {
+		t.Fatalf("onChange saw %v, want [open]", transitions)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(2, time.Hour, nil)
+	b.Allow()
+	b.RecordFailure()
+	b.Allow()
+	b.RecordSuccess() // streak broken
+	b.Allow()
+	b.RecordFailure() // 1 consecutive, not 2
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the streak)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond, nil)
+	b.Allow()
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// After the cooldown exactly one probe goes through.
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("Allow refused the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow passed a second concurrent probe")
+	}
+	// Probe success closes the breaker.
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("Allow refused after recovery")
+	}
+	b.RecordSuccess()
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond, nil)
+	b.Allow()
+	b.RecordFailure()
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open again", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow passed immediately after a failed probe re-opened the breaker")
+	}
+}
+
+// TestBreakerCancelReleasesProbe pins the half-open un-wedging: a probe
+// whose run was cancelled (no verdict on the GPU path) must free the probe
+// slot, or the breaker would refuse probes forever.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond, nil)
+	b.Allow()
+	b.RecordFailure()
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	b.RecordCancel()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cancelled probe = %v, want still half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("Allow refused the retry probe after the first was cancelled")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestNilBreakerIsPermanentlyClosed(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker refused Allow")
+	}
+	b.RecordSuccess()
+	b.RecordFailure()
+	b.RecordCancel()
+	if b.State() != BreakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

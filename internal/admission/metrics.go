@@ -1,0 +1,47 @@
+package admission
+
+import (
+	"sync/atomic"
+
+	"featgraph/internal/telemetry"
+)
+
+// Package gauges aggregate across every governor in the process: a scraper
+// wants "how loaded is this process", not per-governor series whose label
+// sets would churn as governors come and go. Counters follow the repo
+// convention of recording only when telemetry is enabled.
+var (
+	inflightCount atomic.Int64
+	queuedCount   atomic.Int64
+
+	mAdmitted = telemetry.NewCounter("featgraph_admission_admitted_total", "",
+		"Kernel runs admitted by the serving governor.")
+	mShed = telemetry.NewCounter("featgraph_admission_shed_total", "",
+		"Kernel runs shed with ErrOverloaded because the admission queue was full.")
+	mDeadlineRejects = telemetry.NewCounter("featgraph_admission_deadline_rejects_total", "",
+		"Kernel runs rejected or abandoned in the admission queue because their deadline expired or could not be met.")
+	mWatchdogTrips = telemetry.NewCounter("featgraph_watchdog_trips_total", "",
+		"Kernel runs cancelled by the stall watchdog with a StallError.")
+	mRetries = telemetry.NewCounter("featgraph_run_retries_total", "",
+		"Kernel run attempts retried after a retryable failure (stall, recovered panic, numeric fault).")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("featgraph_admission_inflight", "",
+		"Kernel runs currently admitted and executing, across all governors.",
+		func() float64 { return float64(inflightCount.Load()) })
+	telemetry.NewGaugeFunc("featgraph_admission_queue_depth", "",
+		"Kernel runs waiting in admission queues, across all governors.",
+		func() float64 { return float64(queuedCount.Load()) })
+}
+
+// mOn gates counter recording on the process-wide telemetry switch.
+func mOn() bool { return telemetry.Enabled() }
+
+// RecordRetry counts one retried run attempt; called by the kernel
+// layer's retry loop.
+func RecordRetry() {
+	if mOn() {
+		mRetries.Inc()
+	}
+}

@@ -1,0 +1,134 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// StallError is the structured cause a watchdog-cancelled run fails with.
+// It deliberately does not match context.Canceled: a stalled GPU launch
+// must look like a device failure to the kernel layer (triggering CPU
+// fallback and a breaker failure), not like the caller giving up.
+type StallError struct {
+	// Site names the stuck execution site (e.g. "spmm/cpu-engine").
+	Site string
+	// Stalled is how long the beacon had not advanced when the watchdog
+	// fired.
+	Stalled time.Duration
+	// Ticks is the beacon value at the time — how many chunks the run had
+	// retired before getting stuck.
+	Ticks uint64
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("featgraph: run stalled at %s: no progress for %v after %d chunks",
+		e.Site, e.Stalled.Round(time.Millisecond), e.Ticks)
+}
+
+// Beacon is a run's progress signal: workers tick it once per retired
+// chunk (via workpool.Job.Progress) and the watchdog scans it. Beacons are
+// embedded in pooled run states, so steady-state runs allocate nothing
+// for them.
+type Beacon struct{ ticks atomic.Uint64 }
+
+// Tick advances the beacon.
+func (b *Beacon) Tick() { b.ticks.Add(1) }
+
+// Load returns the current tick count.
+func (b *Beacon) Load() uint64 { return b.ticks.Load() }
+
+// Counter exposes the underlying atomic for wiring into
+// workpool.Job.Progress / cudasim.LaunchConfig.Progress without those
+// packages importing admission.
+func (b *Beacon) Counter() *atomic.Uint64 { return &b.ticks }
+
+// watch is one run registered with the stall watchdog.
+type watch struct {
+	beacon *Beacon
+	cancel context.CancelCauseFunc
+	site   string
+	last   uint64
+	since  time.Time
+	fired  bool
+}
+
+// WatchdogEnabled reports whether this governor's configuration arms the
+// stall watchdog. Kernels gate the per-run Watch registration (and its
+// context allocation) on it, so the default governor costs nothing.
+func (g *Governor) WatchdogEnabled() bool { return g.cfg.StallThreshold > 0 }
+
+// Watch registers a run with the stall watchdog: if beacon stops
+// advancing for the governor's StallThreshold, cancel is invoked with a
+// *StallError naming site. The returned function unregisters the watch
+// and must be called when the run ends. With the watchdog disabled, Watch
+// is a no-op.
+//
+// The monitor goroutine is started lazily on the first watch and exits
+// when the watch list drains, so idle processes hold no extra goroutine.
+func (g *Governor) Watch(cancel context.CancelCauseFunc, beacon *Beacon, site string) func() {
+	if !g.WatchdogEnabled() {
+		return noopUnwatch
+	}
+	w := &watch{beacon: beacon, cancel: cancel, site: site, last: beacon.Load(), since: time.Now()}
+	g.wmu.Lock()
+	if g.watches == nil {
+		g.watches = make(map[*watch]struct{})
+	}
+	g.watches[w] = struct{}{}
+	if !g.scanning {
+		g.scanning = true
+		go g.scan()
+	}
+	g.wmu.Unlock()
+	return func() {
+		g.wmu.Lock()
+		delete(g.watches, w)
+		g.wmu.Unlock()
+	}
+}
+
+var noopUnwatch = func() {}
+
+// scanInterval resolves how often the watchdog wakes.
+func (g *Governor) scanInterval() time.Duration {
+	if g.cfg.WatchdogInterval > 0 {
+		return g.cfg.WatchdogInterval
+	}
+	return max(g.cfg.StallThreshold/4, time.Millisecond)
+}
+
+// scan is the monitor goroutine: every interval it sweeps the registered
+// watches, refreshing those whose beacons advanced and cancelling those
+// stalled past the threshold. It exits once the watch list is empty.
+func (g *Governor) scan() {
+	t := time.NewTicker(g.scanInterval())
+	defer t.Stop()
+	for range t.C {
+		g.wmu.Lock()
+		if len(g.watches) == 0 {
+			g.scanning = false
+			g.wmu.Unlock()
+			return
+		}
+		now := time.Now()
+		for w := range g.watches {
+			if w.fired {
+				continue
+			}
+			if ticks := w.beacon.Load(); ticks != w.last {
+				w.last, w.since = ticks, now
+				continue
+			}
+			if stalled := now.Sub(w.since); stalled >= g.cfg.StallThreshold {
+				w.fired = true
+				w.cancel(&StallError{Site: w.site, Stalled: stalled, Ticks: w.last})
+				if mOn() {
+					mWatchdogTrips.Inc()
+				}
+			}
+		}
+		g.wmu.Unlock()
+	}
+}

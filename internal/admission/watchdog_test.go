@@ -1,0 +1,109 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWatchdogCancelsStalledRun(t *testing.T) {
+	g := NewGovernor(Config{StallThreshold: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+
+	var beacon Beacon
+	beacon.Tick() // some progress before the stall
+	unwatch := g.Watch(cancel, &beacon, "test/site")
+	defer unwatch()
+
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired for a stalled beacon")
+	}
+	var se *StallError
+	if cause := context.Cause(ctx); !errors.As(cause, &se) {
+		t.Fatalf("cancel cause = %v, want *StallError", cause)
+	}
+	if se.Site != "test/site" {
+		t.Fatalf("StallError.Site = %q, want test/site", se.Site)
+	}
+	if se.Ticks != 1 {
+		t.Fatalf("StallError.Ticks = %d, want 1", se.Ticks)
+	}
+	if se.Stalled < 10*time.Millisecond {
+		t.Fatalf("StallError.Stalled = %v, want >= threshold", se.Stalled)
+	}
+	// The stall is a device-style failure, not the caller giving up.
+	if errors.Is(se, context.Canceled) {
+		t.Fatal("StallError must not match context.Canceled")
+	}
+}
+
+func TestWatchdogSparesProgressingRun(t *testing.T) {
+	g := NewGovernor(Config{StallThreshold: 20 * time.Millisecond, WatchdogInterval: time.Millisecond})
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+
+	var beacon Beacon
+	unwatch := g.Watch(cancel, &beacon, "test/progressing")
+	// Tick faster than the threshold for several threshold windows.
+	for i := 0; i < 20; i++ {
+		beacon.Tick()
+		time.Sleep(5 * time.Millisecond)
+		if ctx.Err() != nil {
+			t.Fatalf("watchdog fired on a progressing run: %v", context.Cause(ctx))
+		}
+	}
+	unwatch()
+}
+
+func TestWatchdogScannerExitsWhenIdle(t *testing.T) {
+	g := NewGovernor(Config{StallThreshold: 5 * time.Millisecond, WatchdogInterval: time.Millisecond})
+	_, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	var beacon Beacon
+	unwatch := g.Watch(cancel, &beacon, "test/idle")
+	unwatch()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.wmu.Lock()
+		scanning := g.scanning
+		g.wmu.Unlock()
+		if !scanning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scan goroutine never exited after the watch list drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A later watch restarts the scanner.
+	unwatch2 := g.Watch(cancel, &beacon, "test/idle-2")
+	g.wmu.Lock()
+	if !g.scanning {
+		g.wmu.Unlock()
+		t.Fatal("scanner did not restart for a new watch")
+	}
+	g.wmu.Unlock()
+	unwatch2()
+}
+
+func TestWatchDisabledIsNoop(t *testing.T) {
+	g := NewGovernor(Config{}) // no StallThreshold
+	if g.WatchdogEnabled() {
+		t.Fatal("zero config reports watchdog enabled")
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	var beacon Beacon
+	unwatch := g.Watch(cancel, &beacon, "test/disabled")
+	unwatch() // the shared no-op must be callable
+	time.Sleep(5 * time.Millisecond)
+	if ctx.Err() != nil {
+		t.Fatal("disabled watchdog cancelled a run")
+	}
+}

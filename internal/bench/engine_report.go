@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,14 +27,20 @@ import (
 // kept, so a noisy machine perturbs both sides equally rather than biasing
 // the ratio.
 
-// EngineBenchResult is one measured (case, scheduler) pair.
+// EngineBenchResult is one measured (case, scheduler) pair. The serving
+// fields mirror the case kernel's final core.RunStats: admission-queue
+// time, retry attempts, and circuit-breaker state ("" for CPU kernels,
+// which have no breaker).
 type EngineBenchResult struct {
-	Name        string  `json:"name"`
-	Sched       string  `json:"sched"` // "engine" or "legacy"
-	Threads     int     `json:"threads"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name         string  `json:"name"`
+	Sched        string  `json:"sched"` // "engine" or "legacy"
+	Threads      int     `json:"threads"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	QueuedNs     int64   `json:"queued_ns"`
+	Retries      int     `json:"retries"`
+	BreakerState string  `json:"breaker_state,omitempty"`
 }
 
 // EngineImbalance compares scheduling policies on the skewed benchmark
@@ -71,7 +78,7 @@ type EngineReport struct {
 type engineCase struct {
 	name    string
 	threads int
-	build   func(legacy bool) (run func() error, err error)
+	build   func(legacy bool) (run func() error, k core.Kernel, err error)
 }
 
 // engineReportCases are fixed-size so reports stay comparable across
@@ -85,7 +92,7 @@ func engineReportCases() []engineCase {
 		return engineCase{
 			name:    "skewed-spmm",
 			threads: threads,
-			build: func(legacy bool) (func() error, error) {
+			build: func(legacy bool) (func() error, core.Kernel, error) {
 				const n, d = 256, 32
 				rng := rand.New(rand.NewSource(7))
 				adj := graphgen.TwoTier(rng, n, 0.2, 60, 4).Transpose()
@@ -96,9 +103,9 @@ func engineReportCases() []engineCase {
 				k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, fds,
 					core.Options{Target: core.CPU, NumThreads: threads, GraphPartitions: 8, LegacySched: legacy})
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
-				return func() error { _, err := k.Run(out); return err }, nil
+				return func() error { _, err := k.Run(out); return err }, k, nil
 			},
 		}
 	}
@@ -107,7 +114,7 @@ func engineReportCases() []engineCase {
 	cases = append(cases, engineCase{
 		name:    "steady-spmm",
 		threads: 4,
-		build: func(legacy bool) (func() error, error) {
+		build: func(legacy bool) (func() error, core.Kernel, error) {
 			const n, d = 2048, 32
 			rng := rand.New(rand.NewSource(9))
 			adj := sparse.Random(rng, n, n, 8)
@@ -116,9 +123,9 @@ func engineReportCases() []engineCase {
 			k, err := core.BuildSpMM(adj, expr.CopySrc(n, d), []*tensor.Tensor{x}, core.AggSum, nil,
 				core.Options{Target: core.CPU, NumThreads: 4, LegacySched: legacy})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return func() error { _, err := k.Run(out); return err }, nil
+			return func() error { _, err := k.Run(out); return err }, k, nil
 		},
 	})
 	return cases
@@ -203,8 +210,11 @@ func measurePlanCache(epochs int) (EnginePlanCache, error) {
 }
 
 // RunEngineReport measures every case over `rounds` interleaved rounds and
-// assembles the report. gitRev is stamped by the caller (featbench).
-func RunEngineReport(out io.Writer, gitRev string, rounds int) (*EngineReport, error) {
+// assembles the report. gitRev is stamped by the caller (featbench). A
+// cancelled ctx stops measuring between cases and assembles the report from
+// the rounds already completed, so an interrupted featbench still flushes
+// partial results.
+func RunEngineReport(ctx context.Context, out io.Writer, gitRev string, rounds int) (*EngineReport, error) {
 	rep := &EngineReport{
 		GitRev:        gitRev,
 		GoVersion:     runtime.Version(),
@@ -215,10 +225,15 @@ func RunEngineReport(out io.Writer, gitRev string, rounds int) (*EngineReport, e
 	best := map[string]*EngineBenchResult{}
 	samples := map[string][]float64{}
 	order := []string{}
+measure:
 	for round := 0; round < rounds; round++ {
 		for _, c := range engineReportCases() {
 			for _, sched := range []string{"engine", "legacy"} {
-				run, err := c.build(sched == "legacy")
+				if ctx.Err() != nil {
+					fmt.Fprintf(out, "interrupted after round %d; writing partial report\n", round)
+					break measure
+				}
+				run, k, err := c.build(sched == "legacy")
 				if err != nil {
 					return nil, err
 				}
@@ -244,6 +259,10 @@ func RunEngineReport(out io.Writer, gitRev string, rounds int) (*EngineReport, e
 					}
 					order = append(order, key)
 				}
+				last := k.LastStats()
+				best[key].QueuedNs = int64(last.Queued)
+				best[key].Retries = last.Retries
+				best[key].BreakerState = last.BreakerState
 				samples[key] = append(samples[key], ns)
 				fmt.Fprintf(out, "round %d: %-30s %12.0f ns/op %6d allocs/op\n", round, key, ns, r.AllocsPerOp())
 			}

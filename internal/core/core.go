@@ -27,8 +27,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
+	"featgraph/internal/faultinject"
 	"featgraph/internal/sparse"
 	"featgraph/internal/telemetry"
 	"featgraph/internal/tensor"
@@ -133,6 +135,28 @@ type Options struct {
 	// performs when the device build or run fails.
 	NoFallback bool
 
+	// Admission is the serving governor this kernel's runs pass through;
+	// nil uses the process-wide admission.Default(). The governor applies
+	// concurrency/memory admission control, deadline-aware queueing, and
+	// (when configured) the stall watchdog.
+	Admission *admission.Governor
+	// Deadline bounds each run end to end: RunCtx derives a per-run
+	// deadline context, the governor rejects queued runs that cannot meet
+	// it, and workers observe it like any cancellation. 0 means no
+	// per-run deadline (the caller's ctx still applies).
+	Deadline time.Duration
+	// Retries is how many extra attempts a failed run gets on retryable
+	// errors (stall, recovered worker panic, numeric fault), with jittered
+	// exponential backoff between attempts. 0 disables retries.
+	Retries int
+	// BreakerThreshold tunes the GPU circuit breaker: the number of
+	// consecutive device failures that open it. 0 uses
+	// admission.DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker routes straight to CPU
+	// before half-open probing; 0 uses admission.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+
 	// LegacySched runs CPU kernels on the pre-engine scheduler: fresh
 	// goroutines per (tile, partition) phase with a uniform contiguous row
 	// split and per-run scratch allocation. It exists as the ablation
@@ -165,6 +189,17 @@ type RunStats struct {
 	Fallback bool
 	// FallbackReason is the GPU failure that triggered the fallback.
 	FallbackReason string
+
+	// Queued is how long the run waited for admission before executing
+	// (zero when admitted immediately).
+	Queued time.Duration
+	// Retries is how many failed attempts preceded this result; 0 means
+	// the first attempt succeeded.
+	Retries int
+	// BreakerState is the GPU circuit breaker's state after the run
+	// ("closed", "open", "half-open"); empty for kernels without a
+	// breaker (CPU targets, or BreakerThreshold < 0).
+	BreakerState string
 }
 
 var (
@@ -244,6 +279,15 @@ type runControl struct {
 	stopped atomic.Bool
 	mu      sync.Mutex
 	err     error
+	// quit releases faultinject stalls in sibling workers once the run has
+	// failed — a stalled worker would otherwise hold the whole run behind
+	// the injected delay. Allocated per run only while faults are armed,
+	// so the steady-state path stays allocation-free. Workers read the
+	// field without mu, which is safe because it is only written by reset
+	// (before workers start); fail closes it but never reassigns it, with
+	// quitClosed (under mu) guarding the close-once.
+	quit       chan struct{}
+	quitClosed bool
 }
 
 func newRunControl(ctx context.Context) *runControl {
@@ -258,8 +302,13 @@ func (rc *runControl) reset(ctx context.Context) {
 	rc.ctx = ctx
 	rc.done = ctx.Done()
 	rc.stopped.Store(false)
+	rc.quit = nil
+	if faultinject.Enabled() {
+		rc.quit = make(chan struct{})
+	}
 	rc.mu.Lock()
 	rc.err = nil
+	rc.quitClosed = false
 	rc.mu.Unlock()
 }
 
@@ -281,7 +330,8 @@ func (rc *runControl) stop() bool {
 	return false
 }
 
-// fail records err and stops the run; the first recorded error wins.
+// fail records err and stops the run; the first recorded error wins and
+// releases any sibling worker stalled at a faultinject site.
 func (rc *runControl) fail(err error) {
 	if err == nil {
 		return
@@ -289,6 +339,10 @@ func (rc *runControl) fail(err error) {
 	rc.mu.Lock()
 	if rc.err == nil {
 		rc.err = err
+	}
+	if rc.quit != nil && !rc.quitClosed {
+		close(rc.quit)
+		rc.quitClosed = true
 	}
 	rc.mu.Unlock()
 	rc.stopped.Store(true)

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/codegen"
 	"featgraph/internal/faultinject"
 	"featgraph/internal/partition"
@@ -92,6 +93,10 @@ type spmmRunState struct {
 	edges  atomic.Uint64
 	stolen atomic.Uint64
 
+	// beacon is the progress counter the stall watchdog scans; the pool
+	// ticks it once per retired chunk via job.Progress.
+	beacon admission.Beacon
+
 	scratch []*spmmScratch // indexed by runner slot
 }
 
@@ -107,6 +112,7 @@ func (k *SpMMKernel) newRunState() *spmmRunState {
 	}
 	st.job.Body = guard(&st.rc, &st.site, st.runChunk)
 	st.job.Stop = st.rc.stop
+	st.job.Progress = st.beacon.Counter()
 	return st
 }
 
@@ -141,7 +147,7 @@ func (st *spmmRunState) runChunk(slot, ci int) {
 		return
 	}
 	st.edges.Add(uint64(st.part.RowPtr[r.Hi] - st.part.RowPtr[r.Lo]))
-	faultinject.Hit(faultinject.SiteSpMMCPUWorker, st.rc.done)
+	faultinject.Hit(faultinject.SiteSpMMCPUWorker, st.rc.done, st.rc.quit)
 	for lo := r.Lo; lo < r.Hi; lo += cancelChunk {
 		if st.rc.stop() {
 			return
@@ -163,6 +169,12 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats
 	pool := workpool.Default()
 	st := k.getRunState()
 	defer k.putRunState(st)
+	if gov := admission.Resolve(k.opts.Admission); gov.WatchdogEnabled() {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		defer gov.Watch(cancel, &st.beacon, "spmm/cpu-engine")()
+		ctx = wctx
+	}
 	st.rc.reset(ctx)
 	st.out = out
 	st.edges.Store(0)
@@ -174,7 +186,7 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats
 	for ti, tile := range k.tiles {
 		for pi, part := range k.parts {
 			if st.rc.stop() {
-				return st.rc.verdict()
+				return stallCause(ctx, st.rc.verdict())
 			}
 			st.tile, st.part, st.chunks, st.finalize = tile, part, k.chunks[pi], false
 			st.site.tile, st.site.part = ti, pi
@@ -201,7 +213,7 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats
 	}
 	stats.EdgesProcessed = st.edges.Load()
 	stats.ChunksStolen = st.stolen.Load()
-	return st.rc.verdict()
+	return stallCause(ctx, st.rc.verdict())
 }
 
 // --- SDDMM ---
@@ -222,6 +234,10 @@ type sddmmRunState struct {
 	edges  atomic.Uint64
 	stolen atomic.Uint64
 
+	// beacon is the progress counter the stall watchdog scans (see
+	// spmmRunState.beacon).
+	beacon admission.Beacon
+
 	envs []*codegen.Env // indexed by runner slot (generic path)
 }
 
@@ -233,6 +249,7 @@ func (k *SDDMMKernel) newRunState() *sddmmRunState {
 	}
 	st.job.Body = guard(&st.rc, &st.site, st.runChunk)
 	st.job.Stop = st.rc.stop
+	st.job.Progress = st.beacon.Counter()
 	return st
 }
 
@@ -264,7 +281,7 @@ func (st *sddmmRunState) runChunk(slot, ci int) {
 	k := st.k
 	ed := k.edges
 	odata := st.out.Data()
-	faultinject.Hit(faultinject.SiteSDDMMCPUWorker, st.rc.done)
+	faultinject.Hit(faultinject.SiteSDDMMCPUWorker, st.rc.done, st.rc.quit)
 
 	if st.dot {
 		x, y := k.match.X, k.match.Y
@@ -313,6 +330,12 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stat
 	pool := workpool.Default()
 	st := k.getRunState()
 	defer k.putRunState(st)
+	if gov := admission.Resolve(k.opts.Admission); gov.WatchdogEnabled() {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		defer gov.Watch(cancel, &st.beacon, "sddmm/cpu-engine")()
+		ctx = wctx
+	}
 	st.rc.reset(ctx)
 	st.out = out
 	st.chunks = k.edgeChunks
@@ -326,7 +349,7 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stat
 		st.dot = true
 		for kti, kt := range k.redTiles {
 			if st.rc.stop() {
-				return st.rc.verdict()
+				return stallCause(ctx, st.rc.verdict())
 			}
 			st.lo, st.hi = kt.Lo, kt.Hi
 			st.site.tile = kti
@@ -340,13 +363,13 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stat
 		}
 		stats.EdgesProcessed = st.edges.Load()
 		stats.ChunksStolen = st.stolen.Load()
-		return st.rc.verdict()
+		return stallCause(ctx, st.rc.verdict())
 	}
 
 	st.dot = false
 	for ti, tile := range k.tiles {
 		if st.rc.stop() {
-			return st.rc.verdict()
+			return stallCause(ctx, st.rc.verdict())
 		}
 		st.lo, st.hi = tile.Lo, tile.Hi
 		st.site.tile = ti
@@ -360,5 +383,5 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stat
 	}
 	stats.EdgesProcessed = st.edges.Load()
 	stats.ChunksStolen = st.stolen.Load()
-	return st.rc.verdict()
+	return stallCause(ctx, st.rc.verdict())
 }

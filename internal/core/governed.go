@@ -1,0 +1,46 @@
+// Overload-safe serving glue between the kernel templates and the
+// admission package: error classification for the retry loop and the
+// mapping of watchdog cancellations back to their structured cause.
+//
+// Both templates' RunCtx follow the same governed shape:
+//
+//	admit (concurrency/memory/deadline)  ->  attempt loop  ->  release
+//
+// where each attempt is the pre-admission RunCtx body (GPU with breaker
+// and CPU fallback, or CPU engine) and the loop retries retryable
+// failures with jittered backoff up to Options.Retries extra times.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"featgraph/internal/admission"
+)
+
+// retryable reports whether a failed attempt is worth retrying: watchdog
+// stalls, recovered worker panics, and numeric faults are transient (or
+// injected); context cancellation, deadline expiry, and admission
+// rejections are not.
+func retryable(err error) bool {
+	var se *admission.StallError
+	var ke *KernelError
+	var ne *NumericError
+	return errors.As(err, &se) || errors.As(err, &ke) || errors.As(err, &ne)
+}
+
+// stallCause substitutes the watchdog's *StallError for the bare
+// context.Canceled a watchdog-cancelled run surfaces as. ctx must be the
+// watchdog-wrapped context. Errors with their own identity (worker
+// failures, panics) pass through untouched, as does a cancellation that
+// originated from the caller rather than the watchdog.
+func stallCause(ctx context.Context, err error) error {
+	if err == nil || !errors.Is(err, context.Canceled) {
+		return err
+	}
+	var se *admission.StallError
+	if cause := context.Cause(ctx); errors.As(cause, &se) {
+		return se
+	}
+	return err
+}

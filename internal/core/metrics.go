@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/telemetry"
 )
 
@@ -14,13 +15,18 @@ import (
 // for kernels whose device build failed, stage="run" for per-run device
 // failures retried on CPU).
 type kernelMetrics struct {
-	runsCPU      *telemetry.Counter
-	runsGPU      *telemetry.Counter
-	latency      *telemetry.Histogram
-	edges        *telemetry.Counter
-	stolen       *telemetry.Counter
-	fallbackRun  *telemetry.Counter
-	fallbackBld  *telemetry.Counter
+	runsCPU     *telemetry.Counter
+	runsGPU     *telemetry.Counter
+	latency     *telemetry.Histogram
+	edges       *telemetry.Counter
+	stolen      *telemetry.Counter
+	fallbackRun *telemetry.Counter
+	fallbackBld *telemetry.Counter
+	fallbackBrk *telemetry.Counter
+	brkToOpen   *telemetry.Counter
+	brkToHalf   *telemetry.Counter
+	brkToClosed *telemetry.Counter
+	brkOpen     *telemetry.Gauge
 }
 
 func newKernelMetrics(kernel string) *kernelMetrics {
@@ -39,6 +45,16 @@ func newKernelMetrics(kernel string) *kernelMetrics {
 			`kernel="`+kernel+`",stage="run"`, "Runs degraded from GPU to CPU, by failure stage."),
 		fallbackBld: telemetry.NewCounter("featgraph_kernel_fallbacks_total",
 			`kernel="`+kernel+`",stage="build"`, "Runs degraded from GPU to CPU, by failure stage."),
+		fallbackBrk: telemetry.NewCounter("featgraph_kernel_fallbacks_total",
+			`kernel="`+kernel+`",stage="breaker"`, "Runs degraded from GPU to CPU, by failure stage."),
+		brkToOpen: telemetry.NewCounter("featgraph_breaker_transitions_total",
+			`kernel="`+kernel+`",to="open"`, "GPU circuit breaker state transitions by destination state."),
+		brkToHalf: telemetry.NewCounter("featgraph_breaker_transitions_total",
+			`kernel="`+kernel+`",to="half-open"`, "GPU circuit breaker state transitions by destination state."),
+		brkToClosed: telemetry.NewCounter("featgraph_breaker_transitions_total",
+			`kernel="`+kernel+`",to="closed"`, "GPU circuit breaker state transitions by destination state."),
+		brkOpen: telemetry.NewGauge("featgraph_breaker_open",
+			`kernel="`+kernel+`"`, "1 while the kernel's GPU circuit breaker is open, else 0."),
 	}
 }
 
@@ -84,6 +100,30 @@ func (m *kernelMetrics) recordFallback(buildStage bool) {
 		m.fallbackBld.Inc()
 	} else {
 		m.fallbackRun.Inc()
+	}
+}
+
+// recordBreakerReroute counts a run routed straight to CPU because the
+// kernel's circuit breaker was open.
+func (m *kernelMetrics) recordBreakerReroute() { m.fallbackBrk.Inc() }
+
+// breakerHook returns the admission.Breaker onChange callback that mirrors
+// the breaker's state into telemetry. Transitions are rare (threshold
+// failures, cooldown probes) so the counters are recorded unconditionally
+// rather than gated on telemetry.Enabled at transition time.
+func (m *kernelMetrics) breakerHook() func(admission.BreakerState) {
+	return func(s admission.BreakerState) {
+		switch s {
+		case admission.BreakerOpen:
+			m.brkToOpen.Inc()
+			m.brkOpen.Set(1)
+		case admission.BreakerHalfOpen:
+			m.brkToHalf.Inc()
+			m.brkOpen.Set(0)
+		default:
+			m.brkToClosed.Inc()
+			m.brkOpen.Set(0)
+		}
 	}
 }
 

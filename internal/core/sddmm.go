@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
 	"featgraph/internal/faultinject"
@@ -39,6 +40,12 @@ type SDDMMKernel struct {
 	states     chan *sddmmRunState
 
 	gpu *sddmmGPU
+	// breaker is the GPU circuit breaker (nil for CPU-target kernels or
+	// when Options.BreakerThreshold is negative); see RunCtx.
+	breaker *admission.Breaker
+	// memEstimate is the run's resident-memory estimate charged against
+	// the admission governor's budget.
+	memEstimate int64
 
 	// LastStats storage (see kernel.go).
 	lastMu sync.Mutex
@@ -108,9 +115,16 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 	case GPU:
 		k.edges = partition.RowMajorEdges(adj)
 		k.gpu = buildSDDMMGPU(k, udf, fds)
+		if opts.BreakerThreshold >= 0 {
+			k.breaker = admission.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, sddmmMetrics.breakerHook())
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
 	}
+
+	// Admission memory estimate: the per-edge output surface in float32
+	// bytes dominates SDDMM's resident cost.
+	k.memEstimate = 4 * int64(adj.NNZ()) * int64(k.outLen)
 
 	// Engine schedule: SDDMM phases have uniform per-edge cost, so chunks
 	// split the traversal order evenly; balance comes from the pool's
@@ -162,14 +176,10 @@ func (k *SDDMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
 	return k.RunCtx(context.Background(), out)
 }
 
-// RunCtx executes the kernel into out under ctx. Cancelling the context
-// stops the worker pool promptly and returns ctx.Err(); the contents of out
-// are then undefined. A panic inside a worker goroutine is recovered and
-// returned as a *KernelError instead of crashing the process. A GPU-target
-// kernel whose device run fails retries once on the CPU path and records the
-// fallback in the returned stats, unless Options.NoFallback is set. When
-// Options.CheckNumerics is set, a successful run additionally scans out and
-// fails with a *NumericError on the first NaN/±Inf.
+// RunCtx executes the kernel into out under ctx and the kernel's serving
+// policy; see SpMMKernel.RunCtx for the governed execution semantics
+// (admission, deadlines, circuit breaker, stall watchdog, retries) — the
+// two templates behave identically.
 func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	if out.Dim(0) != k.adj.NNZ() || out.Len() != k.adj.NNZ()*k.outLen {
 		return RunStats{}, fmt.Errorf("core: SDDMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NNZ(), k.outLen)
@@ -177,19 +187,58 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	gov := admission.Resolve(k.opts.Admission)
+	if k.opts.Deadline > 0 {
+		dctx, cancel := context.WithTimeout(ctx, k.opts.Deadline)
+		defer cancel()
+		ctx = dctx
+	}
+	tk, err := gov.Admit(ctx, k.memEstimate)
+	if err != nil {
+		return RunStats{}, err
+	}
+	stats, err := k.runAttempts(ctx, out, tk.Queued())
+	gov.Release(tk)
+	return stats, err
+}
+
+// runAttempts drives runAttempt under the kernel's retry policy.
+func (k *SDDMMKernel) runAttempts(ctx context.Context, out *tensor.Tensor, queued time.Duration) (RunStats, error) {
+	for attempt := 0; ; attempt++ {
+		stats, err := k.runAttempt(ctx, out, queued, attempt)
+		if err == nil || attempt >= k.opts.Retries || !retryable(err) || ctx.Err() != nil {
+			return stats, err
+		}
+		admission.RecordRetry()
+		if !admission.SleepBackoff(ctx, attempt) {
+			return stats, err
+		}
+	}
+}
+
+// runAttempt is one execution attempt; see SpMMKernel.runAttempt.
+func (k *SDDMMKernel) runAttempt(ctx context.Context, out *tensor.Tensor, queued time.Duration, attempt int) (RunStats, error) {
 	metricsOn := k.opts.Metrics || telemetry.Enabled()
 	tracing := telemetry.TraceActive()
 	start := time.Now()
-	var stats RunStats
-	if k.opts.Target == GPU {
-		var err error
-		stats, err = k.runGPU(ctx, out)
-		if err != nil {
-			if k.opts.NoFallback || ctxDone(ctx, err) {
+	stats := RunStats{Queued: queued, Retries: attempt}
+	if k.opts.Target == GPU && k.breaker.Allow() {
+		gstats, err := k.runGPU(ctx, out)
+		if err == nil {
+			k.breaker.RecordSuccess()
+			gstats.Queued, gstats.Retries = queued, attempt
+			stats = gstats
+		} else {
+			if ctxDone(ctx, err) {
+				k.breaker.RecordCancel()
+				return RunStats{}, err
+			}
+			k.breaker.RecordFailure()
+			if k.opts.NoFallback {
 				return RunStats{}, err
 			}
 			// Graceful degradation: one retry on the CPU path.
-			stats = RunStats{}
+			stats = RunStats{Queued: queued, Retries: attempt}
 			if cpuErr := k.runCPU(ctx, out, &stats); cpuErr != nil {
 				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
 			}
@@ -202,8 +251,25 @@ func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats,
 				telemetry.RecordInstant("sddmm.fallback", 0, "run_stage", 1, 1)
 			}
 		}
-	} else if err := k.runCPU(ctx, out, &stats); err != nil {
-		return RunStats{}, err
+	} else {
+		if err := k.runCPU(ctx, out, &stats); err != nil {
+			return RunStats{}, err
+		}
+		if k.opts.Target == GPU {
+			// The circuit breaker is open: routed straight to CPU without
+			// paying for a doomed device attempt.
+			stats.Fallback = true
+			stats.FallbackReason = "gpu circuit breaker open"
+			if metricsOn {
+				sddmmMetrics.recordBreakerReroute()
+			}
+			if tracing {
+				telemetry.RecordInstant("sddmm.fallback", 0, "breaker_open", 1, 1)
+			}
+		}
+	}
+	if k.breaker != nil {
+		stats.BreakerState = k.breaker.State().String()
 	}
 	if k.opts.CheckNumerics {
 		if err := checkNumerics("sddmm", out); err != nil {
@@ -259,7 +325,7 @@ func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) erro
 			klo, khi := kt.Lo, kt.Hi
 			site := workerSite{kernel: "sddmm", target: CPU, tile: kti, part: -1}
 			parallelFor(rc, site, nnz, threads, func(_, elo, ehi int) {
-				faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done)
+				faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done, rc.quit)
 				for clo := elo; clo < ehi; clo += cancelChunk {
 					if rc.stop() {
 						return
@@ -293,7 +359,7 @@ func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) erro
 		lo, hi := tile.Lo, tile.Hi
 		site := workerSite{kernel: "sddmm", target: CPU, tile: ti, part: -1}
 		parallelFor(rc, site, nnz, threads, func(_, elo, ehi int) {
-			faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done)
+			faultinject.Hit(faultinject.SiteSDDMMCPUWorker, rc.done, rc.quit)
 			env := k.compiled.NewEnv()
 			for clo := elo; clo < ehi; clo += cancelChunk {
 				if rc.stop() {

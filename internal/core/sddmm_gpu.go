@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/codegen"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
@@ -35,6 +36,8 @@ type sddmmGPULaunch struct {
 	dot     bool
 	kernel  func(*cudasim.Block)
 	scratch []*sddmmGPUScratch
+	// beacon is the stall watchdog's progress counter (see spmmGPULaunch).
+	beacon admission.Beacon
 }
 
 // sddmmGPUScratch is per-runner-slot state: the compiled-UDF environment
@@ -139,13 +142,19 @@ func (k *SDDMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats,
 	blocks, threads := k.gpuLaunchDims()
 	st := k.gpu.getLaunch(k)
 	defer k.gpu.putLaunch(st)
+	if gov := admission.Resolve(k.opts.Admission); gov.WatchdogEnabled() {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		defer gov.Watch(cancel, &st.beacon, "sddmm/gpu")()
+		ctx = wctx
+	}
 	st.out = out
 	st.blocks = blocks
 	st.dot = k.match.Pattern == codegen.DotSrcDst
 
-	stats, err := k.gpu.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, st.kernel)
+	stats, err := k.gpu.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads, Progress: st.beacon.Counter()}, st.kernel)
 	if err != nil {
-		return RunStats{}, wrapSDDMMLaunchErr(err)
+		return RunStats{}, wrapSDDMMLaunchErr(stallCause(ctx, err))
 	}
 	// Nominal traversal count: the single launch visits every edge once.
 	return RunStats{SimCycles: stats.SimCycles, EdgesProcessed: uint64(nnz)}, nil

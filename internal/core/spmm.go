@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/codegen"
 	"featgraph/internal/expr"
 	"featgraph/internal/faultinject"
@@ -52,6 +53,14 @@ type SpMMKernel struct {
 	// build failed and degraded to the CPU path.
 	gpu         *spmmGPU
 	gpuBuildErr string // the device build failure behind gpu == nil
+
+	// breaker quarantines the device path after consecutive run failures
+	// (see admission.Breaker); nil for CPU kernels and when disabled.
+	breaker *admission.Breaker
+	// memEstimate is the run's working-set estimate in bytes (output
+	// surface plus per-slot scratch), computed from plan shapes at build
+	// time for admission memory budgeting.
+	memEstimate int64
 
 	// LastStats storage (see kernel.go).
 	lastMu sync.Mutex
@@ -144,7 +153,15 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 			k.gpu = nil
 			k.gpuBuildErr = err.Error()
 		}
+		if k.gpu != nil && opts.BreakerThreshold >= 0 {
+			k.breaker = admission.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, spmmMetrics.breakerHook())
+		}
 	}
+
+	// Admission memory estimate: the output surface plus one run state's
+	// per-slot scratch, in float32 bytes.
+	k.memEstimate = 4 * (int64(adj.NumRows)*int64(k.outLen) +
+		int64(scratchSlots(opts.NumThreads))*int64(k.maxTile+k.tmpLen))
 
 	// Pre-create one run state (and GPU launch state) so scratch is
 	// allocated at build time and the first Run is already allocation-free;
@@ -172,15 +189,25 @@ func (k *SpMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
 	return k.RunCtx(context.Background(), out)
 }
 
-// RunCtx executes the kernel into out under ctx. Cancelling the context
-// stops the worker pool promptly and returns ctx.Err(); the contents of out
-// are then undefined. A panic inside a worker goroutine (a UDF evaluation
-// fault, a shape mismatch, an injected fault) is recovered and returned as
-// a *KernelError instead of crashing the process. A GPU-target kernel whose
-// device run fails retries once on the CPU path and records the fallback in
-// the returned stats, unless Options.NoFallback is set. When
-// Options.CheckNumerics is set, a successful run additionally scans out and
-// fails with a *NumericError on the first NaN/±Inf.
+// RunCtx executes the kernel into out under ctx and the kernel's serving
+// policy. Every run first passes the admission governor
+// (Options.Admission, else the process default): it may queue, be shed
+// with an error matching admission.ErrOverloaded, or be rejected because
+// its deadline (Options.Deadline or ctx's) cannot be met. Cancelling the
+// context stops the worker pool promptly and returns ctx.Err(); the
+// contents of out are then undefined. A panic inside a worker goroutine (a
+// UDF evaluation fault, a shape mismatch, an injected fault) is recovered
+// and returned as a *KernelError instead of crashing the process. A
+// GPU-target kernel whose device run fails retries once on the CPU path
+// and records the fallback in the returned stats, unless
+// Options.NoFallback is set; consecutive device failures open the kernel's
+// circuit breaker, which routes runs straight to CPU until a half-open
+// probe succeeds. Under a watchdog-enabled governor, a run whose workers
+// stop making progress is cancelled with an *admission.StallError. When
+// Options.CheckNumerics is set, a successful run additionally scans out
+// and fails with a *NumericError on the first NaN/±Inf. Retryable
+// failures (stall, panic, numeric) are retried up to Options.Retries
+// times with jittered backoff.
 func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
 	if out.Dim(0) != k.adj.NumRows || out.Len() != k.adj.NumRows*k.outLen {
 		return RunStats{}, fmt.Errorf("core: SpMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NumRows, k.outLen)
@@ -188,19 +215,62 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	gov := admission.Resolve(k.opts.Admission)
+	if k.opts.Deadline > 0 {
+		dctx, cancel := context.WithTimeout(ctx, k.opts.Deadline)
+		defer cancel()
+		ctx = dctx
+	}
+	tk, err := gov.Admit(ctx, k.memEstimate)
+	if err != nil {
+		return RunStats{}, err
+	}
+	stats, err := k.runAttempts(ctx, out, tk.Queued())
+	gov.Release(tk)
+	return stats, err
+}
+
+// runAttempts drives runAttempt under the kernel's retry policy.
+func (k *SpMMKernel) runAttempts(ctx context.Context, out *tensor.Tensor, queued time.Duration) (RunStats, error) {
+	for attempt := 0; ; attempt++ {
+		stats, err := k.runAttempt(ctx, out, queued, attempt)
+		if err == nil || attempt >= k.opts.Retries || !retryable(err) || ctx.Err() != nil {
+			return stats, err
+		}
+		admission.RecordRetry()
+		if !admission.SleepBackoff(ctx, attempt) {
+			return stats, err
+		}
+	}
+}
+
+// runAttempt is one execution attempt: the GPU path behind the circuit
+// breaker with CPU fallback, or the CPU engine, plus numeric checking and
+// stats publication.
+func (k *SpMMKernel) runAttempt(ctx context.Context, out *tensor.Tensor, queued time.Duration, attempt int) (RunStats, error) {
 	metricsOn := k.opts.Metrics || telemetry.Enabled()
 	tracing := telemetry.TraceActive()
 	start := time.Now()
-	var stats RunStats
-	if k.opts.Target == GPU && k.gpu != nil {
-		var err error
-		stats, err = k.runGPU(ctx, out)
-		if err != nil {
-			if k.opts.NoFallback || ctxDone(ctx, err) {
+	stats := RunStats{Queued: queued, Retries: attempt}
+	if k.opts.Target == GPU && k.gpu != nil && k.breaker.Allow() {
+		gstats, err := k.runGPU(ctx, out)
+		if err == nil {
+			k.breaker.RecordSuccess()
+			gstats.Queued, gstats.Retries = queued, attempt
+			stats = gstats
+		} else {
+			if ctxDone(ctx, err) {
+				// Cancellation is not a device verdict; release any
+				// half-open probe without recording one.
+				k.breaker.RecordCancel()
+				return RunStats{}, err
+			}
+			k.breaker.RecordFailure()
+			if k.opts.NoFallback {
 				return RunStats{}, err
 			}
 			// Graceful degradation: one retry on the CPU path.
-			stats = RunStats{}
+			stats = RunStats{Queued: queued, Retries: attempt}
 			if cpuErr := k.runCPU(ctx, out, &stats); cpuErr != nil {
 				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
 			}
@@ -217,7 +287,9 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 		if err := k.runCPU(ctx, out, &stats); err != nil {
 			return RunStats{}, err
 		}
-		if k.opts.Target == GPU {
+		switch {
+		case k.opts.Target != GPU:
+		case k.gpu == nil:
 			// The device build already degraded to the CPU path.
 			stats.Fallback = true
 			stats.FallbackReason = k.gpuBuildErr
@@ -227,7 +299,21 @@ func (k *SpMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, 
 			if tracing {
 				telemetry.RecordInstant("spmm.fallback", 0, "build_stage", 1, 1)
 			}
+		default:
+			// The circuit breaker is open: routed straight to CPU without
+			// paying for a doomed device attempt.
+			stats.Fallback = true
+			stats.FallbackReason = "gpu circuit breaker open"
+			if metricsOn {
+				spmmMetrics.recordBreakerReroute()
+			}
+			if tracing {
+				telemetry.RecordInstant("spmm.fallback", 0, "breaker_open", 1, 1)
+			}
 		}
+	}
+	if k.breaker != nil {
+		stats.BreakerState = k.breaker.State().String()
 	}
 	if k.opts.CheckNumerics {
 		if err := checkNumerics("spmm", out); err != nil {
@@ -289,7 +375,7 @@ func (k *SpMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error
 			}
 			site := workerSite{kernel: "spmm", target: CPU, tile: ti, part: pi}
 			parallelFor(rc, site, k.adj.NumRows, threads, func(w, rlo, rhi int) {
-				faultinject.Hit(faultinject.SiteSpMMCPUWorker, rc.done)
+				faultinject.Hit(faultinject.SiteSpMMCPUWorker, rc.done, rc.quit)
 				for lo := rlo; lo < rhi; lo += cancelChunk {
 					if rc.stop() {
 						return

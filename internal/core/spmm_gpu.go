@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/codegen"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/expr"
@@ -41,6 +42,9 @@ type spmmGPULaunch struct {
 	gridBlocks int
 	kernel     func(*cudasim.Block)
 	scratch    []*gpuScratch
+	// beacon is the stall watchdog's progress counter; the device ticks it
+	// once per retired block via LaunchConfig.Progress.
+	beacon admission.Beacon
 }
 
 // gpuScratch is per-runner-slot evaluation state for GPU blocks: the
@@ -174,6 +178,12 @@ func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, 
 	g := k.gpu
 	st := g.getLaunch(k)
 	defer g.putLaunch(st)
+	if gov := admission.Resolve(k.opts.Admission); gov.WatchdogEnabled() {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		defer gov.Watch(cancel, &st.beacon, "spmm/gpu")()
+		ctx = wctx
+	}
 	st.out = out
 	out.Fill(k.agg.identity())
 	var total uint64
@@ -185,8 +195,9 @@ func (k *SpMMKernel) runGPU(ctx context.Context, out *tensor.Tensor) (RunStats, 
 		st.gridBlocks = blocks
 		for pi, gp := range g.parts {
 			st.gp = gp
-			stats, err := g.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads}, st.kernel)
+			stats, err := g.dev.LaunchCtx(ctx, cudasim.LaunchConfig{Blocks: blocks, ThreadsPerBlock: threads, Progress: st.beacon.Counter()}, st.kernel)
 			if err != nil {
+				err = stallCause(ctx, err)
 				var kpe *cudasim.KernelPanicError
 				if errors.As(err, &kpe) {
 					err = &KernelError{Kernel: "spmm", Target: GPU, Worker: kpe.Block, Tile: ti, Part: pi, Value: kpe.Value}

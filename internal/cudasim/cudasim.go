@@ -121,6 +121,9 @@ func (d *Device) Launches() uint64 { return d.launches.Load() }
 type LaunchConfig struct {
 	Blocks          int
 	ThreadsPerBlock int
+	// Progress, when non-nil, is ticked once per completed block — the
+	// launch's stall-watchdog beacon (see internal/admission).
+	Progress *atomic.Uint64
 }
 
 // Block is the per-block execution context handed to a kernel.
@@ -134,6 +137,7 @@ type Block struct {
 	cycles     uint64    // simulated cycles charged by the kernel
 
 	done <-chan struct{} // launch context's cancellation channel
+	quit <-chan struct{} // launch-wide first-error abort (faultinject runs only)
 	stop *atomic.Bool    // launch-wide stop flag (cancel or first error)
 }
 
@@ -301,7 +305,11 @@ type launchState struct {
 	job    workpool.Job
 	kernel func(b *Block)
 
-	done   <-chan struct{}
+	done <-chan struct{}
+	// quit releases faultinject stalls in sibling blocks once a block has
+	// failed; allocated per launch only while faults are armed, so the
+	// steady-state launch path stays allocation-free.
+	quit   chan struct{}
 	stop   atomic.Bool
 	mu     sync.Mutex
 	err    error
@@ -332,6 +340,7 @@ func (d *Device) getLaunchState() *launchState {
 func (d *Device) putLaunchState(st *launchState) {
 	st.kernel = nil
 	st.done = nil
+	st.quit = nil
 	st.err = nil
 	select {
 	case d.states <- st:
@@ -357,11 +366,16 @@ func (st *launchState) stopped() bool {
 	return false
 }
 
-// fail records a block failure; the first error wins and stops the grid.
+// fail records a block failure; the first error wins and stops the grid,
+// releasing any sibling block stalled at a faultinject site.
 func (st *launchState) fail(err error) {
 	st.mu.Lock()
 	if st.err == nil {
 		st.err = err
+		if st.quit != nil {
+			close(st.quit)
+			st.quit = nil
+		}
 	}
 	st.mu.Unlock()
 	st.stop.Store(true)
@@ -424,9 +438,14 @@ func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b 
 	defer d.putLaunchState(st)
 	st.kernel = kernel
 	st.done = ctx.Done()
+	st.quit = nil
+	if faultinject.Enabled() {
+		st.quit = make(chan struct{})
+	}
 	st.stop.Store(false)
 	st.err = nil
 	st.metrics = metrics
+	st.job.Progress = cfg.Progress
 	if cap(st.cycles) < cfg.Blocks {
 		st.cycles = make([]uint64, cfg.Blocks)
 	}
@@ -436,6 +455,7 @@ func (d *Device) LaunchCtx(ctx context.Context, cfg LaunchConfig, kernel func(b 
 		b.dim = cfg.ThreadsPerBlock
 		b.dev = d
 		b.done = st.done
+		b.quit = st.quit
 		b.stop = &st.stop
 	}
 
@@ -526,7 +546,7 @@ func runBlock(blk *Block, kernel func(b *Block)) (err error) {
 			err = &KernelPanicError{Block: blk.idx, Value: r}
 		}
 	}()
-	faultinject.Hit(faultinject.SiteCudasimBlock, blk.done)
+	faultinject.Hit(faultinject.SiteCudasimBlock, blk.done, blk.quit)
 	kernel(blk)
 	return nil
 }

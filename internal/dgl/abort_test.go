@@ -1,0 +1,41 @@
+package dgl
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"featgraph/internal/admission"
+)
+
+// TestOpErrorClassification pins the abort boundary: serving-layer control
+// errors become typed *AbortError panics (recovered by nn.TrainEpoch into
+// error returns), while genuine kernel bugs keep the historical string
+// panic that crashes tests loudly.
+func TestOpErrorClassification(t *testing.T) {
+	aborts := []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		admission.ErrOverloaded,
+		&admission.OverloadError{QueueDepth: 3},
+		&admission.StallError{Site: "spmm/cpu-engine"},
+		&admission.DeadlineError{},
+	}
+	for _, err := range aborts {
+		v := opError("copy-agg forward", err)
+		ae, ok := v.(*AbortError)
+		if !ok {
+			t.Fatalf("opError(%v) = %T, want *AbortError", err, v)
+		}
+		if !errors.Is(ae, err) {
+			t.Fatalf("AbortError does not unwrap to %v", err)
+		}
+		if ae.Op != "copy-agg forward" {
+			t.Fatalf("AbortError.Op = %q", ae.Op)
+		}
+	}
+
+	if v := opError("dot forward", errors.New("shape mismatch")); v != "dgl: dot forward: shape mismatch" {
+		t.Fatalf("non-abort error produced %#v, want the historical panic string", v)
+	}
+}

@@ -16,8 +16,11 @@
 package dgl
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"featgraph/internal/admission"
 	"featgraph/internal/core"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/minigun"
@@ -55,6 +58,14 @@ type Config struct {
 	FeatureTileFactor int
 	// Device is the simulated GPU for Target == GPU.
 	Device *cudasim.Device
+	// Admission overrides the process-default governor every kernel run
+	// passes through (nil uses admission.Default()).
+	Admission *admission.Governor
+	// Deadline bounds each kernel run (0 = none); an expired run aborts
+	// the epoch with a *AbortError wrapping context.DeadlineExceeded.
+	Deadline time.Duration
+	// Retries is the per-kernel-run retry budget for transient failures.
+	Retries int
 }
 
 // Graph wraps a topology with everything message passing needs: the
@@ -64,6 +75,11 @@ type Graph struct {
 	cfg  Config
 	adj  *sparse.CSR
 	adjT *sparse.CSR
+
+	// ctx, when set by UseContext, bounds every kernel run the graph's ops
+	// issue. Like the stats fields it belongs to the goroutine executing
+	// Apply; set it between tapes, not during one.
+	ctx context.Context
 
 	invDeg []float32 // 1/in-degree per vertex (0 for isolated)
 
@@ -128,6 +144,20 @@ func (g *Graph) edgeExtent() int { return max(g.NumEdges(), 1) }
 // Adj exposes the adjacency matrix.
 func (g *Graph) Adj() *sparse.CSR { return g.adj }
 
+// UseContext makes ctx bound every subsequent kernel run issued through
+// this graph's ops: cancelling it aborts the op (and with it the training
+// step) with a *AbortError. A nil ctx restores context.Background().
+// Set it between tapes, from the goroutine that Applies ops.
+func (g *Graph) UseContext(ctx context.Context) { g.ctx = ctx }
+
+// runCtx is the context kernel runs execute under.
+func (g *Graph) runCtx() context.Context {
+	if g.ctx != nil {
+		return g.ctx
+	}
+	return context.Background()
+}
+
 // Config returns the graph's configuration.
 func (g *Graph) Config() Config { return g.cfg }
 
@@ -147,6 +177,9 @@ func (g *Graph) coreOptions() core.Options {
 		NumThreads:      g.cfg.NumThreads,
 		GraphPartitions: g.cfg.GraphPartitions,
 		Device:          g.cfg.Device,
+		Admission:       g.cfg.Admission,
+		Deadline:        g.cfg.Deadline,
+		Retries:         g.cfg.Retries,
 	}
 }
 

@@ -130,9 +130,9 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func() *tensor.Tensor {
 				copy(op.xbuf.Data(), x.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), out)
 				if err != nil {
-					panic("dgl: copy-agg forward: " + err.Error())
+					panic(opError("copy-agg forward", err))
 				}
 				g.record(stats)
 				return out
@@ -140,9 +140,9 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).Run(dx)
+				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).RunCtx(g.runCtx(), dx)
 				if err != nil {
-					panic("dgl: copy-agg backward: " + err.Error())
+					panic(opError("copy-agg backward", err))
 				}
 				g.record(stats)
 				autodiff.SeedGrad(x, dx)
@@ -280,9 +280,9 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.wbuf.Data(), w.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), out)
 				if err != nil {
-					panic("dgl: weighted-sum forward: " + err.Error())
+					panic(opError("weighted-sum forward", err))
 				}
 				g.record(stats)
 				return out
@@ -290,17 +290,17 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).Run(dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.runCtx(), dx)
 				if err != nil {
-					panic("dgl: weighted-sum backward dX: " + err.Error())
+					panic(opError("weighted-sum backward dX", err))
 				}
 				g.record(stats)
 				autodiff.SeedGrad(x, dx)
 
 				dw := tensor.New(m, 1)
-				stats, err = g.mustPlan(op.bwdWKey, op.buildBwdW).Run(dw)
+				stats, err = g.mustPlan(op.bwdWKey, op.buildBwdW).RunCtx(g.runCtx(), dw)
 				if err != nil {
-					panic("dgl: weighted-sum backward dW: " + err.Error())
+					panic(opError("weighted-sum backward dW", err))
 				}
 				g.record(stats)
 				autodiff.SeedGrad(w, dw)
@@ -403,9 +403,9 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.ybuf.Data(), y.Value.Data())
 				att := tensor.New(m, 1)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).Run(att)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), att)
 				if err != nil {
-					panic("dgl: dot forward: " + err.Error())
+					panic(opError("dot forward", err))
 				}
 				g.record(stats)
 				return att
@@ -413,17 +413,17 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 			func(dOut *tensor.Tensor) {
 				copy(op.dattbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).Run(dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.runCtx(), dx)
 				if err != nil {
-					panic("dgl: dot backward dX: " + err.Error())
+					panic(opError("dot backward dX", err))
 				}
 				g.record(stats)
 				autodiff.SeedGrad(x, dx)
 
 				dy := tensor.New(n, op.d)
-				stats, err = g.mustPlan(op.bwdYKey, op.buildBwdY).Run(dy)
+				stats, err = g.mustPlan(op.bwdYKey, op.buildBwdY).RunCtx(g.runCtx(), dy)
 				if err != nil {
-					panic("dgl: dot backward dY: " + err.Error())
+					panic(opError("dot backward dY", err))
 				}
 				g.record(stats)
 				autodiff.SeedGrad(y, dy)

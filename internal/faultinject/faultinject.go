@@ -41,8 +41,9 @@ const (
 	Panic Kind = iota
 	// NaN poisons the first element of buffers passed to CorruptFloats.
 	NaN
-	// Stall blocks Hit until Delay elapses, the fault is disarmed, or the
-	// caller's done channel closes — a slow worker, not a dead one.
+	// Stall blocks Hit until Delay elapses, the fault is disarmed, or one
+	// of the caller's release channels closes — a slow worker, not a dead
+	// one.
 	Stall
 )
 
@@ -73,6 +74,11 @@ type Fault struct {
 	Value any
 	// Delay is how long a Stall fault blocks; 0 means 10ms.
 	Delay time.Duration
+	// MaxFires caps how many times the fault triggers over its lifetime;
+	// 0 means unlimited. With MaxFires=1 a fault fires on its first
+	// selected hit and then behaves as if unarmed — the shape retry tests
+	// need ("first attempt fails, second succeeds") with full determinism.
+	MaxFires uint64
 
 	hits   atomic.Uint64
 	fired  atomic.Uint64
@@ -169,7 +175,20 @@ func (f *Fault) fires(site string) bool {
 			return false
 		}
 	}
-	f.fired.Add(1)
+	if f.MaxFires > 0 {
+		// CAS so Fired never overshoots the cap under concurrent hits.
+		for {
+			cur := f.fired.Load()
+			if cur >= f.MaxFires {
+				return false
+			}
+			if f.fired.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+	} else {
+		f.fired.Add(1)
+	}
 	if telemetry.Enabled() {
 		mFired.Inc()
 	}
@@ -178,9 +197,13 @@ func (f *Fault) fires(site string) bool {
 
 // Hit triggers any control fault armed at site. Panic faults panic with the
 // fault's Value; Stall faults block until the delay elapses, the fault is
-// disarmed, or done closes. done may be nil. NaN faults are data faults and
-// ignore Hit. With nothing armed, Hit is one atomic load.
-func Hit(site string, done <-chan struct{}) {
+// disarmed, or either release channel closes. done is conventionally the
+// run context's cancellation and quit the run's internal first-error abort;
+// both release the stall promptly so a cancelled or failing run never
+// lingers behind an injected delay. Either channel may be nil. NaN faults
+// are data faults and ignore Hit. With nothing armed, Hit is one atomic
+// load.
+func Hit(site string, done, quit <-chan struct{}) {
 	f := lookup(site)
 	if f == nil || f.Kind == NaN || !f.fires(site) {
 		return
@@ -203,6 +226,7 @@ func Hit(site string, done <-chan struct{}) {
 		case <-t.C:
 		case <-f.cancel:
 		case <-done:
+		case <-quit:
 		}
 	}
 }

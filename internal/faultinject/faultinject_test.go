@@ -12,7 +12,7 @@ func TestDisabledFastPathIsNoop(t *testing.T) {
 	if Enabled() {
 		t.Fatal("no faults armed, Enabled should be false")
 	}
-	Hit("some/site", nil) // must not panic or block
+	Hit("some/site", nil, nil) // must not panic or block
 	buf := []float32{1}
 	if CorruptFloats("some/site", buf) || buf[0] != 1 {
 		t.Fatal("disabled CorruptFloats must not touch the buffer")
@@ -53,7 +53,7 @@ func TestPanicFaultFires(t *testing.T) {
 			t.Fatalf("recovered %v, want \"boom\"", r)
 		}
 	}()
-	Hit("t/panic", nil)
+	Hit("t/panic", nil, nil)
 	t.Fatal("Hit should have panicked")
 }
 
@@ -67,7 +67,7 @@ func TestPanicFaultDefaultValueNamesSite(t *testing.T) {
 			t.Fatalf("recovered %v, want descriptive string", s)
 		}
 	}()
-	Hit("t/default", nil)
+	Hit("t/default", nil, nil)
 }
 
 func TestNaNFaultCorruptsBuffer(t *testing.T) {
@@ -89,7 +89,7 @@ func TestNaNFaultCorruptsBuffer(t *testing.T) {
 		t.Fatalf("counters: fired %d hits %d", f.Fired(), f.Hits())
 	}
 	// Hit ignores data faults.
-	Hit("t/nan", nil)
+	Hit("t/nan", nil, nil)
 	if f.Hits() != 1 {
 		t.Fatal("Hit must not consume hits of a NaN fault")
 	}
@@ -102,7 +102,7 @@ func TestStallFaultReleasedByDone(t *testing.T) {
 	done := make(chan struct{})
 	released := make(chan struct{})
 	go func() {
-		Hit("t/stall", done)
+		Hit("t/stall", done, nil)
 		close(released)
 	}()
 	select {
@@ -118,13 +118,80 @@ func TestStallFaultReleasedByDone(t *testing.T) {
 	}
 }
 
+// TestStallFaultReleasedByQuit pins satellite behavior the watchdog and
+// first-error abort depend on: a run's internal quit channel must release a
+// stalled worker just as promptly as context cancellation, or an injected
+// stall on one worker would hold the whole run open after another worker
+// already failed.
+func TestStallFaultReleasedByQuit(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/stall-quit", &Fault{Kind: Stall, Delay: time.Minute})
+	quit := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		Hit("t/stall-quit", nil, quit)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("stall released before quit closed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	start := time.Now()
+	close(quit)
+	select {
+	case <-released:
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("stall took %v to release after quit", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stall not released by quit")
+	}
+}
+
+// TestMaxFiresIsExact pins the CAS-guarded cap: over concurrent hits a
+// MaxFires fault triggers exactly that many times, never more — the
+// guarantee retry tests ("first attempt fails, second succeeds") rely on.
+func TestMaxFiresIsExact(t *testing.T) {
+	Reset()
+	defer Reset()
+	f := &Fault{Kind: NaN, MaxFires: 3}
+	disarm := Arm("t/maxfires", f)
+	defer disarm()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float32, 1)
+			for i := 0; i < per; i++ {
+				CorruptFloats("t/maxfires", buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Fired() != 3 {
+		t.Fatalf("fired = %d, want exactly MaxFires=3", f.Fired())
+	}
+	if f.Hits() != workers*per {
+		t.Fatalf("hits = %d, want %d", f.Hits(), workers*per)
+	}
+	// Spent fault: further hits never fire.
+	buf := []float32{1}
+	if CorruptFloats("t/maxfires", buf) {
+		t.Fatal("spent MaxFires fault fired again")
+	}
+}
+
 func TestStallFaultReleasedByDisarm(t *testing.T) {
 	Reset()
 	defer Reset()
 	disarm := Arm("t/stall2", &Fault{Kind: Stall, Delay: time.Minute})
 	released := make(chan struct{})
 	go func() {
-		Hit("t/stall2", nil)
+		Hit("t/stall2", nil, nil)
 		close(released)
 	}()
 	time.Sleep(10 * time.Millisecond)

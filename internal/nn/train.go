@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"featgraph/internal/autodiff"
+	"featgraph/internal/dgl"
 	"featgraph/internal/tensor"
 )
 
@@ -61,16 +62,28 @@ func (a *Adam) Step(vars []*autodiff.Var) {
 }
 
 // TrainEpoch runs one full-graph epoch: forward, masked cross-entropy,
-// backward, Adam step. Returns the training loss.
-func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (float64, error) {
+// backward, Adam step. Returns the training loss. A serving-policy abort
+// inside an op — cancellation, deadline expiry, load shedding, a watchdog
+// stall — is returned as the error (a *dgl.AbortError) instead of
+// panicking; genuine programming-error panics still propagate.
+func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (loss float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(*dgl.AbortError); ok {
+				loss, err = 0, ae
+				return
+			}
+			panic(r)
+		}
+	}()
 	tp := autodiff.NewTape()
 	logits, params := m.Forward(tp, x)
-	loss := tp.CrossEntropyLoss(logits, labels, mask)
-	if err := tp.Backward(loss); err != nil {
+	lossVar := tp.CrossEntropyLoss(logits, labels, mask)
+	if err := tp.Backward(lossVar); err != nil {
 		return 0, err
 	}
 	opt.Step(params)
-	return float64(loss.Value.Data()[0]), nil
+	return float64(lossVar.Value.Data()[0]), nil
 }
 
 // Infer runs a forward pass and returns the logits tensor.

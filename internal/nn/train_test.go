@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+)
+
+// TestTrainEpochReturnsAbortOnCancel: a cancelled graph context must surface
+// from TrainEpoch as an ordinary *dgl.AbortError return — the kernel abort
+// panics inside the autodiff closures, and TrainEpoch is the recovery
+// boundary — and the same model must train again once the context is live.
+func TestTrainEpochReturnsAbortOnCancel(t *testing.T) {
+	ds := dataset(t, 5)
+	g, err := dgl.New(ds.Adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU, NumThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildModel(t, "gcn", g, 16, 8, ds.NumClasses, 7)
+	opt := NewAdam(0.01)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g.UseContext(ctx)
+	loss, err := TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt)
+	if err == nil {
+		t.Fatal("TrainEpoch with a cancelled context returned nil error")
+	}
+	var ae *dgl.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("TrainEpoch error = %T %v, want *dgl.AbortError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abort does not match context.Canceled: %v", err)
+	}
+	if loss != 0 {
+		t.Fatalf("aborted epoch reported loss %v, want 0", loss)
+	}
+
+	// The abort is transient: the same graph and model train normally once
+	// the context is live again.
+	g.UseContext(context.Background())
+	if _, err := TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt); err != nil {
+		t.Fatalf("TrainEpoch after restoring the context: %v", err)
+	}
+}
+
+// TestTrainEpochDeadlineAbort: a per-run deadline configured on the dgl
+// graph aborts the epoch with an error matching context.DeadlineExceeded.
+func TestTrainEpochDeadlineAbort(t *testing.T) {
+	ds := dataset(t, 6)
+	g, err := dgl.New(ds.Adj, dgl.Config{
+		Backend: dgl.FeatGraph, Target: core.CPU, NumThreads: 2,
+		Deadline: 1, // 1ns: nothing can finish
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildModel(t, "gcn", g, 16, 8, ds.NumClasses, 7)
+	_, err = TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, NewAdam(0.01))
+	var ae *dgl.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("TrainEpoch error = %T %v, want *dgl.AbortError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abort does not match context.DeadlineExceeded: %v", err)
+	}
+}

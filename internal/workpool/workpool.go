@@ -47,6 +47,11 @@ type Job struct {
 	// (cancellation, a failed sibling chunk). Runners poll it between
 	// chunks; remaining chunks are then skipped.
 	Stop func() bool
+	// Progress, when non-nil, is incremented once per retired chunk by
+	// whichever runner executed it — the per-run progress beacon the
+	// stall watchdog (internal/admission) scans. Like Body and Stop it
+	// may be swapped between phases but not during one.
+	Progress *atomic.Uint64
 
 	n      int32
 	cursor atomic.Int32
@@ -71,6 +76,9 @@ func (j *Job) run(slot int) {
 			return
 		}
 		j.Body(slot, int(i))
+		if j.Progress != nil {
+			j.Progress.Add(1)
+		}
 		if j.metrics {
 			mChunks.Add(slot, 1)
 		}

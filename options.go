@@ -1,5 +1,7 @@
 package featgraph
 
+import "time"
+
 // Option is a functional setting for kernel construction. NewOptions
 // composes them into the Options struct the builders take, so call sites
 // name only the parameters they care about:
@@ -63,3 +65,28 @@ func WithMetrics() Option { return func(o *Options) { o.Metrics = true } }
 // WithNoFallback disables the transparent CPU retry a GPU-target kernel
 // performs when the device build or run fails.
 func WithNoFallback() Option { return func(o *Options) { o.NoFallback = true } }
+
+// WithAdmission routes the kernel's runs through g instead of the
+// process-default governor (SetDefaultGovernor / admission.Default). The
+// governor bounds concurrent runs and queued memory, sheds load with
+// ErrOverloaded, rejects runs whose deadline cannot be met, and — when its
+// config sets StallThreshold — watches runs for progress stalls.
+func WithAdmission(g *Governor) Option { return func(o *Options) { o.Admission = g } }
+
+// WithDeadline bounds every run of the kernel: a run still executing (or
+// still queued) when d elapses is cancelled with a deadline error. The
+// caller's context deadline, when sooner, still wins.
+func WithDeadline(d time.Duration) Option { return func(o *Options) { o.Deadline = d } }
+
+// WithRetry allows up to n extra attempts per run for retryable failures
+// (watchdog stalls, recovered worker panics, numeric faults), with
+// jittered exponential backoff between attempts.
+func WithRetry(n int) Option { return func(o *Options) { o.Retries = n } }
+
+// WithBreaker tunes the GPU circuit breaker: the breaker opens after
+// threshold consecutive device failures and stays open for cooldown before
+// probing. threshold 0 keeps the defaults; a negative threshold disables
+// the breaker entirely (every run attempts the device).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *Options) { o.BreakerThreshold = threshold; o.BreakerCooldown = cooldown }
+}

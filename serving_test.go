@@ -1,0 +1,176 @@
+package featgraph_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"featgraph"
+)
+
+// buildServingKernel compiles a moderately sized SpMM kernel whose runs
+// take long enough that concurrent callers genuinely contend for slots.
+func buildServingKernel(t *testing.T, opts featgraph.Options) (*featgraph.SpMMKernel, int, int) {
+	t.Helper()
+	const n, d = 512, 32
+	srcs := make([]int32, 0, n*4)
+	dsts := make([]int32, 0, n*4)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= 4; j++ {
+			srcs = append(srcs, int32(i))
+			dsts = append(dsts, int32((i+j)%n))
+		}
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := featgraph.NewTensor(n, d)
+	x.Fill(1)
+	k, err := featgraph.SpMM(g, featgraph.CopySrc(n, d), []*featgraph.Tensor{x}, featgraph.AggSum, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, n, d
+}
+
+// TestOverloadSoak floods a bounded governor with far more concurrent runs
+// than it admits, through the public API: the contract is bounded queueing,
+// typed shedding with ErrOverloaded, correct results for every admitted
+// run, and no goroutine left behind.
+func TestOverloadSoak(t *testing.T) {
+	gov := featgraph.NewGovernor(featgraph.AdmissionConfig{MaxConcurrent: 2, MaxQueue: 2})
+	k, n, d := buildServingKernel(t, featgraph.NewOptions(
+		featgraph.WithNumThreads(2),
+		featgraph.WithAdmission(gov),
+	))
+
+	// Warm the shared worker pool before taking the goroutine baseline.
+	warm := featgraph.NewTensor(n, d)
+	if _, err := k.RunCtx(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	// Occupy both concurrency slots directly so the flood below contends
+	// deterministically: of 16 simultaneous runs, exactly 2 fit the queue
+	// and 14 must shed, regardless of scheduling.
+	hold1, err := gov.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold2, err := gov.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const concurrent = 16
+	var ok, shed int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	queued := make(chan struct{}, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		out := featgraph.NewTensor(n, d)
+		go func() {
+			defer wg.Done()
+			stats, err := k.RunCtx(context.Background(), out)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+				if out.Data()[0] != 4 { // 4 in-edges of all-ones features
+					t.Errorf("admitted run produced %v, want 4", out.Data()[0])
+				}
+				if stats.Queued <= 0 {
+					t.Errorf("run admitted from the queue reports no queue time (%v)", stats.Queued)
+				}
+			case errors.Is(err, featgraph.ErrOverloaded):
+				shed++
+				var oe *featgraph.OverloadError
+				if !errors.As(err, &oe) {
+					t.Errorf("shed error is not *OverloadError: %v", err)
+				} else if oe.RetryAfter <= 0 {
+					t.Errorf("shed without a retry-after hint: %+v", oe)
+				}
+			default:
+				t.Errorf("unexpected outcome: %v", err)
+			}
+			queued <- struct{}{}
+		}()
+	}
+	// Wait until the 14 sheds have resolved (the queue holds the other 2),
+	// assert the queue is bounded at its configured depth, then release the
+	// held slots and let the queued runs finish.
+	for i := 0; i < concurrent-2; i++ {
+		<-queued
+	}
+	if depth := gov.QueueDepth(); depth != 2 {
+		t.Fatalf("queue depth with held slots = %d, want exactly MaxQueue=2", depth)
+	}
+	gov.Release(hold1)
+	gov.Release(hold2)
+	wg.Wait()
+	if ok != 2 || shed != concurrent-2 {
+		t.Fatalf("ok=%d shed=%d, want 2 admitted and %d shed", ok, shed, concurrent-2)
+	}
+	if gov.Inflight() != 0 || gov.QueueDepth() != 0 {
+		t.Fatalf("governor leaked capacity: inflight=%d queued=%d", gov.Inflight(), gov.QueueDepth())
+	}
+
+	// Zero goroutine leaks: everything spawned per run has exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before soak, %d after", before, now)
+	}
+}
+
+// TestDefaultGovernorSwap exercises the process-wide governor through the
+// public API: kernels built without WithAdmission follow whatever
+// SetDefaultGovernor installed at run time.
+func TestDefaultGovernorSwap(t *testing.T) {
+	defer featgraph.SetDefaultGovernor(nil)
+	k, n, d := buildServingKernel(t, featgraph.NewOptions(featgraph.WithNumThreads(2)))
+
+	featgraph.SetDefaultGovernor(featgraph.NewGovernor(featgraph.AdmissionConfig{MaxConcurrent: 1}))
+	out := featgraph.NewTensor(n, d)
+	if _, err := k.RunCtx(context.Background(), out); err != nil {
+		t.Fatalf("run under swapped default governor: %v", err)
+	}
+	if got := featgraph.DefaultGovernor().Config().MaxConcurrent; got != 1 {
+		t.Fatalf("DefaultGovernor().Config().MaxConcurrent = %d, want 1", got)
+	}
+	featgraph.SetDefaultGovernor(nil)
+	if got := featgraph.DefaultGovernor().Config().MaxConcurrent; got != 0 {
+		t.Fatalf("nil swap did not restore the unlimited default (MaxConcurrent=%d)", got)
+	}
+}
+
+// TestDeadlineOptionPublicAPI pins WithDeadline end to end: a kernel with a
+// generous deadline runs; the error from an absurdly short one matches
+// context.DeadlineExceeded.
+func TestDeadlineOptionPublicAPI(t *testing.T) {
+	k, n, d := buildServingKernel(t, featgraph.NewOptions(
+		featgraph.WithNumThreads(2),
+		featgraph.WithDeadline(time.Minute),
+	))
+	out := featgraph.NewTensor(n, d)
+	if _, err := k.RunCtx(context.Background(), out); err != nil {
+		t.Fatalf("run with generous deadline: %v", err)
+	}
+
+	k2, _, _ := buildServingKernel(t, featgraph.NewOptions(
+		featgraph.WithNumThreads(2),
+		featgraph.WithDeadline(time.Nanosecond),
+	))
+	if _, err := k2.RunCtx(context.Background(), out); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("run with 1ns deadline = %v, want context.DeadlineExceeded", err)
+	}
+}
