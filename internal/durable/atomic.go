@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"featgraph/internal/faultinject"
+	"featgraph/internal/telemetry"
+)
+
+var (
+	mAtomicWrites = telemetry.NewCounter("featgraph_durable_atomic_writes_total", "",
+		"Files durably replaced via the temp+fsync+rename protocol.")
+	mWriteFailures = telemetry.NewCounter("featgraph_durable_write_failures_total", "",
+		"Atomic writes that failed before the rename landed (old file left intact).")
+	mTempsSwept = telemetry.NewCounter("featgraph_durable_temps_swept_total", "",
+		"Stale temp files from interrupted writes removed during recovery sweeps.")
+)
+
+// tempPrefix marks in-flight atomic writes. A crash can strand such a file;
+// it is garbage by construction (the rename never happened) and SweepTemps
+// removes it.
+const tempPrefix = ".fgtmp-"
+
+// AtomicWriteFile durably replaces path with the bytes produced by write.
+// The content is staged in a temp file in the same directory, flushed,
+// fsynced, renamed over path, and the directory fsynced — so a crash at any
+// instant leaves path either untouched or fully replaced, never torn. On
+// any error the destination is untouched.
+//
+// The three faultinject sites (SiteDurableTornWrite, SiteDurableFsync,
+// SiteDurableRename) let tests reproduce each crash window
+// deterministically; a fired torn-write truncates the staged bytes and
+// strands the temp file exactly as a real mid-write crash would.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	defer func() {
+		if telemetry.Enabled() {
+			if err != nil {
+				mWriteFailures.Inc()
+			} else {
+				mAtomicWrites.Inc()
+			}
+		}
+	}()
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("durable: staging %s: %w", path, err)
+	}
+	tmp := f.Name()
+	// Until the rename lands, any exit path must not leave the temp file
+	// behind — except the injected torn write, whose whole point is to
+	// strand one the way a real crash does.
+	stranded := false
+	defer func() {
+		if err != nil && !stranded {
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing %s: %w", path, err)
+	}
+	if ferr := faultinject.CheckErr(faultinject.SiteDurableTornWrite); ferr != nil {
+		// Simulate a crash mid-write: half the bytes reached the disk,
+		// the rename never happened, the temp file remains as a stale
+		// artifact for recovery sweeps to find.
+		if info, serr := f.Stat(); serr == nil {
+			f.Truncate(info.Size() / 2)
+		}
+		f.Close()
+		stranded = true
+		err = fmt.Errorf("durable: torn write of %s: %w", path, ferr)
+		return err
+	}
+	if err = fsync(f); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("durable: closing %s: %w", tmp, err)
+	}
+	if err = rename(tmp, path); err != nil {
+		return fmt.Errorf("durable: publishing %s: %w", path, err)
+	}
+	// fsync the directory so the rename itself is durable. Failure here is
+	// reported: the caller's data is visible but might not survive a
+	// power cut until the kernel flushes the directory on its own.
+	if derr := syncDir(dir); derr != nil {
+		return fmt.Errorf("durable: fsync dir %s: %w", dir, derr)
+	}
+	return nil
+}
+
+func fsync(f *os.File) error {
+	if err := faultinject.CheckErr(faultinject.SiteDurableFsync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func rename(tmp, path string) error {
+	if err := faultinject.CheckErr(faultinject.SiteDurableRename); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SweepTemps removes stale temp files stranded in dir by writes that never
+// reached their rename (a crash, a torn write). It returns how many were
+// removed. Store-style directories call it on open.
+func SweepTemps(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), tempPrefix) {
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	if removed > 0 && telemetry.Enabled() {
+		mTempsSwept.Add(uint64(removed))
+	}
+	return removed
+}

@@ -1,0 +1,154 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"featgraph/internal/faultinject"
+)
+
+func writeString(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func TestAtomicWriteFileReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := AtomicWriteFile(path, writeString("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, writeString("v2 longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2 longer" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}
+
+func TestAtomicWriteFileWriterErrorLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := AtomicWriteFile(path, writeString("old")); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("producer failed")
+	if err := AtomicWriteFile(path, func(io.Writer) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want the producer's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+// Each write-path fault site must fail the write, preserve the old file
+// bitwise, and (except for the torn write, which strands its temp like a
+// real crash) leave no debris.
+func TestAtomicWriteFileFaultSites(t *testing.T) {
+	for _, tc := range []struct {
+		site    string
+		strands bool
+	}{
+		{faultinject.SiteDurableTornWrite, true},
+		{faultinject.SiteDurableFsync, false},
+		{faultinject.SiteDurableRename, false},
+	} {
+		t.Run(tc.site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.bin")
+			if err := AtomicWriteFile(path, writeString("old state, intact")); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Arm(tc.site, &faultinject.Fault{Kind: faultinject.Err})()
+			if err := AtomicWriteFile(path, writeString("new state, never lands")); err == nil {
+				t.Fatal("write should have failed under the injected fault")
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || string(got) != "old state, intact" {
+				t.Fatalf("destination damaged by failed write: %q, %v", got, err)
+			}
+			temps := listTemps(t, dir)
+			if tc.strands && len(temps) != 1 {
+				t.Fatalf("torn write should strand exactly one temp, found %v", temps)
+			}
+			if !tc.strands && len(temps) != 0 {
+				t.Fatalf("fault at %s left temp debris %v", tc.site, temps)
+			}
+		})
+	}
+}
+
+func TestTornWriteTruncatesStagedBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	defer faultinject.Arm(faultinject.SiteDurableTornWrite, &faultinject.Fault{Kind: faultinject.Err})()
+	payload := strings.Repeat("x", 4096)
+	if err := AtomicWriteFile(path, writeString(payload)); err == nil {
+		t.Fatal("torn write should fail")
+	}
+	temps := listTemps(t, dir)
+	if len(temps) != 1 {
+		t.Fatalf("want one stranded temp, got %v", temps)
+	}
+	info, err := os.Stat(filepath.Join(dir, temps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= int64(len(payload)) {
+		t.Fatalf("stranded temp holds %d bytes, want a truncated tail (< %d)", info.Size(), len(payload))
+	}
+}
+
+func TestSweepTempsRemovesStrandedFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	defer faultinject.Arm(faultinject.SiteDurableTornWrite, &faultinject.Fault{Kind: faultinject.Err})()
+	if err := AtomicWriteFile(path, writeString("doomed")); err == nil {
+		t.Fatal("torn write should fail")
+	}
+	faultinject.Reset()
+	if err := AtomicWriteFile(path, writeString("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if n := SweepTemps(dir); n != 1 {
+		t.Fatalf("SweepTemps removed %d, want 1", n)
+	}
+	assertNoTemps(t, dir)
+	got, _ := os.ReadFile(path)
+	if string(got) != "survivor" {
+		t.Fatalf("sweep touched the real file: %q", got)
+	}
+	if n := SweepTemps(dir); n != 0 {
+		t.Fatalf("second sweep removed %d, want 0", n)
+	}
+}
+
+func listTemps(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var temps []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tempPrefix) {
+			temps = append(temps, e.Name())
+		}
+	}
+	return temps
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stale temp files remain: %v", temps)
+	}
+}

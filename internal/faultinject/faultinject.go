@@ -18,6 +18,8 @@
 package faultinject
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,11 @@ const (
 	// of the caller's release channels closes — a slow worker, not a dead
 	// one.
 	Stall
+	// Err makes CheckErr return an injected error at the site — the shape
+	// of a failed syscall (short write, fsync failure, rename failure)
+	// rather than a crashed goroutine. Hit and CorruptFloats ignore Err
+	// faults.
+	Err
 )
 
 func (k Kind) String() string {
@@ -55,6 +62,8 @@ func (k Kind) String() string {
 		return "nan"
 	case Stall:
 		return "stall"
+	case Err:
+		return "err"
 	}
 	return "unknown"
 }
@@ -105,6 +114,21 @@ const (
 	SiteSDDMMCPUOutput = "core/sddmm/cpu-output"
 	// SiteCudasimBlock fires at the start of every simulated-GPU block.
 	SiteCudasimBlock = "cudasim/block"
+
+	// Write-path sites instrumented by internal/durable's atomic writer.
+	// Arming Err faults here simulates the three ways a crash can tear
+	// persistent state: a write that stops partway, an fsync the kernel
+	// rejects, and a rename that never lands.
+
+	// SiteDurableTornWrite fires once per atomic file write, between
+	// producing the payload and making it durable; when it fires the
+	// writer truncates the temp file to half its length and returns the
+	// injected error — the on-disk shape of a crash mid-write.
+	SiteDurableTornWrite = "durable/torn-write"
+	// SiteDurableFsync fires at the temp file's fsync.
+	SiteDurableFsync = "durable/fsync"
+	// SiteDurableRename fires at the temp→final rename.
+	SiteDurableRename = "durable/rename"
 )
 
 var (
@@ -205,7 +229,7 @@ func (f *Fault) fires(site string) bool {
 // load.
 func Hit(site string, done, quit <-chan struct{}) {
 	f := lookup(site)
-	if f == nil || f.Kind == NaN || !f.fires(site) {
+	if f == nil || f.Kind == NaN || f.Kind == Err || !f.fires(site) {
 		return
 	}
 	switch f.Kind {
@@ -228,6 +252,26 @@ func Hit(site string, done, quit <-chan struct{}) {
 		case <-done:
 		case <-quit:
 		}
+	}
+}
+
+// CheckErr returns the injected error of any Err fault armed at site that
+// fires on this hit, and nil otherwise. Value supplies the error (an error
+// value, or anything else formatted via %v); nil yields a descriptive
+// error naming the site. Control and data faults ignore error sites. With
+// nothing armed, CheckErr is one atomic load.
+func CheckErr(site string) error {
+	f := lookup(site)
+	if f == nil || f.Kind != Err || !f.fires(site) {
+		return nil
+	}
+	switch v := f.Value.(type) {
+	case nil:
+		return errors.New("faultinject: injected error at " + site)
+	case error:
+		return v
+	default:
+		return fmt.Errorf("faultinject: injected error at %s: %v", site, v)
 	}
 }
 

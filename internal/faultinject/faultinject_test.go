@@ -1,7 +1,9 @@
 package faultinject
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -284,5 +286,63 @@ func firedCount(seed uint64, site string, n int, prob float64) uint64 {
 func TestKindString(t *testing.T) {
 	if Panic.String() != "panic" || NaN.String() != "nan" || Stall.String() != "stall" || Kind(99).String() != "unknown" {
 		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestErrFaultFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	want := errors.New("disk on fire")
+	f := &Fault{Kind: Err, Value: want}
+	Arm("t/err", f)
+	if err := CheckErr("t/err"); err != want {
+		t.Fatalf("CheckErr returned %v, want the armed error", err)
+	}
+	if f.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", f.Fired())
+	}
+}
+
+func TestErrFaultDefaultAndNonErrorValues(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/err-default", &Fault{Kind: Err})
+	if err := CheckErr("t/err-default"); err == nil || !strings.Contains(err.Error(), "t/err-default") {
+		t.Fatalf("default Err value should name the site, got %v", err)
+	}
+	Disarm("t/err-default")
+	Arm("t/err-string", &Fault{Kind: Err, Value: "ENOSPC"})
+	if err := CheckErr("t/err-string"); err == nil || !strings.Contains(err.Error(), "ENOSPC") {
+		t.Fatalf("string Err value should appear in the error, got %v", err)
+	}
+}
+
+func TestErrFaultIgnoredByOtherHooks(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/err-only", &Fault{Kind: Err})
+	Hit("t/err-only", nil, nil) // must not panic or stall
+	buf := []float32{1}
+	if CorruptFloats("t/err-only", buf) || buf[0] != 1 {
+		t.Fatal("Err fault must not poison floats")
+	}
+	Disarm("t/err-only")
+	Arm("t/panic-only", &Fault{Kind: Panic})
+	if err := CheckErr("t/panic-only"); err != nil {
+		t.Fatalf("CheckErr on a Panic fault returned %v, want nil", err)
+	}
+}
+
+func TestErrFaultMaxFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("t/err-once", &Fault{Kind: Err, MaxFires: 1})
+	if CheckErr("t/err-once") == nil {
+		t.Fatal("first CheckErr should fire")
+	}
+	for i := 0; i < 5; i++ {
+		if err := CheckErr("t/err-once"); err != nil {
+			t.Fatalf("CheckErr after MaxFires returned %v, want nil", err)
+		}
 	}
 }

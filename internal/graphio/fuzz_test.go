@@ -1,0 +1,122 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/durable"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The durability contract under fuzzing: arbitrary bytes fed to a loader
+// must either parse into a structurally valid object or return a typed
+// error (*durable.CorruptError / *durable.VersionError). Panics, untyped
+// errors, and structurally invalid "successes" are all bugs. Accepted
+// inputs must also round-trip: re-encoding and re-reading yields the same
+// object, so the two format generations stay mutually coherent.
+
+func requireTypedOrNil(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var ce *durable.CorruptError
+	var ve *durable.VersionError
+	if !errors.As(err, &ce) && !errors.As(err, &ve) {
+		t.Fatalf("untyped error %T: %v", err, err)
+	}
+}
+
+func FuzzLoadGraph(f *testing.F) {
+	// Well-formed seeds in both generations plus historical crashers:
+	// headers declaring huge arrays used to drive giant allocations.
+	rng := rand.New(rand.NewSource(1))
+	g := sparse.Random(rng, 12, 10, 3)
+	var v2 bytes.Buffer
+	if err := WriteGraph(&v2, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	var v1 bytes.Buffer
+	if err := writeLegacyGraph(&v1, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(append([]byte("FGG1"), le32(100, 100, 1<<30)...))
+	f.Add(append([]byte("FGG1"), le32(1<<30, 1<<30, 1<<29)...))
+	f.Add([]byte("FGDC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadGraph(bytes.NewReader(data))
+		requireTypedOrNil(t, err)
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted structurally invalid graph: %v", verr)
+		}
+		var re bytes.Buffer
+		if err := WriteGraph(&re, got); err != nil {
+			t.Fatalf("re-encoding accepted graph failed: %v", err)
+		}
+		again, err := ReadGraph(&re)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded graph failed: %v", err)
+		}
+		if again.NumRows != got.NumRows || again.NumCols != got.NumCols || again.NNZ() != got.NNZ() {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}
+
+func FuzzLoadTensor(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(5, 3)
+	x.FillUniform(rng, -1, 1)
+	var v2 bytes.Buffer
+	if err := WriteTensor(&v2, x); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	var v1 bytes.Buffer
+	if err := writeLegacyTensor(&v1, x); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	// Historical crashers: giant rank, overflowing dimension products.
+	f.Add(append([]byte("FGT1"), le32(1<<20)...))
+	f.Add(append([]byte("FGT1"), le32(4, 1<<30, 1<<30, 1<<30, 1<<30)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTensor(bytes.NewReader(data))
+		requireTypedOrNil(t, err)
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteTensor(&re, got); err != nil {
+			t.Fatalf("re-encoding accepted tensor failed: %v", err)
+		}
+		again, err := ReadTensor(&re)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded tensor failed: %v", err)
+		}
+		if !again.AllClose(got, 0) && !hasNaN(got) {
+			t.Fatal("round trip changed tensor")
+		}
+	})
+}
+
+// hasNaN reports whether the tensor holds any NaN (NaN != NaN breaks the
+// bitwise AllClose comparison for legitimately-parsed NaN payloads).
+func hasNaN(t *tensor.Tensor) bool {
+	for _, v := range t.Data() {
+		if v != v {
+			return true
+		}
+	}
+	return false
+}

@@ -2,197 +2,469 @@
 // binary format, so generated benchmark datasets can be produced once
 // (cmd/featgen) and reloaded across runs instead of being regenerated.
 //
-// Format (little-endian):
+// Current format (v2): a durable section container (internal/durable) with
+// per-section CRC32-C checksums and a versioned header. Graphs are kind
+// "graph" with sections header/rowptr/colidx/eid/val; tensors are kind
+// "tensor" with sections shape/data. Files are written atomically
+// (temp + fsync + rename), so a crash mid-save leaves the previous file
+// intact instead of a truncated hybrid, and any corruption surfaces as a
+// typed *durable.CorruptError — never a panic, never silently wrong data.
 //
-//	magic "FGG1" | numRows u32 | numCols u32 | nnz u32 |
-//	rowPtr [numRows+1]u32 | colIdx [nnz]u32 | eid [nnz]u32 | val [nnz]f32
-//
-// Tensors use magic "FGT1" followed by rank, dims and raw float32 data.
-// Readers validate structure and fail loudly on corruption.
+// Legacy format (v1, read-only): magic "FGG1"/"FGT1" followed by raw
+// little-endian arrays with no checksums. Readers sniff the magic and
+// still load v1 files, with hardened header validation: declared lengths
+// are cross-checked against structure before allocation, and arrays are
+// read in bounded chunks so an adversarial header cannot force a giant
+// allocation or a slice-bounds panic.
 package graphio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
+	"featgraph/internal/durable"
 	"featgraph/internal/sparse"
 	"featgraph/internal/tensor"
 )
 
 var (
-	graphMagic  = [4]byte{'F', 'G', 'G', '1'}
-	tensorMagic = [4]byte{'F', 'G', 'T', '1'}
+	legacyGraphMagic  = [4]byte{'F', 'G', 'G', '1'}
+	legacyTensorMagic = [4]byte{'F', 'G', 'T', '1'}
 )
 
-// WriteGraph serializes a CSR matrix.
+const (
+	graphKind     = "graph"
+	graphVersion  = 2
+	tensorKind    = "tensor"
+	tensorVersion = 2
+	// maxDim bounds declared dimensions and edge counts in both formats.
+	maxDim = 1 << 30
+	// maxRank bounds tensor rank.
+	maxRank = 8
+)
+
+// WriteGraph serializes a CSR matrix in the current container format.
 func WriteGraph(w io.Writer, g *sparse.CSR) error {
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("graphio: refusing to write invalid graph: %w", err)
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(graphMagic[:]); err != nil {
+	dw, err := durable.NewWriter(bw, graphKind, graphVersion, 5)
+	if err != nil {
 		return err
 	}
-	hdr := []uint32{uint32(g.NumRows), uint32(g.NumCols), uint32(g.NNZ())}
-	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+	hdr := make([]byte, 0, 12)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(g.NumRows))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(g.NumCols))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(g.NNZ()))
+	if err := dw.Section("header", hdr); err != nil {
 		return err
 	}
-	for _, arr := range [][]int32{g.RowPtr, g.ColIdx, g.EID} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+	for _, s := range []struct {
+		name string
+		arr  []int32
+	}{{"rowptr", g.RowPtr}, {"colidx", g.ColIdx}, {"eid", g.EID}} {
+		if err := dw.Stream(s.name, 4*int64(len(s.arr)), streamInt32s(s.arr)); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.Val); err != nil {
+	if err := dw.Stream("val", 4*int64(len(g.Val)), streamFloat32s(g.Val)); err != nil {
+		return err
+	}
+	if err := dw.Close(); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadGraph deserializes a CSR matrix, validating structure.
+// ReadGraph deserializes a CSR matrix from either format, validating
+// structure. Corruption yields a typed *durable.CorruptError.
 func ReadGraph(r io.Reader) (*sparse.CSR, error) {
 	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, corruptf(graphKind, "", "short magic", err)
 	}
-	if magic != graphMagic {
-		return nil, fmt.Errorf("graphio: bad magic %q (want %q)", magic, graphMagic)
+	if [4]byte(magic) == legacyGraphMagic {
+		return readLegacyGraph(br)
 	}
-	var hdr [3]uint32
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, fmt.Errorf("graphio: reading header: %w", err)
+	return readGraphContainer(br)
+}
+
+func readGraphContainer(r io.Reader) (*sparse.CSR, error) {
+	dr, err := durable.OpenReader(r, "", graphKind, graphVersion)
+	if err != nil {
+		return nil, err
 	}
-	numRows, numCols, nnz := int(hdr[0]), int(hdr[1]), int(hdr[2])
-	const maxDim = 1 << 30
+	sections, err := dr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	hdr := sections["header"]
+	if len(hdr) != 12 {
+		return nil, corruptf(graphKind, "header", fmt.Sprintf("header is %d bytes, want 12", len(hdr)), nil)
+	}
+	numRows := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	numCols := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	nnz := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	if numRows > maxDim || numCols > maxDim || nnz > maxDim {
-		return nil, fmt.Errorf("graphio: implausible header %v", hdr)
+		return nil, corruptf(graphKind, "header", fmt.Sprintf("implausible header %d/%d/%d", numRows, numCols, nnz), nil)
 	}
-	g := &sparse.CSR{
-		NumRows: numRows,
-		NumCols: numCols,
-		RowPtr:  make([]int32, numRows+1),
-		ColIdx:  make([]int32, nnz),
-		EID:     make([]int32, nnz),
-		Val:     make([]float32, nnz),
-	}
-	for _, arr := range [][]int32{g.RowPtr, g.ColIdx, g.EID} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, fmt.Errorf("graphio: reading arrays: %w", err)
+	g := &sparse.CSR{NumRows: numRows, NumCols: numCols}
+	for _, s := range []struct {
+		name string
+		dst  *[]int32
+		want int
+	}{{"rowptr", &g.RowPtr, numRows + 1}, {"colidx", &g.ColIdx, nnz}, {"eid", &g.EID, nnz}} {
+		arr, err := decodeInt32s(sections[s.name], s.want, s.name)
+		if err != nil {
+			return nil, err
 		}
+		*s.dst = arr
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Val); err != nil {
-		return nil, fmt.Errorf("graphio: reading values: %w", err)
+	val, err := decodeFloat32s(sections["val"], nnz, "val")
+	if err != nil {
+		return nil, err
 	}
+	g.Val = val
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("graphio: corrupt graph: %w", err)
+		return nil, corruptf(graphKind, "", "structural validation failed", err)
 	}
 	return g, nil
 }
 
-// WriteTensor serializes a dense tensor.
+// readLegacyGraph loads the unchecksummed v1 layout. The rowptr array is
+// read and validated first, so the declared nnz is cross-checked against
+// RowPtr[numRows] before the three nnz-sized arrays are allocated — a lying
+// header fails fast instead of forcing gigabytes of allocation.
+func readLegacyGraph(br io.Reader) (*sparse.CSR, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, corruptf(graphKind, "", "short magic", err)
+	}
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, corruptf(graphKind, "header", "short header", err)
+	}
+	numRows, numCols, nnz := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if numRows > maxDim || numCols > maxDim || nnz > maxDim {
+		return nil, corruptf(graphKind, "header", fmt.Sprintf("implausible header %v", hdr), nil)
+	}
+	g := &sparse.CSR{NumRows: numRows, NumCols: numCols}
+	rowPtr, err := readInt32s(br, numRows+1, "rowptr")
+	if err != nil {
+		return nil, err
+	}
+	g.RowPtr = rowPtr
+	// Cross-check before allocating nnz-sized arrays: monotone prefix sums
+	// ending exactly at the declared edge count.
+	if rowPtr[0] != 0 || int(rowPtr[numRows]) != nnz {
+		return nil, corruptf(graphKind, "rowptr",
+			fmt.Sprintf("rowptr ends at %d, header declares %d edges", rowPtr[numRows], nnz), nil)
+	}
+	for r := 0; r < numRows; r++ {
+		if rowPtr[r] > rowPtr[r+1] {
+			return nil, corruptf(graphKind, "rowptr", fmt.Sprintf("not monotone at row %d", r), nil)
+		}
+	}
+	if g.ColIdx, err = readInt32s(br, nnz, "colidx"); err != nil {
+		return nil, err
+	}
+	if g.EID, err = readInt32s(br, nnz, "eid"); err != nil {
+		return nil, err
+	}
+	if g.Val, err = readFloat32s(br, nnz, "val"); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, corruptf(graphKind, "", "structural validation failed", err)
+	}
+	return g, nil
+}
+
+// WriteTensor serializes a dense tensor in the current container format.
 func WriteTensor(w io.Writer, t *tensor.Tensor) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(tensorMagic[:]); err != nil {
+	dw, err := durable.NewWriter(bw, tensorKind, tensorVersion, 2)
+	if err != nil {
 		return err
 	}
 	shape := t.Shape()
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+	sh := make([]byte, 0, 4*(len(shape)+1))
+	sh = binary.LittleEndian.AppendUint32(sh, uint32(len(shape)))
+	for _, d := range shape {
+		sh = binary.LittleEndian.AppendUint32(sh, uint32(d))
+	}
+	if err := dw.Section("shape", sh); err != nil {
 		return err
 	}
-	for _, d := range shape {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
-			return err
-		}
+	if err := dw.Stream("data", 4*int64(t.Len()), streamFloat32s(t.Data())); err != nil {
+		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, t.Data()); err != nil {
+	if err := dw.Close(); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadTensor deserializes a dense tensor.
+// ReadTensor deserializes a dense tensor from either format.
 func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
 	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, corruptf(tensorKind, "", "short magic", err)
+	}
+	if [4]byte(magic) == legacyTensorMagic {
+		return readLegacyTensor(br)
+	}
+	return readTensorContainer(br)
+}
+
+func readTensorContainer(r io.Reader) (*tensor.Tensor, error) {
+	dr, err := durable.OpenReader(r, "", tensorKind, tensorVersion)
+	if err != nil {
+		return nil, err
+	}
+	sections, err := dr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	sh := sections["shape"]
+	if len(sh) < 4 || len(sh)%4 != 0 {
+		return nil, corruptf(tensorKind, "shape", fmt.Sprintf("shape section is %d bytes", len(sh)), nil)
+	}
+	rank := int(binary.LittleEndian.Uint32(sh[0:4]))
+	shape, total, err := decodeShape(rank, func(i int) (uint32, error) {
+		if 4+4*i+4 > len(sh) {
+			return 0, corruptf(tensorKind, "shape", "shape section shorter than its rank", nil)
+		}
+		return binary.LittleEndian.Uint32(sh[4+4*i : 8+4*i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data, err := decodeFloat32s(sections["data"], total, "data")
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+func readLegacyTensor(br io.Reader) (*tensor.Tensor, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graphio: reading magic: %w", err)
-	}
-	if magic != tensorMagic {
-		return nil, fmt.Errorf("graphio: bad magic %q (want %q)", magic, tensorMagic)
+		return nil, corruptf(tensorKind, "", "short magic", err)
 	}
 	var rank uint32
 	if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+		return nil, corruptf(tensorKind, "shape", "short rank", err)
+	}
+	shape, total, err := decodeShape(int(rank), func(int) (uint32, error) {
+		var d uint32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return 0, corruptf(tensorKind, "shape", "short shape", err)
+		}
+		return d, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if rank > 8 {
-		return nil, fmt.Errorf("graphio: implausible rank %d", rank)
+	data, err := readFloat32s(br, total, "data")
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// decodeShape validates a declared rank and dimension list, returning the
+// shape and total element count. Dimension products are overflow-checked
+// before any allocation happens.
+func decodeShape(rank int, dim func(i int) (uint32, error)) ([]int, int, error) {
+	if rank < 0 || rank > maxRank {
+		return nil, 0, corruptf(tensorKind, "shape", fmt.Sprintf("implausible rank %d", rank), nil)
 	}
 	shape := make([]int, rank)
 	total := 1
 	for i := range shape {
-		var d uint32
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			return nil, err
+		d, err := dim(i)
+		if err != nil {
+			return nil, 0, err
 		}
-		if d > 1<<30 || (total > 0 && int(d) > math.MaxInt32/max(total, 1)) {
-			return nil, fmt.Errorf("graphio: implausible dimension %d", d)
+		if d > maxDim || (total > 0 && int(d) > math.MaxInt32/max(total, 1)) {
+			return nil, 0, corruptf(tensorKind, "shape", fmt.Sprintf("implausible dimension %d", d), nil)
 		}
 		shape[i] = int(d)
 		total *= int(d)
 	}
-	t := tensor.New(shape...)
-	if err := binary.Read(br, binary.LittleEndian, t.Data()); err != nil {
-		return nil, fmt.Errorf("graphio: reading data: %w", err)
-	}
-	return t, nil
+	return shape, total, nil
 }
 
-// SaveGraph writes a graph to a file.
+// SaveGraph durably writes a graph to a file: a crash mid-save leaves any
+// previous file intact.
 func SaveGraph(path string, g *sparse.CSR) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteGraph(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteGraph(w, g)
+	})
 }
 
-// LoadGraph reads a graph from a file.
+// LoadGraph reads a graph from a file (either format version).
 func LoadGraph(path string) (*sparse.CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadGraph(f)
+	g, err := ReadGraph(f)
+	return g, withPath(err, path)
 }
 
-// SaveTensor writes a tensor to a file.
+// SaveTensor durably writes a tensor to a file.
 func SaveTensor(path string, t *tensor.Tensor) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteTensor(f, t); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteTensor(w, t)
+	})
 }
 
-// LoadTensor reads a tensor from a file.
+// LoadTensor reads a tensor from a file (either format version).
 func LoadTensor(path string) (*tensor.Tensor, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadTensor(f)
+	t, err := ReadTensor(f)
+	return t, withPath(err, path)
+}
+
+// withPath stamps the file path onto typed errors from the stream readers,
+// which cannot know it.
+func withPath(err error, path string) error {
+	var ce *durable.CorruptError
+	if errors.As(err, &ce) && ce.Path == "" {
+		ce.Path = path
+	}
+	var ve *durable.VersionError
+	if errors.As(err, &ve) && ve.Path == "" {
+		ve.Path = path
+	}
+	return err
+}
+
+func corruptf(kind, section, reason string, err error) error {
+	return durable.NewCorruptError("", kind, section, reason, err)
+}
+
+// ioChunk bounds scratch buffers for array (de)serialization.
+const ioChunk = 1 << 16
+
+func streamInt32s(arr []int32) func(io.Writer) error {
+	return func(w io.Writer) error {
+		buf := make([]byte, 0, min(4*len(arr), ioChunk))
+		for _, v := range arr {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			if len(buf) == cap(buf) {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func streamFloat32s(arr []float32) func(io.Writer) error {
+	return func(w io.Writer) error {
+		buf := make([]byte, 0, min(4*len(arr), ioChunk))
+		for _, v := range arr {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+			if len(buf) == cap(buf) {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// decodeInt32s converts a checksummed section payload into an int32 array,
+// validating the byte count against the expected element count.
+func decodeInt32s(payload []byte, want int, section string) ([]int32, error) {
+	if len(payload) != 4*want {
+		return nil, corruptf(graphKind, section,
+			fmt.Sprintf("section is %d bytes, want %d elements (%d bytes)", len(payload), want, 4*want), nil)
+	}
+	arr := make([]int32, want)
+	for i := range arr {
+		arr[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return arr, nil
+}
+
+func decodeFloat32s(payload []byte, want int, section string) ([]float32, error) {
+	if len(payload) != 4*want {
+		return nil, corruptf(tensorKind, section,
+			fmt.Sprintf("section is %d bytes, want %d elements (%d bytes)", len(payload), want, 4*want), nil)
+	}
+	arr := make([]float32, want)
+	for i := range arr {
+		arr[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return arr, nil
+}
+
+// readInt32s reads exactly n int32s from an unchecksummed legacy stream in
+// bounded chunks, so a lying header fails with a typed error before any
+// giant allocation.
+func readInt32s(r io.Reader, n int, section string) ([]int32, error) {
+	if n < 0 || n > maxDim+1 {
+		return nil, corruptf(graphKind, section, fmt.Sprintf("implausible element count %d", n), nil)
+	}
+	out := make([]int32, 0, min(n, ioChunk/4))
+	buf := make([]byte, min(4*n, ioChunk))
+	for len(out) < n {
+		step := min(n-len(out), ioChunk/4)
+		if _, err := io.ReadFull(r, buf[:4*step]); err != nil {
+			return nil, corruptf(graphKind, section, "truncated array", err)
+		}
+		for i := 0; i < step; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
+func readFloat32s(r io.Reader, n int, section string) ([]float32, error) {
+	if n < 0 || n > maxDim+1 {
+		return nil, corruptf(tensorKind, section, fmt.Sprintf("implausible element count %d", n), nil)
+	}
+	out := make([]float32, 0, min(n, ioChunk/4))
+	buf := make([]byte, min(4*n, ioChunk))
+	for len(out) < n {
+		step := min(n-len(out), ioChunk/4)
+		if _, err := io.ReadFull(r, buf[:4*step]); err != nil {
+			return nil, corruptf(tensorKind, section, "truncated array", err)
+		}
+		for i := 0; i < step; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"featgraph/internal/autodiff"
@@ -59,6 +60,50 @@ func (a *Adam) Step(vars []*autodiff.Var) {
 			pd[i] -= a.LR * float32(mhat/(math.Sqrt(vhat)+a.Eps))
 		}
 	}
+}
+
+// AdamState is the optimizer's serializable state for an ordered parameter
+// list: the step counter and the first/second moments parallel to params.
+type AdamState struct {
+	T    int
+	M, V []*tensor.Tensor
+}
+
+// State exports the optimizer state for params, in order. Parameters the
+// optimizer has not touched yet get zero moments, so a checkpoint taken
+// before the first Step is still well-formed.
+func (a *Adam) State(params []*tensor.Tensor) AdamState {
+	st := AdamState{T: a.t, M: make([]*tensor.Tensor, len(params)), V: make([]*tensor.Tensor, len(params))}
+	for i, p := range params {
+		if mt, ok := a.m[p]; ok {
+			st.M[i] = mt.Clone()
+			st.V[i] = a.v[p].Clone()
+		} else {
+			st.M[i] = tensor.New(p.Shape()...)
+			st.V[i] = tensor.New(p.Shape()...)
+		}
+	}
+	return st
+}
+
+// SetState installs previously exported state for params, in order. Shapes
+// must match each parameter exactly; moments are copied, not aliased, so
+// the caller's state object stays independent.
+func (a *Adam) SetState(params []*tensor.Tensor, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state has %d/%d moments for %d params", len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if !st.M[i].SameShape(p) || !st.V[i].SameShape(p) {
+			return fmt.Errorf("nn: adam moment %d shape %v does not match param shape %v", i, st.M[i].Shape(), p.Shape())
+		}
+	}
+	a.t = st.T
+	for i, p := range params {
+		a.m[p] = st.M[i].Clone()
+		a.v[p] = st.V[i].Clone()
+	}
+	return nil
 }
 
 // TrainEpoch runs one full-graph epoch: forward, masked cross-entropy,

@@ -1,0 +1,265 @@
+// Package planstore persists tuned kernel plans across process restarts,
+// so a restarted server never re-tunes a graph it has already measured
+// (ROADMAP item 4; Morphling motivates reusing tuned configurations across
+// runs). Entries are keyed by content — a fingerprint of the adjacency
+// structure plus everything that determines a tuning result — because
+// pointer-identity keys (the in-memory plan cache's currency) are
+// meaningless across processes.
+//
+// The store is a directory of one-entry files in the durable container
+// format, written atomically. Robustness contract: a damaged entry — torn,
+// bit-flipped, truncated, or from a future format — is skipped at Open
+// (counted in featgraph_durable_corrupt_plan_entries_total and in
+// Store.CorruptEntries) and simply re-tuned later; corruption degrades to
+// a cold start for that one key, never a failed process start.
+package planstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"featgraph/internal/durable"
+	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
+)
+
+var (
+	mCorruptEntries = telemetry.NewCounter("featgraph_durable_corrupt_plan_entries_total", "",
+		"Persistent plan-store entries skipped at load because they were damaged.")
+	mLoaded = telemetry.NewCounter("featgraph_planstore_loaded_total", "",
+		"Persistent plan-store entries loaded successfully at open.")
+	mPuts = telemetry.NewCounter("featgraph_planstore_puts_total", "",
+		"Tuned plans persisted to the store.")
+	mWarmHits = telemetry.NewCounter("featgraph_planstore_hits_total", "",
+		"Store lookups answered from persisted plans (re-tunes avoided).")
+)
+
+const (
+	planKind    = "plan"
+	planVersion = 1
+	fileExt     = ".plan"
+)
+
+// Key identifies one tuning result by content, not identity: the same
+// graph loaded in another process produces the same key.
+type Key struct {
+	// Kernel names the tuned kernel template and operator, e.g.
+	// "spmm.copysrc.sum".
+	Kernel string `json:"kernel"`
+	// GraphFP fingerprints the adjacency structure (dims + rowptr +
+	// colidx); dims are also kept explicitly for debuggability.
+	GraphFP uint64 `json:"graph_fp"`
+	NumRows int    `json:"num_rows"`
+	NNZ     int    `json:"nnz"`
+	// FeatWidth is the feature dimension the kernel was tuned for.
+	FeatWidth int `json:"feat_width"`
+	// Target is the execution target ("cpu" | "gpu").
+	Target string `json:"target"`
+	// Threads is the CPU worker count the measurement used.
+	Threads int `json:"threads"`
+	// Space fingerprints the candidate design space searched, so a plan
+	// tuned over one candidate set is not trusted for a different one.
+	Space uint64 `json:"space"`
+}
+
+// Plan is one persisted tuning result.
+type Plan struct {
+	Key             Key     `json:"key"`
+	GraphPartitions int     `json:"graph_partitions"`
+	FeatureTile     int     `json:"feature_tile"`
+	NumBlocks       int     `json:"num_blocks,omitempty"`
+	Seconds         float64 `json:"seconds"`
+}
+
+// Store is a directory-backed collection of tuned plans. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	plans   map[Key]Plan
+	corrupt int
+}
+
+// Open loads every entry in dir (creating it if needed), sweeping stale
+// temp files from interrupted writes. Damaged entries are skipped and
+// counted, never fatal: the worst possible store state degrades to
+// re-tuning, not a failed start.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: creating %s: %w", dir, err)
+	}
+	durable.SweepTemps(dir)
+	s := &Store{dir: dir, plans: make(map[Key]Plan)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("planstore: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != fileExt {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		p, err := readPlan(path)
+		if err != nil {
+			// Damaged or future-format entry: skip it and let the caller
+			// re-tune. The file stays in place (a Put for the same key
+			// overwrites it) so a newer binary can still read what this
+			// one cannot.
+			s.corrupt++
+			if telemetry.Enabled() {
+				mCorruptEntries.Inc()
+			}
+			continue
+		}
+		s.plans[p.Key] = p
+	}
+	if telemetry.Enabled() && len(s.plans) > 0 {
+		mLoaded.Add(uint64(len(s.plans)))
+	}
+	return s, nil
+}
+
+// Get returns the persisted plan for k, if any.
+func (s *Store) Get(k Key) (Plan, bool) {
+	s.mu.Lock()
+	p, ok := s.plans[k]
+	s.mu.Unlock()
+	if ok && telemetry.Enabled() {
+		mWarmHits.Inc()
+	}
+	return p, ok
+}
+
+// Put persists p, replacing any previous plan for the same key. The write
+// is atomic: a crash leaves either the old entry or the new one.
+func (s *Store) Put(p Plan) error {
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("planstore: encoding plan: %w", err)
+	}
+	path := filepath.Join(s.dir, fileName(p.Key))
+	err = durable.AtomicWriteFile(path, func(w io.Writer) error {
+		dw, err := durable.NewWriter(w, planKind, planVersion, 1)
+		if err != nil {
+			return err
+		}
+		if err := dw.Section("entry", blob); err != nil {
+			return err
+		}
+		return dw.Close()
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.plans[p.Key] = p
+	s.mu.Unlock()
+	if telemetry.Enabled() {
+		mPuts.Inc()
+	}
+	return nil
+}
+
+// Len returns the number of loaded plans.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.plans)
+}
+
+// CorruptEntries returns how many entries Open skipped as damaged.
+func (s *Store) CorruptEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// readPlan parses one entry file, verifying checksums and key coherence.
+func readPlan(path string) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	defer f.Close()
+	return ReadPlan(f, path)
+}
+
+// ReadPlan parses one plan entry from r. Exposed for the corruption
+// matrix; callers use Store.
+func ReadPlan(r io.Reader, path string) (Plan, error) {
+	dr, err := durable.OpenReader(r, path, planKind, planVersion)
+	if err != nil {
+		return Plan{}, err
+	}
+	sections, err := dr.ReadAll()
+	if err != nil {
+		return Plan{}, err
+	}
+	blob, ok := sections["entry"]
+	if !ok {
+		return Plan{}, durable.NewCorruptError(path, planKind, "entry", "missing entry section", nil)
+	}
+	var p Plan
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return Plan{}, durable.NewCorruptError(path, planKind, "entry", "undecodable entry", err)
+	}
+	if p.Key.Kernel == "" {
+		return Plan{}, durable.NewCorruptError(path, planKind, "entry", "entry has no kernel key", nil)
+	}
+	return p, nil
+}
+
+// fileName derives a stable, filesystem-safe name for a key.
+func fileName(k Key) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%d|%d",
+		k.Kernel, k.GraphFP, k.NumRows, k.NNZ, k.FeatWidth, k.Target, k.Threads, k.Space)
+	return fmt.Sprintf("%016x%s", h.Sum64(), fileExt)
+}
+
+// Fingerprint hashes the adjacency structure: dimensions, row extents, and
+// column indices. Two structurally identical graphs fingerprint equal in
+// any process; edge values are excluded because tuning depends on sparsity
+// structure, not weights.
+func Fingerprint(g *sparse.CSR) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(g.NumRows))
+	put(uint64(g.NumCols))
+	put(uint64(g.NNZ()))
+	for _, v := range g.RowPtr {
+		put(uint64(uint32(v)))
+	}
+	for _, v := range g.ColIdx {
+		put(uint64(uint32(v)))
+	}
+	return h.Sum64()
+}
+
+// SpaceFingerprint hashes a candidate design space (the int slices a tuner
+// searched over), so stored plans are only trusted for the same space.
+func SpaceFingerprint(dims ...[]int) uint64 {
+	h := fnv.New64a()
+	for _, dim := range dims {
+		sorted := append([]int(nil), dim...)
+		sort.Ints(sorted)
+		fmt.Fprintf(h, "[%v]", sorted)
+	}
+	return h.Sum64()
+}

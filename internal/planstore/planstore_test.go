@@ -1,0 +1,274 @@
+package planstore
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"featgraph/internal/durable"
+	"featgraph/internal/faultinject"
+	"featgraph/internal/sparse"
+)
+
+func testPlan(kernel string, fp uint64) Plan {
+	return Plan{
+		Key: Key{
+			Kernel: kernel, GraphFP: fp, NumRows: 100, NNZ: 500,
+			FeatWidth: 32, Target: "cpu", Threads: 4, Space: 7,
+		},
+		GraphPartitions: 4,
+		FeatureTile:     8,
+		Seconds:         0.0123,
+	}
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPlan("spmm.copysrc.sum", 42)
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(p.Key); !ok || got != p {
+		t.Fatalf("Get after Put = %+v, %v", got, ok)
+	}
+	// A fresh process: reopen from disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 || s2.CorruptEntries() != 0 {
+		t.Fatalf("reopened store has %d plans, %d corrupt", s2.Len(), s2.CorruptEntries())
+	}
+	got, ok := s2.Get(p.Key)
+	if !ok || got != p {
+		t.Fatalf("plan did not survive reopen: %+v, %v", got, ok)
+	}
+}
+
+func TestPutReplacesEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPlan("spmm.copysrc.sum", 1)
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	p.GraphPartitions = 16
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("replacement grew the store to %d files", len(entries))
+	}
+	s2, _ := Open(dir)
+	if got, _ := s2.Get(p.Key); got.GraphPartitions != 16 {
+		t.Fatalf("reopen saw stale plan %+v", got)
+	}
+}
+
+// TestCorruptEntriesAreSkippedNotFatal is the load-bearing robustness test:
+// a store directory containing damaged entries (bit-flipped, truncated,
+// foreign junk, future versions) must open, load every healthy entry, and
+// report the damaged ones — never fail the start.
+func TestCorruptEntriesAreSkippedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := testPlan("spmm.copysrc.sum", 1)
+	victim := testPlan("spmm.copysrc.mean", 2)
+	if err := s.Put(healthy); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-flip the victim's entry on disk.
+	victimPath := filepath.Join(dir, fileName(victim.Key))
+	blob, err := os.ReadFile(victimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(victimPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Add a truncated entry and plain junk.
+	if err := os.WriteFile(filepath.Join(dir, "torn.plan"), blob[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.plan"), []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt entries must not fail Open: %v", err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("loaded %d plans, want 1 (the healthy one)", s2.Len())
+	}
+	if s2.CorruptEntries() != 3 {
+		t.Fatalf("CorruptEntries = %d, want 3", s2.CorruptEntries())
+	}
+	if _, ok := s2.Get(healthy.Key); !ok {
+		t.Fatal("healthy entry lost")
+	}
+	if _, ok := s2.Get(victim.Key); ok {
+		t.Fatal("damaged entry should not load")
+	}
+	// Re-tuning the damaged key must repair the store.
+	if err := s2.Put(victim); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := Open(dir)
+	if _, ok := s3.Get(victim.Key); !ok {
+		t.Fatal("re-tuned entry did not persist")
+	}
+}
+
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Arm(faultinject.SiteDurableTornWrite, &faultinject.Fault{Kind: faultinject.Err})()
+	if err := s.Put(testPlan("spmm.copysrc.sum", 3)); err == nil {
+		t.Fatal("torn write should fail Put")
+	}
+	faultinject.Reset()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name()[0] == '.' {
+			t.Fatalf("stale temp %s survived reopen", e.Name())
+		}
+	}
+}
+
+// TestCorruptionMatrixPlanFormat runs the acceptance matrix over the plan
+// entry format.
+func TestCorruptionMatrixPlanFormat(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPlan("spmm.copysrc.sum", 4)
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, fileName(p.Key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = durable.VerifyReader(blob, func(data []byte) error {
+		_, err := ReadPlan(bytes.NewReader(data), "mem")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintIsContentBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g1 := sparse.Random(rng, 30, 30, 4)
+	// Structurally identical copy at different addresses.
+	g2 := &sparse.CSR{
+		NumRows: g1.NumRows, NumCols: g1.NumCols,
+		RowPtr: append([]int32(nil), g1.RowPtr...),
+		ColIdx: append([]int32(nil), g1.ColIdx...),
+		EID:    append([]int32(nil), g1.EID...),
+		Val:    append([]float32(nil), g1.Val...),
+	}
+	if Fingerprint(g1) != Fingerprint(g2) {
+		t.Fatal("structurally identical graphs must fingerprint equal")
+	}
+	g3 := sparse.Random(rand.New(rand.NewSource(2)), 30, 30, 4)
+	if Fingerprint(g1) == Fingerprint(g3) {
+		t.Fatal("different graphs should fingerprint differently")
+	}
+	// Values are excluded: reweighting does not invalidate tuning.
+	g2.Val[0] += 5
+	if Fingerprint(g1) != Fingerprint(g2) {
+		t.Fatal("edge weights must not affect the structural fingerprint")
+	}
+}
+
+func TestSpaceFingerprintOrderInsensitive(t *testing.T) {
+	a := SpaceFingerprint([]int{1, 2, 4}, []int{0, 8})
+	b := SpaceFingerprint([]int{4, 2, 1}, []int{8, 0})
+	if a != b {
+		t.Fatal("candidate order must not affect the space fingerprint")
+	}
+	c := SpaceFingerprint([]int{1, 2}, []int{0, 8})
+	if a == c {
+		t.Fatal("different spaces must fingerprint differently")
+	}
+}
+
+func TestReadPlanRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := durable.NewWriter(&buf, "graph", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("header", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(bytes.NewReader(buf.Bytes()), "mem"); !durable.IsCorrupt(err) {
+		t.Fatalf("a graph container must not parse as a plan: %v", err)
+	}
+}
+
+func TestPutSurvivesConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 20; i++ {
+				p := testPlan("spmm.copysrc.sum", uint64(w*100+i))
+				if perr := s.Put(p); perr != nil {
+					err = perr
+					break
+				}
+				if _, ok := s.Get(p.Key); !ok {
+					err = io.ErrUnexpectedEOF
+					break
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 160 {
+		t.Fatalf("Len = %d, want 160", s.Len())
+	}
+}

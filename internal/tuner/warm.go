@@ -1,0 +1,61 @@
+package tuner
+
+import (
+	"featgraph/internal/planstore"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// Warm start: tuning results are worth keeping. A successive-halving
+// search over even a modest design space costs dozens of timed kernel
+// runs; the persistent plan store turns that into a one-time cost per
+// (graph structure, kernel, feature width, target, threads, search space).
+
+// CPUKey builds the plan-store key for the CPU GCN-aggregation search that
+// GridCPU and SuccessiveHalving perform.
+func CPUKey(adj *sparse.CSR, featWidth, threads int, gps, tiles []int) planstore.Key {
+	return planstore.Key{
+		Kernel:    "spmm.copysrc.sum",
+		GraphFP:   planstore.Fingerprint(adj),
+		NumRows:   adj.NumRows,
+		NNZ:       adj.NNZ(),
+		FeatWidth: featWidth,
+		Target:    "cpu",
+		Threads:   threads,
+		Space:     planstore.SpaceFingerprint(gps, tiles),
+	}
+}
+
+// Tuned returns the best CPU schedule for (adj, x, threads), consulting
+// store before measuring. A persisted plan for the same key is returned
+// without running a single kernel (warm=true); otherwise SuccessiveHalving
+// measures the space and the winner is persisted for the next process.
+// store may be nil, which always tunes cold and persists nothing.
+func Tuned(store *planstore.Store, adj *sparse.CSR, x *tensor.Tensor, gps, tiles []int, threads int) (Cell, bool, error) {
+	var key planstore.Key
+	if store != nil {
+		key = CPUKey(adj, x.Dim(1), threads, gps, tiles)
+		if p, ok := store.Get(key); ok {
+			return Cell{
+				GraphPartitions: p.GraphPartitions,
+				FeatureTile:     p.FeatureTile,
+				Seconds:         p.Seconds,
+			}, true, nil
+		}
+	}
+	res, err := SuccessiveHalving(adj, x, gps, tiles, threads)
+	if err != nil {
+		return Cell{}, false, err
+	}
+	if store != nil {
+		// Persistence failure must not fail the tuning: the result is
+		// valid, it just will not survive a restart.
+		_ = store.Put(planstore.Plan{
+			Key:             key,
+			GraphPartitions: res.Best.GraphPartitions,
+			FeatureTile:     res.Best.FeatureTile,
+			Seconds:         res.Best.Seconds,
+		})
+	}
+	return res.Best, false, nil
+}

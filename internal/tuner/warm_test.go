@@ -1,0 +1,116 @@
+package tuner
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/planstore"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+func TestTunedColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	store, err := planstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	adj := sparse.Random(rng, 200, 200, 8)
+	x := tensor.New(200, 16)
+	x.FillUniform(rng, -1, 1)
+	gps := []int{1, 2}
+	tiles := []int{0, 8}
+
+	cold, warm, err := Tuned(store, adj, x, gps, tiles, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("first tune must be cold")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("cold tune should persist one plan, store has %d", store.Len())
+	}
+
+	// Same process, same store: warm.
+	got, warm, err := Tuned(store, adj, x, gps, tiles, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("second tune must be warm")
+	}
+	if got.GraphPartitions != cold.GraphPartitions || got.FeatureTile != cold.FeatureTile {
+		t.Fatalf("warm plan %+v != cold plan %+v", got, cold)
+	}
+
+	// A "restarted process": fresh Open over the same dir, structurally
+	// identical graph at different addresses.
+	store2, err := planstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj2 := &sparse.CSR{
+		NumRows: adj.NumRows, NumCols: adj.NumCols,
+		RowPtr: append([]int32(nil), adj.RowPtr...),
+		ColIdx: append([]int32(nil), adj.ColIdx...),
+		EID:    append([]int32(nil), adj.EID...),
+		Val:    append([]float32(nil), adj.Val...),
+	}
+	got2, warm2, err := Tuned(store2, adj2, x, gps, tiles, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm2 {
+		t.Fatal("restart with the same graph structure must warm-start")
+	}
+	if got2.GraphPartitions != cold.GraphPartitions || got2.FeatureTile != cold.FeatureTile {
+		t.Fatalf("restart plan %+v != original %+v", got2, cold)
+	}
+}
+
+func TestTunedKeyDiscriminates(t *testing.T) {
+	dir := t.TempDir()
+	store, err := planstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	adj := sparse.Random(rng, 100, 100, 6)
+	x := tensor.New(100, 8)
+	x.FillUniform(rng, -1, 1)
+	if _, _, err := Tuned(store, adj, x, []int{1, 2}, []int{0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Different feature width must not warm-hit.
+	x2 := tensor.New(100, 16)
+	x2.FillUniform(rng, -1, 1)
+	if _, warm, err := Tuned(store, adj, x2, []int{1, 2}, []int{0}, 2); err != nil || warm {
+		t.Fatalf("different feature width warm-hit (warm=%v err=%v)", warm, err)
+	}
+	// Different candidate space must not warm-hit.
+	if _, warm, err := Tuned(store, adj, x, []int{1, 2, 4}, []int{0}, 2); err != nil || warm {
+		t.Fatalf("different search space warm-hit (warm=%v err=%v)", warm, err)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("store has %d plans, want 3 distinct keys", store.Len())
+	}
+}
+
+func TestTunedNilStoreTunesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj := sparse.Random(rng, 50, 50, 4)
+	x := tensor.New(50, 4)
+	x.FillUniform(rng, -1, 1)
+	best, warm, err := Tuned(nil, adj, x, []int{1, 2}, []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("nil store can never be warm")
+	}
+	if best.Seconds <= 0 {
+		t.Fatalf("cold tune must measure, got %v", best.Seconds)
+	}
+}
