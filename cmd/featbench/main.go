@@ -8,6 +8,7 @@
 //	featbench -exp all             # run the whole evaluation
 //	featbench -exp table4a -full   # closer-to-paper sizing (slow)
 //	featbench -json bench.json     # machine-readable engine report
+//	featbench -fusedjson fused.json # machine-readable fused-attention report
 //
 // CPU experiments report wall time; GPU experiments report simulated
 // cycles from the cudasim cost model (see DESIGN.md).
@@ -33,15 +34,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		full    = flag.Bool("full", false, "run at larger, closer-to-paper scale")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		threads = flag.Int("threads", 16, "max CPU worker count")
-		reps    = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
-		jsonOut = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
-		rounds  = flag.Int("rounds", 3, "interleaved measurement rounds for -json")
-		metrics = flag.Bool("metrics", false, "run the telemetry smoke workload and print the Prometheus metrics snapshot")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		full     = flag.Bool("full", false, "run at larger, closer-to-paper scale")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		threads  = flag.Int("threads", 16, "max CPU worker count")
+		reps     = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
+		jsonOut  = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
+		fusedOut = flag.String("fusedjson", "", "write the fused-attention report (fused vs three-pass GAT layer) to this file and exit")
+		rounds   = flag.Int("rounds", 3, "interleaved measurement rounds for -json / -fusedjson")
+		metrics  = flag.Bool("metrics", false, "run the telemetry smoke workload and print the Prometheus metrics snapshot")
 	)
 	flag.Parse()
 
@@ -55,6 +57,14 @@ func main() {
 
 	if *jsonOut != "" {
 		if err := writeEngineReport(ctx, *jsonOut, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fusedOut != "" {
+		if err := writeFusedReport(ctx, *fusedOut, *rounds); err != nil {
 			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -43,3 +43,26 @@ func writeEngineReport(ctx context.Context, path string, rounds int) error {
 		path, rep.SkewedSpeedup, rep.AllocReduction, rep.PlanCache.HitsAfterLoop)
 	return f.Close()
 }
+
+// writeFusedReport runs the fused-vs-three-pass attention measurements and
+// writes the JSON report to path (checked in as BENCH_PR7.json).
+func writeFusedReport(ctx context.Context, path string, rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	rep, err := bench.RunFusedReport(ctx, os.Stderr, gitRev(), rounds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("fused-attention report written to %s (speedups: %v, agreement passed: %v)\n",
+		path, rep.Speedup, rep.Agreement.Passed)
+	return f.Close()
+}

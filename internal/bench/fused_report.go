@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The fused-attention report (featbench -fusedjson, checked in as
+// BENCH_PR7.json) measures a full GAT attention layer epoch — forward and
+// backward through the tape — under the fused kernel (SDDMM dot → streaming
+// edge softmax → weighted SpMM in one traversal per direction) against the
+// legacy three-pass pipeline it replaces. Like the engine report, fused and
+// three-pass runs of the same case are interleaved round by round and the
+// per-case median kept, so machine noise perturbs both sides equally.
+
+func init() {
+	register("fused", "Fused attention kernel vs three-pass GAT layer (FusedMM-style)", fusedExp)
+}
+
+// FusedBenchResult is one measured (case, path) pair.
+type FusedBenchResult struct {
+	Name        string  `json:"name"`
+	Path        string  `json:"path"` // "fused" or "threepass"
+	Threads     int     `json:"threads"`
+	FeatDim     int     `json:"feat_dim"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// FusedAgreement is the report's built-in oracle check: one epoch of each
+// path on identical inputs, with the largest forward and gradient
+// divergence. Passed means both stayed within Tolerance — the same bound
+// the differential tests in internal/dgl enforce per element.
+type FusedAgreement struct {
+	OutMaxAbsDiff  float64 `json:"out_max_abs_diff"`
+	GradMaxAbsDiff float64 `json:"grad_max_abs_diff"`
+	Tolerance      float64 `json:"tolerance"`
+	Passed         bool    `json:"passed"`
+}
+
+// FusedGraphInfo describes the benchmark graph.
+type FusedGraphInfo struct {
+	Vertices    int `json:"vertices"`
+	Edges       int `json:"edges"`
+	MaxInDegree int `json:"max_in_degree"`
+}
+
+// FusedReport is the payload of featbench -fusedjson.
+type FusedReport struct {
+	GitRev     string             `json:"git_rev"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Rounds     int                `json:"rounds"`
+	Graph      FusedGraphInfo     `json:"graph"`
+	Results    []FusedBenchResult `json:"results"`
+	Speedup    map[string]float64 `json:"gat_layer_speedup"` // per "threads-N": threepass/fused ns
+	Agreement  FusedAgreement     `json:"agreement"`
+}
+
+// fusedBenchGraph is the skewed power-law benchmark graph: a hub tier whose
+// destination rows carry long in-edge segments (the softmax-heavy regime the
+// fused kernel targets) over a uniform tail.
+func fusedBenchGraph() *sparse.CSR {
+	rng := rand.New(rand.NewSource(7))
+	return graphgen.TwoTier(rng, 2048, 0.1, 64, 6).Transpose()
+}
+
+const fusedBenchDim = 8
+
+// fusedOnes builds the constant row/column vectors of the scalar sum-loss.
+func fusedOnes(n, d int) (l, r *tensor.Tensor) {
+	l = tensor.New(1, n)
+	l.Fill(1)
+	r = tensor.New(d, 1)
+	r.Fill(1)
+	return l, r
+}
+
+// fusedLayerEpoch builds a run-one-epoch closure for the fused path:
+// z = x, out = fusedattn(z, z), backward through a scalar sum-loss. The
+// returned grad pointer is refreshed every epoch for the agreement check.
+func fusedLayerEpoch(g *dgl.Graph, x *tensor.Tensor, d int) (func() error, *epochResult, error) {
+	op, err := g.NewFusedAttention(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, r := fusedOnes(x.Dim(0), d)
+	res := &epochResult{}
+	return func() (err error) {
+		defer catchOpPanic(&err)
+		tp := autodiff.NewTape()
+		xv := tp.Param(x)
+		out := op.Apply(tp, xv, xv)
+		loss := tp.MatMul(tp.MatMul(tp.Input(l), out), tp.Input(r))
+		if err := tp.Backward(loss); err != nil {
+			return err
+		}
+		res.out, res.grad = out.Value, xv.Grad()
+		return nil
+	}, res, nil
+}
+
+// threePassLayerEpoch builds the same epoch through the legacy pipeline
+// with the fused op's exact math: SDDMM dot → scale·LeakyReLU → edge
+// softmax → weighted SpMM, each pass its own tape node and [m,1] tensor.
+func threePassLayerEpoch(g *dgl.Graph, x *tensor.Tensor, d int) (func() error, *epochResult, error) {
+	dot, err := g.NewDot(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	wsum, err := g.NewWeightedSum(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	scale := float32(1 / math.Sqrt(float64(d)))
+	l, r := fusedOnes(x.Dim(0), d)
+	res := &epochResult{}
+	return func() (err error) {
+		defer catchOpPanic(&err)
+		tp := autodiff.NewTape()
+		xv := tp.Param(x)
+		att := tp.Scale(tp.LeakyReLU(dot.Apply(tp, xv, xv), 0.2), scale)
+		alpha := g.EdgeSoftmax(tp, att)
+		out := wsum.Apply(tp, xv, alpha)
+		loss := tp.MatMul(tp.MatMul(tp.Input(l), out), tp.Input(r))
+		if err := tp.Backward(loss); err != nil {
+			return err
+		}
+		res.out, res.grad = out.Value, xv.Grad()
+		return nil
+	}, res, nil
+}
+
+type epochResult struct {
+	out, grad *tensor.Tensor
+}
+
+// catchOpPanic converts a dgl op abort into an error return so a governance
+// trip inside a benchmark loop fails the report instead of the process.
+func catchOpPanic(err *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = e
+			return
+		}
+		panic(r)
+	}
+}
+
+// RunFusedReport measures the fused-vs-three-pass GAT layer over `rounds`
+// interleaved rounds, verifies the two paths agree, and assembles the
+// report. A cancelled ctx stops between measurements and assembles the
+// report from the rounds already completed.
+func RunFusedReport(ctx context.Context, out io.Writer, gitRev string, rounds int) (*FusedReport, error) {
+	adj := fusedBenchGraph()
+	maxIn := 0
+	for v := 0; v < adj.NumRows; v++ {
+		maxIn = max(maxIn, int(adj.RowPtr[v+1]-adj.RowPtr[v]))
+	}
+	rep := &FusedReport{
+		GitRev:     gitRev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+		Graph:      FusedGraphInfo{Vertices: adj.NumRows, Edges: adj.NNZ(), MaxInDegree: maxIn},
+		Speedup:    map[string]float64{},
+	}
+
+	const d = fusedBenchDim
+	x := randX(8, adj.NumRows, d)
+
+	type caseKey struct {
+		path    string
+		threads int
+	}
+	build := func(c caseKey) (func() error, *epochResult, error) {
+		g, err := dgl.New(adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU,
+			NumThreads: c.threads, LegacyAttention: c.path == "threepass"})
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.path == "fused" {
+			return fusedLayerEpoch(g, x, d)
+		}
+		return threePassLayerEpoch(g, x, d)
+	}
+
+	cases := []caseKey{
+		{"fused", 4}, {"threepass", 4},
+		{"fused", 8}, {"threepass", 8},
+	}
+	best := map[caseKey]*FusedBenchResult{}
+	samples := map[caseKey][]float64{}
+measure:
+	for round := 0; round < rounds; round++ {
+		for _, c := range cases {
+			if ctx.Err() != nil {
+				fmt.Fprintf(out, "interrupted after round %d; writing partial report\n", round)
+				break measure
+			}
+			epoch, _, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			var runErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := epoch(); err != nil {
+						runErr = err
+						return
+					}
+				}
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			if _, ok := best[c]; !ok {
+				best[c] = &FusedBenchResult{
+					Name: "gat-layer", Path: c.path, Threads: c.threads, FeatDim: d,
+					BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+				}
+			}
+			samples[c] = append(samples[c], float64(r.NsPerOp()))
+			fmt.Fprintf(out, "round %d: gat-layer/%s/threads-%d %12.0f ns/op %6d allocs/op\n",
+				round, c.path, c.threads, float64(r.NsPerOp()), r.AllocsPerOp())
+		}
+	}
+	for _, c := range cases {
+		if s := samples[c]; len(s) > 0 {
+			sort.Float64s(s)
+			best[c].NsPerOp = s[len(s)/2]
+			rep.Results = append(rep.Results, *best[c])
+		}
+	}
+	for _, threads := range []int{4, 8} {
+		f, t := best[caseKey{"fused", threads}], best[caseKey{"threepass", threads}]
+		if f != nil && t != nil && f.NsPerOp > 0 {
+			rep.Speedup[fmt.Sprintf("threads-%d", threads)] = t.NsPerOp / f.NsPerOp
+		}
+	}
+
+	// Agreement: one epoch of each path on the same inputs, compared
+	// element-wise — the report carries its own correctness evidence.
+	const tol = 1e-3
+	fe, fr, err := build(caseKey{"fused", 4})
+	if err != nil {
+		return nil, err
+	}
+	te, tr, err := build(caseKey{"threepass", 4})
+	if err != nil {
+		return nil, err
+	}
+	if err := fe(); err != nil {
+		return nil, err
+	}
+	if err := te(); err != nil {
+		return nil, err
+	}
+	rep.Agreement = FusedAgreement{
+		OutMaxAbsDiff:  fr.out.MaxAbsDiff(tr.out),
+		GradMaxAbsDiff: fr.grad.MaxAbsDiff(tr.grad),
+		Tolerance:      tol,
+	}
+	rep.Agreement.Passed = rep.Agreement.OutMaxAbsDiff <= tol && rep.Agreement.GradMaxAbsDiff <= tol
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *FusedReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// fusedExp is the registry entry: a table view of the same measurement,
+// sized by cfg.Reps, for featbench -exp fused and the CI bench smoke.
+func fusedExp(cfg *Config) error {
+	rep, err := RunFusedReport(context.Background(), io.Discard, "n/a", max(cfg.Reps, 1))
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Fused attention vs three-pass GAT layer (skewed graph, |V|=%d, |E|=%d, d=%d)",
+			rep.Graph.Vertices, rep.Graph.Edges, fusedBenchDim),
+		Columns: []string{"threads", "three-pass", "fused", "speedup"},
+	}
+	find := func(path string, threads int) *FusedBenchResult {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			if r.Path == path && r.Threads == threads {
+				return r
+			}
+		}
+		return nil
+	}
+	for _, threads := range []int{4, 8} {
+		f, t := find("fused", threads), find("threepass", threads)
+		if f == nil || t == nil {
+			continue
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", threads),
+			secs(t.NsPerOp / 1e9), secs(f.NsPerOp / 1e9),
+			ratio(t.NsPerOp, f.NsPerOp),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "agreement: out %.2e, grad %.2e (tol %.0e, passed=%v)\n",
+		rep.Agreement.OutMaxAbsDiff, rep.Agreement.GradMaxAbsDiff,
+		rep.Agreement.Tolerance, rep.Agreement.Passed)
+	return nil
+}

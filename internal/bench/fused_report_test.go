@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+)
+
+func TestFusedReportSmoke(t *testing.T) {
+	var log bytes.Buffer
+	rep, err := RunFusedReport(context.Background(), &log, "test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("expected 4 results, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive ns/op", r.Name, r.Path)
+		}
+	}
+	if !rep.Agreement.Passed {
+		t.Errorf("fused vs three-pass agreement failed: out %v grad %v",
+			rep.Agreement.OutMaxAbsDiff, rep.Agreement.GradMaxAbsDiff)
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() == 0 {
+		t.Fatal("empty JSON report")
+	}
+}
+
+func benchmarkGATLayer(b *testing.B, legacy bool) {
+	adj := fusedBenchGraph()
+	g, err := dgl.New(adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU,
+		NumThreads: 4, LegacyAttention: legacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randX(8, adj.NumRows, fusedBenchDim)
+	var epoch func() error
+	if legacy {
+		epoch, _, err = threePassLayerEpoch(g, x, fusedBenchDim)
+	} else {
+		epoch, _, err = fusedLayerEpoch(g, x, fusedBenchDim)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGATLayerFused(b *testing.B)     { benchmarkGATLayer(b, false) }
+func BenchmarkGATLayerThreePass(b *testing.B) { benchmarkGATLayer(b, true) }

@@ -80,6 +80,15 @@ func edgeBalancedChunks(part *sparse.CSR, nchunks int) []partition.Range {
 	return chunks
 }
 
+// EdgeBalancedRowChunks exposes the engine's edge-balanced row chunking
+// policy (oversubscription factor, minimum edges per chunk, prefix-sum
+// boundary search) for row-parallel segment loops outside the package —
+// dgl's edge softmax drives the shared worker pool over these chunks.
+func EdgeBalancedRowChunks(adj *sparse.CSR, threads int) []partition.Range {
+	threads = max(threads, 1)
+	return edgeBalancedChunks(adj, numChunksFor(threads, adj.NumRows, adj.NNZ()))
+}
+
 // uniformChunks splits [0, n) into nchunks equal-sized ranges, eliding
 // empty ones. Used for phases whose per-element cost is uniform (SDDMM edge
 // traversal, aggregation finalization), where edge balancing is moot.

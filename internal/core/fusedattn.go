@@ -1,0 +1,618 @@
+// The fused attention kernel: SDDMM (dot-product scores) → edge softmax →
+// SpMM (attention-weighted sum) in a single destination-row pass, the
+// FusedMM-style fusion of the three kernels GAT attention otherwise runs
+// separately. The paper's §II-A decomposition makes the stages explicit;
+// this kernel exploits that the softmax of a destination row only depends
+// on that row's in-edges, so one traversal can compute scores, normalize
+// them, and aggregate — with the scores held in chunk-local scratch sized
+// by the maximum in-degree, never materialized as a full [m,1] tensor
+// between stages.
+//
+// Numerics: each row runs a max-then-exponentiate softmax — one pass
+// maintains the running maximum while buffering raw scores, then a second
+// pass computes e^(s−max) with the batch float32 exponential (ExpSliceF32),
+// sums it, and normalizes. Every exponentiated argument is ≤ 0, so the sums
+// stay finite for any input magnitudes — the same stability guarantee as
+// the flash-attention online-softmax recurrence, at one exp per edge
+// instead of two (the scores are already buffered in chunk-local scratch,
+// so there is no need to rescale a partial sum on a new maximum).
+//
+// The forward additionally writes two per-edge vectors the fused backward
+// needs: alpha (the softmax probabilities) and deriv (dscore/ddot =
+// scale·LeakyReLU'(dot), folding the score transform's local derivative).
+// Both are caller-owned [m,1] buffers — for dgl they are the op's staging
+// buffers, which also makes them plan-cache key material.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"featgraph/internal/admission"
+	"featgraph/internal/faultinject"
+	"featgraph/internal/partition"
+	"featgraph/internal/sparse"
+	"featgraph/internal/telemetry"
+	"featgraph/internal/tensor"
+	"featgraph/internal/workpool"
+)
+
+// negInf32 is the streaming-softmax running-max initializer: a true
+// -Inf rather than a most-negative-finite literal, so any finite score
+// (however small) replaces it and the e^(m_old−m_new) rescale underflows
+// cleanly to zero on the first edge.
+var negInf32 = float32(math.Inf(-1))
+
+// FusedAttnConfig parameterizes the score transform applied between the
+// dot product and the softmax: score = Scale · LeakyReLU(x_src·y_dst).
+type FusedAttnConfig struct {
+	// NegSlope is the LeakyReLU negative slope (GAT uses 0.2).
+	NegSlope float32
+	// Scale multiplies the activated score (GAT uses 1/√d); 0 means 1.
+	Scale float32
+}
+
+// FusedAttnKernel is the built fused forward kernel. Out is [NumRows, d]:
+// out[v] = Σ_{u→v} α_e · x[u] with α the per-destination-row softmax of
+// Scale·LeakyReLU(x[u]·y[v]).
+//
+// Like the template kernels it may be Run concurrently only with distinct
+// output tensors — and additionally only with distinct alpha/deriv buffers,
+// which belong to the build, so concurrent runs of the *same* built kernel
+// race on them. dgl serializes per-op Applies, which satisfies both.
+type FusedAttnKernel struct {
+	adj      *sparse.CSR
+	x, y     *tensor.Tensor // [NumCols, d] source / [NumRows, d] destination features
+	alpha    *tensor.Tensor // [≥m, 1] softmax probabilities, written per run
+	deriv    *tensor.Tensor // [≥m, 1] dscore/ddot factors, written per run
+	cfg      FusedAttnConfig
+	opts     Options
+	d        int
+	maxInDeg int
+
+	// Engine state: edge-balanced row chunks and the run-state freelist.
+	chunks []partition.Range
+	states chan *fusedAttnRunState
+
+	// GPU state; nil when the target is CPU.
+	gpu         *fusedAttnGPU
+	breaker     *admission.Breaker
+	memEstimate int64
+
+	lastMu sync.Mutex
+	last   RunStats
+}
+
+// BuildFusedAttention builds the fused attention forward kernel. x holds
+// source-vertex features ([NumCols, d]), y destination-vertex features
+// ([NumRows, d]; the same tensor as x in GAT). alpha and deriv are
+// caller-owned per-edge buffers with at least adj.NNZ() elements each; the
+// kernel fills them on every run for consumption by the backward kernel.
+//
+// Scheduling: the kernel ignores graph partitioning and feature tiling —
+// the row softmax needs a destination's full in-edge set and the dot
+// product the full feature row, so the only parallel axis is the
+// destination row, dispatched as edge-balanced chunks on the shared worker
+// pool (Options.LegacySched selects a plain uniform row split instead).
+func BuildFusedAttention(adj *sparse.CSR, x, y, alpha, deriv *tensor.Tensor, cfg FusedAttnConfig, opts Options) (*FusedAttnKernel, error) {
+	tracing := telemetry.TraceActive()
+	var buildStart time.Time
+	if tracing {
+		buildStart = time.Now()
+	}
+	if err := adj.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid adjacency: %w", err)
+	}
+	d := x.Dim(1)
+	if d < 1 {
+		return nil, fmt.Errorf("core: fused attention needs >= 1 feature, got %d", d)
+	}
+	if x.Dim(0) != adj.NumCols {
+		return nil, fmt.Errorf("core: fused attention x has %d rows, graph has %d source vertices", x.Dim(0), adj.NumCols)
+	}
+	if y.Dim(0) != adj.NumRows || y.Dim(1) != d {
+		return nil, fmt.Errorf("core: fused attention y shape %v, want [%d, %d]", y.Shape(), adj.NumRows, d)
+	}
+	m := adj.NNZ()
+	if alpha.Len() < m || deriv.Len() < m {
+		return nil, fmt.Errorf("core: fused attention edge buffers hold %d/%d values, graph has %d edges", alpha.Len(), deriv.Len(), m)
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if opts.Target != CPU && opts.Target != GPU {
+		return nil, fmt.Errorf("core: unknown target %d", opts.Target)
+	}
+	k := &FusedAttnKernel{adj: adj, x: x, y: y, alpha: alpha, deriv: deriv, cfg: cfg, opts: opts, d: d}
+	k.maxInDeg = maxRowDegree(adj)
+	threads := max(opts.NumThreads, 1)
+	k.chunks = edgeBalancedChunks(adj, numChunksFor(threads, adj.NumRows, m))
+	k.states = make(chan *fusedAttnRunState, runStatePoolCap)
+
+	if opts.Target == GPU {
+		k.gpu = buildFusedAttnGPU(k.opts)
+		if opts.BreakerThreshold >= 0 {
+			k.breaker = admission.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, fusedattnMetrics.breakerHook())
+		}
+	}
+
+	// Admission memory estimate: the output surface, the per-edge alpha and
+	// deriv writes, and one run state's score scratch, in float32 bytes.
+	k.memEstimate = 4 * (int64(adj.NumRows)*int64(d) + 2*int64(m) +
+		int64(scratchSlots(opts.NumThreads))*int64(k.maxInDeg))
+
+	k.states <- k.newRunState()
+	if k.gpu != nil {
+		k.gpu.states <- k.newGPULaunch()
+	}
+	if tracing {
+		telemetry.RecordSpan("fusedattn.build", 0, buildStart, time.Since(buildStart), "rows", int64(adj.NumRows), "nnz", int64(m), 2)
+	}
+	return k, nil
+}
+
+// maxRowDegree returns the widest in-edge set — the score scratch size.
+func maxRowDegree(adj *sparse.CSR) int {
+	maxDeg := 0
+	for r := 0; r < adj.NumRows; r++ {
+		maxDeg = max(maxDeg, int(adj.RowPtr[r+1]-adj.RowPtr[r]))
+	}
+	return maxDeg
+}
+
+// OutShape returns the required output tensor shape.
+func (k *FusedAttnKernel) OutShape() (rows, cols int) { return k.adj.NumRows, k.d }
+
+// Pattern identifies the fused kernel (it has no UDF to recognize).
+func (k *FusedAttnKernel) Pattern() string { return "fusedattn" }
+
+// Describe returns a one-line description of the built kernel.
+func (k *FusedAttnKernel) Describe() string {
+	return fmt.Sprintf("fusedattn{target:%s rows:%d nnz:%d d:%d maxdeg:%d slope:%g scale:%g}",
+		k.opts.Target, k.adj.NumRows, k.adj.NNZ(), k.d, k.maxInDeg, k.cfg.NegSlope, k.cfg.Scale)
+}
+
+// LastStats returns the statistics of the most recently completed RunCtx.
+func (k *FusedAttnKernel) LastStats() RunStats {
+	k.lastMu.Lock()
+	defer k.lastMu.Unlock()
+	return k.last
+}
+
+// Run executes the kernel into out (Run = RunCtx under context.Background()).
+func (k *FusedAttnKernel) Run(out *tensor.Tensor) (RunStats, error) {
+	return k.RunCtx(context.Background(), out)
+}
+
+// RunCtx executes the fused forward into out ([NumRows, d]) under ctx and
+// the kernel's serving policy — the same governed shape as the template
+// kernels: admission (concurrency/memory/deadline), the GPU path behind the
+// circuit breaker with CPU fallback, stall-watchdog cancellation, numeric
+// checking, and retry with jittered backoff. See SpMMKernel.RunCtx for the
+// full semantics. As a side effect a successful run fills the alpha and
+// deriv buffers passed at build time.
+func (k *FusedAttnKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
+	if out.Dim(0) != k.adj.NumRows || out.Len() != k.adj.NumRows*k.d {
+		return RunStats{}, fmt.Errorf("core: fused attention output shape %v, want [%d, %d]", out.Shape(), k.adj.NumRows, k.d)
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
+	gov := admission.Resolve(k.opts.Admission)
+	if k.opts.Deadline > 0 {
+		dctx, cancel := context.WithTimeout(ctx, k.opts.Deadline)
+		defer cancel()
+		ctx = dctx
+	}
+	tk, err := gov.Admit(ctx, k.memEstimate)
+	if err != nil {
+		return RunStats{}, err
+	}
+	stats, err := k.runAttempts(ctx, out, tk.Queued())
+	gov.Release(tk)
+	return stats, err
+}
+
+// runAttempts drives runAttempt under the kernel's retry policy.
+func (k *FusedAttnKernel) runAttempts(ctx context.Context, out *tensor.Tensor, queued time.Duration) (RunStats, error) {
+	for attempt := 0; ; attempt++ {
+		stats, err := k.runAttempt(ctx, out, queued, attempt)
+		if err == nil || attempt >= k.opts.Retries || !retryable(err) || ctx.Err() != nil {
+			return stats, err
+		}
+		admission.RecordRetry()
+		if !admission.SleepBackoff(ctx, attempt) {
+			return stats, err
+		}
+	}
+}
+
+// runAttempt is one execution attempt: GPU behind the breaker with CPU
+// fallback, or the CPU path, plus numeric checking and stats publication.
+func (k *FusedAttnKernel) runAttempt(ctx context.Context, out *tensor.Tensor, queued time.Duration, attempt int) (RunStats, error) {
+	metricsOn := k.opts.Metrics || telemetry.Enabled()
+	tracing := telemetry.TraceActive()
+	start := time.Now()
+	stats := RunStats{Queued: queued, Retries: attempt}
+	if k.opts.Target == GPU && k.breaker.Allow() {
+		gstats, err := k.runGPU(ctx, out)
+		if err == nil {
+			k.breaker.RecordSuccess()
+			gstats.Queued, gstats.Retries = queued, attempt
+			stats = gstats
+		} else {
+			if ctxDone(ctx, err) {
+				k.breaker.RecordCancel()
+				return RunStats{}, err
+			}
+			k.breaker.RecordFailure()
+			if k.opts.NoFallback {
+				return RunStats{}, err
+			}
+			stats = RunStats{Queued: queued, Retries: attempt}
+			if cpuErr := k.runCPU(ctx, out, &stats); cpuErr != nil {
+				return RunStats{}, fmt.Errorf("core: gpu run failed (%v); cpu fallback failed: %w", err, cpuErr)
+			}
+			stats.Fallback = true
+			stats.FallbackReason = err.Error()
+			if metricsOn {
+				fusedattnMetrics.recordFallback(false)
+			}
+			if tracing {
+				telemetry.RecordInstant("fusedattn.fallback", 0, "run_stage", 1, 1)
+			}
+		}
+	} else {
+		if err := k.runCPU(ctx, out, &stats); err != nil {
+			return RunStats{}, err
+		}
+		if k.opts.Target == GPU {
+			// The circuit breaker is open: routed straight to CPU.
+			stats.Fallback = true
+			stats.FallbackReason = "gpu circuit breaker open"
+			if metricsOn {
+				fusedattnMetrics.recordBreakerReroute()
+			}
+			if tracing {
+				telemetry.RecordInstant("fusedattn.fallback", 0, "breaker_open", 1, 1)
+			}
+		}
+	}
+	if k.breaker != nil {
+		stats.BreakerState = k.breaker.State().String()
+	}
+	if k.opts.CheckNumerics {
+		if err := checkNumerics("fusedattn", out); err != nil {
+			return stats, err
+		}
+	}
+	finishRun("fusedattn.run", fusedattnMetrics, k.opts.Target, &k.lastMu, &k.last, start, &stats, metricsOn, tracing)
+	return stats, nil
+}
+
+// fusedAttnScratch is one runner slot's row-local score buffer, sized by
+// the maximum in-degree at build time so runs never allocate.
+type fusedAttnScratch struct {
+	scores []float32
+}
+
+// fusedAttnRunState is one execution's worth of reusable engine state.
+type fusedAttnRunState struct {
+	k    *FusedAttnKernel
+	rc   runControl
+	job  workpool.Job
+	site workerSite
+
+	out    *tensor.Tensor
+	edges  atomic.Uint64
+	stolen atomic.Uint64
+	beacon admission.Beacon
+
+	scratch []*fusedAttnScratch
+}
+
+func (k *FusedAttnKernel) newRunState() *fusedAttnRunState {
+	st := &fusedAttnRunState{k: k, site: workerSite{kernel: "fusedattn", target: CPU, tile: -1, part: -1}}
+	st.scratch = make([]*fusedAttnScratch, scratchSlots(k.opts.NumThreads))
+	for w := range st.scratch {
+		st.scratch[w] = &fusedAttnScratch{scores: make([]float32, k.maxInDeg)}
+	}
+	st.job.Body = guard(&st.rc, &st.site, st.runChunk)
+	st.job.Stop = st.rc.stop
+	st.job.Progress = st.beacon.Counter()
+	return st
+}
+
+func (k *FusedAttnKernel) getRunState() *fusedAttnRunState {
+	select {
+	case st := <-k.states:
+		return st
+	default:
+		return k.newRunState()
+	}
+}
+
+func (k *FusedAttnKernel) putRunState(st *fusedAttnRunState) {
+	st.out = nil
+	select {
+	case k.states <- st:
+	default:
+	}
+}
+
+// runChunk processes one edge-balanced row chunk of the forward pass.
+func (st *fusedAttnRunState) runChunk(slot, ci int) {
+	r := st.k.chunks[ci]
+	if slot != 0 {
+		st.stolen.Add(1)
+	}
+	st.edges.Add(uint64(st.k.adj.RowPtr[r.Hi] - st.k.adj.RowPtr[r.Lo]))
+	faultinject.Hit(faultinject.SiteFusedAttnCPUWorker, st.rc.done, st.rc.quit)
+	sc := st.scratch[slot]
+	for lo := r.Lo; lo < r.Hi; lo += cancelChunk {
+		if st.rc.stop() {
+			return
+		}
+		st.k.fwdRows(st.out, sc, lo, min(lo+cancelChunk, r.Hi))
+	}
+	ostride := st.out.RowStride()
+	odata := st.out.Data()
+	faultinject.CorruptFloats(faultinject.SiteFusedAttnCPUOutput, odata[r.Lo*ostride:r.Hi*ostride])
+}
+
+// runCPU dispatches to the engine or the legacy scheduler.
+func (k *FusedAttnKernel) runCPU(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
+	if k.opts.LegacySched {
+		err := k.runCPULegacy(ctx, out)
+		if err == nil {
+			stats.EdgesProcessed = uint64(k.adj.NNZ())
+		}
+		return err
+	}
+	return k.runCPUEngine(ctx, out, stats)
+}
+
+// runCPUEngine executes the single fused row phase on the persistent
+// engine: edge-balanced chunks drained from the shared pool, zero per-run
+// allocation.
+func (k *FusedAttnKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats *RunStats) error {
+	threads := max(k.opts.NumThreads, 1)
+	pool := workpool.Default()
+	st := k.getRunState()
+	defer k.putRunState(st)
+	if gov := admission.Resolve(k.opts.Admission); gov.WatchdogEnabled() {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		defer gov.Watch(cancel, &st.beacon, "fusedattn/cpu-engine")()
+		ctx = wctx
+	}
+	st.rc.reset(ctx)
+	st.out = out
+	st.edges.Store(0)
+	st.stolen.Store(0)
+	tracing := telemetry.TraceActive()
+	out.Zero()
+
+	var phaseStart time.Time
+	if tracing {
+		phaseStart = time.Now()
+	}
+	pool.Run(&st.job, len(k.chunks), threads)
+	if tracing {
+		telemetry.RecordSpan("fusedattn.phase", 0, phaseStart, time.Since(phaseStart), "chunks", int64(len(k.chunks)), "", 0, 1)
+	}
+	stats.EdgesProcessed = st.edges.Load()
+	stats.ChunksStolen = st.stolen.Load()
+	return stallCause(ctx, st.rc.verdict())
+}
+
+// runCPULegacy is the pre-engine scheduler: fresh goroutines over a uniform
+// contiguous row split with per-run scratch, kept as the ablation baseline.
+func (k *FusedAttnKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error {
+	rc := newRunControl(ctx)
+	threads := max(k.opts.NumThreads, 1)
+	out.Zero()
+	scratch := make([]*fusedAttnScratch, threads)
+	for w := range scratch {
+		scratch[w] = &fusedAttnScratch{scores: make([]float32, k.maxInDeg)}
+	}
+	site := workerSite{kernel: "fusedattn", target: CPU, tile: -1, part: -1}
+	ostride := out.RowStride()
+	odata := out.Data()
+	parallelFor(rc, site, k.adj.NumRows, threads, func(w, rlo, rhi int) {
+		faultinject.Hit(faultinject.SiteFusedAttnCPUWorker, rc.done, rc.quit)
+		for lo := rlo; lo < rhi; lo += cancelChunk {
+			if rc.stop() {
+				return
+			}
+			k.fwdRows(out, scratch[w], lo, min(lo+cancelChunk, rhi))
+		}
+		faultinject.CorruptFloats(faultinject.SiteFusedAttnCPUOutput, odata[rlo*ostride:rhi*ostride])
+	})
+	return rc.verdict()
+}
+
+// fwdRows runs the fused forward for destination rows [rlo, rhi): scores
+// and the streaming max/sum in pass one, batch exponential + normalization
+// + weighted aggregation in pass two. out rows must be pre-zeroed.
+func (k *FusedAttnKernel) fwdRows(out *tensor.Tensor, sc *fusedAttnScratch, rlo, rhi int) {
+	if k.d%8 == 0 {
+		// Width-specialized instantiation, FeatGraph-style: the common
+		// multiple-of-eight feature widths walk rows in fixed 8-wide blocks.
+		k.fwdRowsW8(out, sc, rlo, rhi)
+		return
+	}
+	adj := k.adj
+	d := k.d
+	xd, xs := k.x.Data(), k.x.RowStride()
+	yd, ys := k.y.Data(), k.y.RowStride()
+	ad, dd := k.alpha.Data(), k.deriv.Data()
+	odata, ostride := out.Data(), out.RowStride()
+	scale, slope := k.cfg.Scale, k.cfg.NegSlope
+
+	for v := rlo; v < rhi; v++ {
+		lo, hi := int(adj.RowPtr[v]), int(adj.RowPtr[v+1])
+		deg := hi - lo
+		if deg == 0 {
+			continue // zero in-degree aggregates to zero (DGL's convention)
+		}
+		yrow := yd[v*ys : v*ys+d]
+		scores := sc.scores[:deg]
+
+		// Pass 1: raw scores and the running row maximum. The sum waits for
+		// pass 2: with the scores buffered, one batch exponential serves
+		// both the sum and the probabilities, so each edge pays exactly one
+		// exp instead of the streaming recurrence's two.
+		runMax := negInf32
+		for j := 0; j < deg; j++ {
+			p := lo + j
+			u := int(adj.ColIdx[p])
+			xrow := xd[u*xs : u*xs+d]
+			// Four independent accumulators: a single running sum serializes
+			// on FP-add latency, which at small d costs more than the
+			// multiplies themselves.
+			var d0, d1, d2, d3 float32
+			f := 0
+			for ; f+4 <= d; f += 4 {
+				d0 += xrow[f] * yrow[f]
+				d1 += xrow[f+1] * yrow[f+1]
+				d2 += xrow[f+2] * yrow[f+2]
+				d3 += xrow[f+3] * yrow[f+3]
+			}
+			for ; f < d; f++ {
+				d0 += xrow[f] * yrow[f]
+			}
+			dot := (d0 + d1) + (d2 + d3)
+			// Constant-select form compiles to CMOV; the sign of a raw
+			// attention score is data-dependent and defeats the branch
+			// predictor.
+			g := slope
+			if dot > 0 {
+				g = 1
+			}
+			s := dot * scale * g
+			scores[j] = s
+			dd[adj.EID[p]] = scale * g
+			if s > runMax {
+				runMax = s
+			}
+		}
+
+		// Pass 2: batch exponential of s−max (all ≤ 0, so nothing can
+		// overflow) with the row sum folded into the same traversal, then
+		// the normalized weighted sum into the output row.
+		inv := 1 / expShiftSumF32(scores, runMax)
+		orow := odata[v*ostride : v*ostride+d]
+		for j := 0; j < deg; j++ {
+			p := lo + j
+			a := scores[j] * inv
+			ad[adj.EID[p]] = a
+			u := int(adj.ColIdx[p])
+			xrow := xd[u*xs : u*xs+d]
+			for f := range orow {
+				orow[f] += a * xrow[f]
+			}
+		}
+	}
+}
+
+// fwdRowsW8 is fwdRows instantiated for feature widths that are a multiple
+// of eight — the template-specialization move FeatGraph makes per feature
+// dimension, here applied at the width-class level. Rows are traversed in
+// fixed 8-wide blocks through array pointers, so the per-element bounds
+// checks and loop bookkeeping of the generic path disappear; the dot
+// products keep four independent accumulator chains (the same split, and so
+// the same rounding, as the generic path at d=8); the LeakyReLU slope is a
+// two-entry table select rather than a branch (a raw score's sign is
+// data-dependent and defeats the predictor); and the weighted sum
+// accumulates each 8-wide output block in registers across the whole
+// in-edge set, storing once per block instead of read-modify-writing the
+// output row on every edge.
+func (k *FusedAttnKernel) fwdRowsW8(out *tensor.Tensor, sc *fusedAttnScratch, rlo, rhi int) {
+	adj := k.adj
+	d := k.d
+	xd, xs := k.x.Data(), k.x.RowStride()
+	yd, ys := k.y.Data(), k.y.RowStride()
+	ad, dd := k.alpha.Data(), k.deriv.Data()
+	odata, ostride := out.Data(), out.RowStride()
+	scale, slope := k.cfg.Scale, k.cfg.NegSlope
+	// dScore/dDot by sign of the dot: index 1 when dot > 0. The score is
+	// dot·deriv, so the select covers both outputs of the transform.
+	drvTab := [2]float32{scale * slope, scale}
+
+	for v := rlo; v < rhi; v++ {
+		lo, hi := int(adj.RowPtr[v]), int(adj.RowPtr[v+1])
+		deg := hi - lo
+		if deg == 0 {
+			continue // zero in-degree aggregates to zero (DGL's convention)
+		}
+		yrow := yd[v*ys : v*ys+d]
+		scores := sc.scores[:deg]
+
+		runMax := negInf32
+		for j := 0; j < deg; j++ {
+			p := lo + j
+			u := int(adj.ColIdx[p])
+			xrow := xd[u*xs : u*xs+d]
+			var d0, d1, d2, d3 float32
+			for f := 0; f+8 <= d; f += 8 {
+				xb := (*[8]float32)(xrow[f : f+8])
+				yb := (*[8]float32)(yrow[f : f+8])
+				d0 += xb[0]*yb[0] + xb[4]*yb[4]
+				d1 += xb[1]*yb[1] + xb[5]*yb[5]
+				d2 += xb[2]*yb[2] + xb[6]*yb[6]
+				d3 += xb[3]*yb[3] + xb[7]*yb[7]
+			}
+			dot := (d0 + d1) + (d2 + d3)
+			var gi uint32
+			if dot > 0 {
+				gi = 1
+			}
+			drv := drvTab[gi&1]
+			s := dot * drv
+			scores[j] = s
+			dd[adj.EID[p]] = drv
+			if s > runMax {
+				runMax = s
+			}
+		}
+
+		// Normalize in place so the aggregation below reads plain α.
+		inv := 1 / expShiftSumF32(scores, runMax)
+		for j := 0; j < deg; j++ {
+			a := scores[j] * inv
+			scores[j] = a
+			ad[adj.EID[lo+j]] = a
+		}
+		orow := odata[v*ostride : v*ostride+d]
+		for f := 0; f+8 <= d; f += 8 {
+			ob := (*[8]float32)(orow[f : f+8])
+			var a0, a1, a2, a3, a4, a5, a6, a7 float32
+			for j := 0; j < deg; j++ {
+				a := scores[j]
+				base := int(adj.ColIdx[lo+j])*xs + f
+				xb := (*[8]float32)(xd[base : base+8])
+				a0 += a * xb[0]
+				a1 += a * xb[1]
+				a2 += a * xb[2]
+				a3 += a * xb[3]
+				a4 += a * xb[4]
+				a5 += a * xb[5]
+				a6 += a * xb[6]
+				a7 += a * xb[7]
+			}
+			ob[0] += a0
+			ob[1] += a1
+			ob[2] += a2
+			ob[3] += a3
+			ob[4] += a4
+			ob[5] += a5
+			ob[6] += a6
+			ob[7] += a7
+		}
+	}
+}

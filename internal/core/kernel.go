@@ -39,6 +39,8 @@ type Kernel interface {
 var (
 	_ Kernel = (*SpMMKernel)(nil)
 	_ Kernel = (*SDDMMKernel)(nil)
+	_ Kernel = (*FusedAttnKernel)(nil)
+	_ Kernel = (*FusedAttnBwdKernel)(nil)
 )
 
 // Describe returns a one-line description of the built SpMM kernel.

@@ -59,8 +59,9 @@ func newKernelMetrics(kernel string) *kernelMetrics {
 }
 
 var (
-	spmmMetrics  = newKernelMetrics("spmm")
-	sddmmMetrics = newKernelMetrics("sddmm")
+	spmmMetrics      = newKernelMetrics("spmm")
+	sddmmMetrics     = newKernelMetrics("sddmm")
+	fusedattnMetrics = newKernelMetrics("fusedattn")
 
 	// mSpMMRows counts aggregated output rows; SDDMM has no row
 	// aggregation (its unit of work is the edge), so the series exists for

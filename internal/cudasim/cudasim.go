@@ -235,6 +235,9 @@ const (
 	CostFLOP = 1
 	// CostAtomic is the cost of one global atomic read-modify-write.
 	CostAtomic = 16
+	// CostExp is the cost of one exponential, modeling the special
+	// function unit's multi-cycle latency (softmax kernels).
+	CostExp = 8
 )
 
 // Charge adds n simulated cycles of block-serial work.

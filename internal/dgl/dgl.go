@@ -18,12 +18,14 @@ package dgl
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"featgraph/internal/admission"
 	"featgraph/internal/core"
 	"featgraph/internal/cudasim"
 	"featgraph/internal/minigun"
+	"featgraph/internal/partition"
 	"featgraph/internal/sparse"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	Deadline time.Duration
 	// Retries is the per-kernel-run retry budget for transient failures.
 	Retries int
+	// LegacyAttention makes nn's GAT layers use the original three-pass
+	// attention (SDDMM dot → edge softmax → weighted SpMM) instead of the
+	// fused kernel — the A/B ablation baseline, mirroring LegacySched one
+	// level up the stack.
+	LegacyAttention bool
 }
 
 // Graph wraps a topology with everything message passing needs: the
@@ -82,6 +89,11 @@ type Graph struct {
 	ctx context.Context
 
 	invDeg []float32 // 1/in-degree per vertex (0 for isolated)
+
+	// Edge-balanced row chunks for dgl-level segment loops (EdgeSoftmax),
+	// built once on first use with the engine's chunking policy.
+	segOnce   sync.Once
+	segChunks []partition.Range
 
 	// Minigun views for the naive GPU backend, built lazily.
 	mgAdj  *minigun.Graph
@@ -168,6 +180,16 @@ func (g *Graph) ResetStats() {
 	g.Fallbacks = 0
 	g.LastFallbackReason = ""
 	g.resetPlanCacheStats()
+}
+
+// segRowChunks returns the graph's edge-balanced destination-row chunks for
+// segment loops run on the shared worker pool. Built once: the topology and
+// thread count are fixed for the graph's lifetime.
+func (g *Graph) segRowChunks() []partition.Range {
+	g.segOnce.Do(func() {
+		g.segChunks = core.EdgeBalancedRowChunks(g.adj, g.cfg.NumThreads)
+	})
+	return g.segChunks
 }
 
 // coreOptions translates the config into sparse-template options.

@@ -2,13 +2,19 @@ package dgl
 
 import (
 	"fmt"
+	"math"
 
 	"featgraph/internal/autodiff"
 	"featgraph/internal/core"
 	"featgraph/internal/expr"
 	"featgraph/internal/schedule"
 	"featgraph/internal/tensor"
+	"featgraph/internal/workpool"
 )
+
+// negInf32 initializes segment-max scans: a true -Inf (not a large-negative
+// literal), so any finite score replaces it.
+var negInf32 = float32(math.Inf(-1))
 
 // Message-passing operations. Each op is built once per model layer (kernel
 // compilation is per-topology, amortized over epochs, §IV-B) and applied
@@ -453,6 +459,10 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 // vertex: α_e = exp(att_e) / Σ_{e'∈in(dst(e))} exp(att_e'). Both backends
 // share this segment implementation (DGL ships it as a dedicated kernel);
 // the GPU cost model charges a few passes over the edges.
+//
+// Destination rows are independent, so both directions run as edge-balanced
+// row chunks on the shared worker pool — each row's edges are touched by
+// exactly one chunk, keeping the per-edge writes race-free.
 func (g *Graph) EdgeSoftmax(tp *autodiff.Tape, att *autodiff.Var) *autodiff.Var {
 	m := g.NumEdges()
 	if att.Value.Dim(0) != m || att.Value.Len() != m {
@@ -463,12 +473,12 @@ func (g *Graph) EdgeSoftmax(tp *autodiff.Tape, att *autodiff.Var) *autodiff.Var 
 	return tp.Custom(
 		func() *tensor.Tensor {
 			ad, pd := att.Value.Data(), probs.Data()
-			for v := 0; v < adj.NumRows; v++ {
+			g.segParallel(func(v int) {
 				lo, hi := adj.RowPtr[v], adj.RowPtr[v+1]
 				if lo == hi {
-					continue
+					return
 				}
-				maxv := float32(-3.4e38)
+				maxv := negInf32
 				for p := lo; p < hi; p++ {
 					if s := ad[adj.EID[p]]; s > maxv {
 						maxv = s
@@ -484,17 +494,17 @@ func (g *Graph) EdgeSoftmax(tp *autodiff.Tape, att *autodiff.Var) *autodiff.Var 
 				for p := lo; p < hi; p++ {
 					pd[adj.EID[p]] *= inv
 				}
-			}
+			})
 			g.charge(uint64(m) * 8)
 			return probs.Clone()
 		},
 		func(dOut *tensor.Tensor) {
 			datt := autodiff.EnsureGrad(att).Data()
 			pd, gd := probs.Data(), dOut.Data()
-			for v := 0; v < adj.NumRows; v++ {
+			g.segParallel(func(v int) {
 				lo, hi := adj.RowPtr[v], adj.RowPtr[v+1]
 				if lo == hi {
-					continue
+					return
 				}
 				var dot float64
 				for p := lo; p < hi; p++ {
@@ -505,9 +515,30 @@ func (g *Graph) EdgeSoftmax(tp *autodiff.Tape, att *autodiff.Var) *autodiff.Var 
 					e := adj.EID[p]
 					datt[e] += pd[e] * (gd[e] - float32(dot))
 				}
-			}
+			})
 			g.charge(uint64(m) * 6)
 		})
+}
+
+// segParallel runs row across every destination vertex, dispatched to the
+// shared worker pool as the graph's edge-balanced row chunks. row must not
+// panic and must touch only its own row's edges.
+func (g *Graph) segParallel(row func(v int)) {
+	chunks := g.segRowChunks()
+	threads := max(g.cfg.NumThreads, 1)
+	if threads <= 1 || len(chunks) <= 1 {
+		for v := 0; v < g.adj.NumRows; v++ {
+			row(v)
+		}
+		return
+	}
+	job := workpool.Job{Body: func(_, ci int) {
+		r := chunks[ci]
+		for v := r.Lo; v < r.Hi; v++ {
+			row(v)
+		}
+	}}
+	workpool.Default().Run(&job, len(chunks), threads)
 }
 
 func exp32(x float32) float32 {

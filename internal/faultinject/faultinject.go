@@ -114,6 +114,12 @@ const (
 	SiteSDDMMCPUOutput = "core/sddmm/cpu-output"
 	// SiteCudasimBlock fires at the start of every simulated-GPU block.
 	SiteCudasimBlock = "cudasim/block"
+	// SiteFusedAttnCPUWorker fires in every fused-attention CPU worker,
+	// once per chunk it processes (forward and both backward phases).
+	SiteFusedAttnCPUWorker = "core/fusedattn/cpu-worker"
+	// SiteFusedAttnCPUOutput is a data site over each fused-attention
+	// worker's output rows.
+	SiteFusedAttnCPUOutput = "core/fusedattn/cpu-output"
 
 	// Write-path sites instrumented by internal/durable's atomic writer.
 	// Arming Err faults here simulates the three ways a crash can tear

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/autodiff"
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+	"featgraph/internal/tensor"
+)
+
+// gatEpoch runs one forward+backward over a GAT-style model and returns the
+// logits plus the parameter gradients.
+func gatEpoch(t *testing.T, m Model, x *tensor.Tensor) (*tensor.Tensor, []*tensor.Tensor) {
+	t.Helper()
+	tp := autodiff.NewTape()
+	logits, params := m.Forward(tp, x)
+	// Scalar sum-loss over the logits.
+	n, d := logits.Value.Dim(0), logits.Value.Dim(1)
+	l := tensor.New(1, n)
+	l.Fill(1)
+	r := tensor.New(d, 1)
+	r.Fill(1)
+	loss := tp.MatMul(tp.MatMul(tp.Input(l), logits), tp.Input(r))
+	if err := tp.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	grads := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		grads[i] = p.Grad()
+	}
+	return logits.Value, grads
+}
+
+// TestGATFusedMatchesLegacyAttention pins the A/B ablation: the fused
+// attention path and the three-pass LegacyAttention path must produce the
+// same logits and weight gradients for identically-initialized models.
+func TestGATFusedMatchesLegacyAttention(t *testing.T) {
+	ds := dataset(t, 7)
+	x := tensor.New(ds.Adj.NumRows, 16)
+	x.FillUniform(rand.New(rand.NewSource(8)), -1, 1)
+	const tol = 1e-3
+
+	build := func(legacy bool, multi bool) (Model, *dgl.Graph) {
+		g, err := dgl.New(ds.Adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU,
+			NumThreads: 2, LegacyAttention: legacy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99)) // same seed → identical weights
+		var m Model
+		if multi {
+			m, err = NewMultiHeadGAT(g, 16, 8, ds.NumClasses, 2, rng)
+		} else {
+			m, err = NewGAT(g, 16, 16, ds.NumClasses, rng)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, g
+	}
+
+	for _, multi := range []bool{false, true} {
+		mFused, _ := build(false, multi)
+		mLegacy, _ := build(true, multi)
+		logitsF, gradsF := gatEpoch(t, mFused, x)
+		logitsL, gradsL := gatEpoch(t, mLegacy, x)
+		if !logitsF.AllClose(logitsL, tol) {
+			t.Errorf("multi=%v: fused vs legacy logits max diff %v", multi, logitsF.MaxAbsDiff(logitsL))
+		}
+		for i := range gradsF {
+			if gradsF[i] == nil || gradsL[i] == nil {
+				t.Fatalf("multi=%v: param %d missing grad", multi, i)
+			}
+			if !gradsF[i].AllClose(gradsL[i], tol) {
+				t.Errorf("multi=%v: fused vs legacy grad %d max diff %v", multi, i, gradsF[i].MaxAbsDiff(gradsL[i]))
+			}
+		}
+	}
+}
+
+// TestGATLegacyAttentionTrains keeps the three-pass ablation path honest:
+// with fused attention as the default, LegacyAttention is the only way the
+// dot→softmax→wsum pipeline still runs inside nn, and it must still learn.
+func TestGATLegacyAttentionTrains(t *testing.T) {
+	ds := dataset(t, 9)
+	g, err := dgl.New(ds.Adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU,
+		LegacyAttention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewGAT(g, 16, 16, ds.NumClasses, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewAdam(0.01)
+	var first, last float64
+	for epoch := 0; epoch < 40; epoch++ {
+		loss, err := TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("legacy-attention GAT did not learn: loss %v → %v", first, last)
+	}
+	if acc := Evaluate(m, ds.Features, ds.Labels, ds.TestMask); acc < 0.7 {
+		t.Fatalf("legacy-attention GAT accuracy %.3f too low", acc)
+	}
+}

@@ -19,6 +19,9 @@ type MultiHeadGAT struct {
 	heads  int
 	w1, w2 *tensor.Tensor
 
+	// Fused attention path (default): one op per head per layer.
+	fused1, fused2 []*dgl.FusedAttentionOp
+	// Legacy three-pass path (dgl.Config.LegacyAttention).
 	dots1, dots2   []*dgl.DotOp
 	wsums1, wsums2 []*dgl.WeightedSumOp
 }
@@ -38,7 +41,21 @@ func NewMultiHeadGAT(g *dgl.Graph, in, hidden, out, heads int, rng *rand.Rand) (
 	}
 	m.w1.FillGlorot(rng)
 	m.w2.FillGlorot(rng)
+	legacy := g.Config().LegacyAttention
 	for h := 0; h < heads; h++ {
+		if !legacy {
+			f1, err := g.NewFusedAttention(hidden)
+			if err != nil {
+				return nil, fmt.Errorf("nn: layer 1 head %d fused attention: %w", h, err)
+			}
+			f2, err := g.NewFusedAttention(out)
+			if err != nil {
+				return nil, fmt.Errorf("nn: layer 2 head %d fused attention: %w", h, err)
+			}
+			m.fused1 = append(m.fused1, f1)
+			m.fused2 = append(m.fused2, f2)
+			continue
+		}
 		d1, err := g.NewDot(hidden)
 		if err != nil {
 			return nil, fmt.Errorf("nn: layer 1 head %d attention: %w", h, err)
@@ -64,11 +81,15 @@ func NewMultiHeadGAT(g *dgl.Graph, in, hidden, out, heads int, rng *rand.Rand) (
 }
 
 // headOutputs runs every head of one layer on its feature slice.
-func (m *MultiHeadGAT) headOutputs(tp *autodiff.Tape, x, w *autodiff.Var, dots []*dgl.DotOp, wsums []*dgl.WeightedSumOp) []*autodiff.Var {
+func (m *MultiHeadGAT) headOutputs(tp *autodiff.Tape, x, w *autodiff.Var, fused []*dgl.FusedAttentionOp, dots []*dgl.DotOp, wsums []*dgl.WeightedSumOp) []*autodiff.Var {
 	z := m.g.DenseMatMul(tp, x, w)
 	zs := tp.SplitCols(z, m.heads)
 	outs := make([]*autodiff.Var, m.heads)
 	for h := 0; h < m.heads; h++ {
+		if fused != nil {
+			outs[h] = fused[h].Apply(tp, zs[h], zs[h])
+			continue
+		}
 		d := zs[h].Value.Dim(1)
 		att := tp.Scale(tp.LeakyReLU(dots[h].Apply(tp, zs[h], zs[h]), 0.2), float32(1/math.Sqrt(float64(d))))
 		alpha := m.g.EdgeSoftmax(tp, att)
@@ -81,8 +102,8 @@ func (m *MultiHeadGAT) headOutputs(tp *autodiff.Tape, x, w *autodiff.Var, dots [
 // layer 2 averages them.
 func (m *MultiHeadGAT) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
 	w1, w2 := tp.Param(m.w1), tp.Param(m.w2)
-	h1 := tp.ReLU(tp.ConcatCols(m.headOutputs(tp, tp.Input(x), w1, m.dots1, m.wsums1)))
-	heads2 := m.headOutputs(tp, h1, w2, m.dots2, m.wsums2)
+	h1 := tp.ReLU(tp.ConcatCols(m.headOutputs(tp, tp.Input(x), w1, m.fused1, m.dots1, m.wsums1)))
+	heads2 := m.headOutputs(tp, h1, w2, m.fused2, m.dots2, m.wsums2)
 	sum := heads2[0]
 	for _, hv := range heads2[1:] {
 		sum = tp.Add(sum, hv)
