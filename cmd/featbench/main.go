@@ -9,6 +9,7 @@
 //	featbench -exp table4a -full   # closer-to-paper sizing (slow)
 //	featbench -json bench.json     # machine-readable engine report
 //	featbench -fusedjson fused.json # machine-readable fused-attention report
+//	featbench -oocjson ooc.json    # machine-readable out-of-core report
 //
 // CPU experiments report wall time; GPU experiments report simulated
 // cycles from the cudasim cost model (see DESIGN.md).
@@ -42,7 +43,8 @@ func main() {
 		reps     = flag.Int("reps", 0, "timed repetitions per measurement (0 = scale default)")
 		jsonOut  = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
 		fusedOut = flag.String("fusedjson", "", "write the fused-attention report (fused vs three-pass GAT layer) to this file and exit")
-		rounds   = flag.Int("rounds", 3, "interleaved measurement rounds for -json / -fusedjson")
+		oocOut   = flag.String("oocjson", "", "write the out-of-core report (sharded vs in-memory SpMM) to this file and exit")
+		rounds   = flag.Int("rounds", 3, "interleaved measurement rounds for -json / -fusedjson / -oocjson")
 		metrics  = flag.Bool("metrics", false, "run the telemetry smoke workload and print the Prometheus metrics snapshot")
 	)
 	flag.Parse()
@@ -65,6 +67,14 @@ func main() {
 
 	if *fusedOut != "" {
 		if err := writeFusedReport(ctx, *fusedOut, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *oocOut != "" {
+		if err := writeOutOfCoreReport(ctx, *oocOut, *rounds); err != nil {
 			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
 			os.Exit(1)
 		}

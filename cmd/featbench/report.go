@@ -66,3 +66,27 @@ func writeFusedReport(ctx context.Context, path string, rounds int) error {
 		path, rep.Speedup, rep.Agreement.Passed)
 	return f.Close()
 }
+
+// writeOutOfCoreReport runs the sharded-vs-in-memory SpMM measurements on a
+// graph several times larger than the residency budget and writes the JSON
+// report to path (checked in as BENCH_PR8.json).
+func writeOutOfCoreReport(ctx context.Context, path string, rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	rep, err := bench.RunOutOfCoreReport(ctx, os.Stderr, gitRev(), rounds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("out-of-core report written to %s (slowdown: %v, %.1fx over budget, agreement passed: %v)\n",
+		path, rep.Slowdown, rep.Graph.BudgetRatio, rep.Agreement.Passed)
+	return f.Close()
+}

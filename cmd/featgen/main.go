@@ -7,7 +7,8 @@
 //	featgen -gen proteins -scale quick -o proteins.fgg    # generate
 //	featgen -gen uniform -n 10000 -deg 50 -o g.fgg        # custom uniform
 //	featgen -gen twotier -n 20000 -o rand100k.fgg         # paper's recipe
-//	featgen -info g.fgg                                   # inspect
+//	featgen -gen skewed -shard-edges -1 -o g.fgs          # out-of-core sharded
+//	featgen -info g.fgg                                   # inspect (either format)
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		n     = flag.Int("n", 10000, "vertices (uniform/twotier/skewed)")
 		deg   = flag.Int("deg", 50, "average degree (uniform/skewed)")
 		skew  = flag.Float64("skew", 1.4, "zipf exponent (skewed)")
+		shard = flag.Int("shard-edges", 0, "write the sharded out-of-core format with this shard edge target (0 = plain format, -1 = sharded default)")
 	)
 	flag.Parse()
 
@@ -70,7 +72,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "featgen: unknown generator %q\n", *gen)
 		os.Exit(2)
 	}
-	if err := graphio.SaveGraph(*out, g); err != nil {
+	if *shard != 0 {
+		// -shard-edges selects the out-of-core format: destination-row
+		// shards a ShardedCSR can stream under a residency budget.
+		if err := graphio.SaveSharded(*out, g, *shard); err != nil {
+			fmt.Fprintln(os.Stderr, "featgen:", err)
+			os.Exit(1)
+		}
+	} else if err := graphio.SaveGraph(*out, g); err != nil {
 		fmt.Fprintln(os.Stderr, "featgen:", err)
 		os.Exit(1)
 	}
@@ -78,7 +87,7 @@ func main() {
 }
 
 func printInfo(path string) error {
-	g, err := graphio.LoadGraph(path)
+	g, err := graphio.LoadAnyGraph(path)
 	if err != nil {
 		return err
 	}

@@ -318,6 +318,13 @@ func (g *Governor) releaseLocked(bytes int64) {
 	g.inflight--
 	g.memUsed -= bytes
 	inflightCount.Add(-1)
+	g.wakeLocked()
+}
+
+// wakeLocked wakes as many queued waiters as the freed capacity now fits,
+// preserving FIFO order. Called after any capacity return — a run's
+// Release or a standing memory reservation's.
+func (g *Governor) wakeLocked() {
 	for len(g.queue) > 0 && g.canAdmitLocked(g.queue[0].bytes) {
 		w := g.queue[0]
 		g.queue[0] = nil
@@ -327,6 +334,54 @@ func (g *Governor) releaseLocked(bytes int64) {
 		queuedCount.Add(-1)
 		close(w.ready)
 	}
+}
+
+// MemTicket is a standing reservation against a governor's memory ledger
+// without an execution slot: how long-lived caches (the out-of-core shard
+// cache) make their residency visible to admission decisions. Release the
+// ticket when the reserved bytes are freed; releasing the zero MemTicket
+// is a no-op.
+type MemTicket struct {
+	g     *Governor
+	bytes int64
+}
+
+// ReserveMemory charges bytes against the governor's memory ledger and
+// returns the ticket that releases them. Unlike Admit, a reservation never
+// blocks, queues, or sheds — residency is bounded by the reserving cache's
+// own budget; the governor simply sees the reduced headroom when admitting
+// kernel runs, so a process near its memory budget queues or sheds work
+// instead of overcommitting. bytes <= 0 returns the zero ticket.
+func (g *Governor) ReserveMemory(bytes int64) MemTicket {
+	if bytes <= 0 {
+		return MemTicket{}
+	}
+	g.mu.Lock()
+	g.memUsed += bytes
+	g.mu.Unlock()
+	memReserved.Add(bytes)
+	return MemTicket{g: g, bytes: bytes}
+}
+
+// Release returns the reservation's bytes to the ledger and wakes queued
+// runs that now fit.
+func (t MemTicket) Release() {
+	if t.g == nil {
+		return
+	}
+	t.g.mu.Lock()
+	t.g.memUsed -= t.bytes
+	t.g.wakeLocked()
+	t.g.mu.Unlock()
+	memReserved.Add(-t.bytes)
+}
+
+// MemReserved returns the governor's current ledger charge from standing
+// reservations plus in-flight runs, in bytes.
+func (g *Governor) MemReserved() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.memUsed
 }
 
 func (g *Governor) removeWaiterLocked(w *waiter) {

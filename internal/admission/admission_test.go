@@ -265,3 +265,96 @@ func waitDepth(t *testing.T, g *Governor, want int) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+// --- Standing memory reservations (the out-of-core shard cache ledger) ---
+
+func TestReserveMemoryChargesLedger(t *testing.T) {
+	g := NewGovernor(Config{MemoryBudget: 1 << 20, MaxQueue: 4})
+	a := g.ReserveMemory(1000)
+	b := g.ReserveMemory(500)
+	if got := g.MemReserved(); got != 1500 {
+		t.Fatalf("MemReserved = %d, want 1500", got)
+	}
+	a.Release()
+	if got := g.MemReserved(); got != 500 {
+		t.Fatalf("MemReserved after first release = %d, want 500", got)
+	}
+	b.Release()
+	if got := g.MemReserved(); got != 0 {
+		t.Fatalf("MemReserved after both releases = %d, want 0", got)
+	}
+}
+
+func TestReserveMemoryZeroAndNegativeAreNoOps(t *testing.T) {
+	g := NewGovernor(Config{MemoryBudget: 100})
+	for _, n := range []int64{0, -5} {
+		tk := g.ReserveMemory(n)
+		if got := g.MemReserved(); got != 0 {
+			t.Fatalf("MemReserved after reserving %d = %d, want 0", n, got)
+		}
+		tk.Release() // zero ticket: must not underflow the ledger
+		if got := g.MemReserved(); got != 0 {
+			t.Fatalf("MemReserved after zero-ticket release = %d, want 0", got)
+		}
+	}
+}
+
+// A standing reservation shrinks the headroom Admit sees: runs that would
+// fit an empty ledger queue behind the reservation, and releasing it wakes
+// them. This is the contract the shard cache depends on — resident shards
+// push back on kernel admission instead of overcommitting the host.
+func TestReservationShrinksAdmissionHeadroom(t *testing.T) {
+	g := NewGovernor(Config{MemoryBudget: 100, MaxQueue: 4})
+	res := g.ReserveMemory(60)
+
+	// First run: 60+30 > 100 would block, but nothing is in flight, so the
+	// starvation guard admits it (reservations alone must not deadlock the
+	// governor).
+	first := admitOne(t, g, 30)
+
+	// Second run cannot fit while the reservation stands.
+	admitted := make(chan Ticket)
+	go func() {
+		tk, err := g.Admit(context.Background(), 30)
+		if err != nil {
+			panic(err)
+		}
+		admitted <- tk
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second run admitted despite standing reservation")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Releasing the reservation must wake the queued run: 30+30 <= 100.
+	res.Release()
+	var second Ticket
+	select {
+	case second = <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued run not woken by reservation release")
+	}
+	g.Release(first)
+	g.Release(second)
+	if got := g.MemReserved(); got != 0 {
+		t.Fatalf("ledger not empty at end: %d", got)
+	}
+}
+
+// Reservations never block or shed — even past the budget — because the
+// reserving cache bounds itself; the governor only needs the visibility.
+func TestReserveMemoryNeverBlocks(t *testing.T) {
+	g := NewGovernor(Config{MemoryBudget: 10, MaxQueue: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tk := g.ReserveMemory(1 << 30) // far past budget
+		tk.Release()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReserveMemory blocked")
+	}
+}

@@ -13,6 +13,7 @@ import (
 var (
 	inflightCount atomic.Int64
 	queuedCount   atomic.Int64
+	memReserved   atomic.Int64
 
 	mAdmitted = telemetry.NewCounter("featgraph_admission_admitted_total", "",
 		"Kernel runs admitted by the serving governor.")
@@ -33,6 +34,9 @@ func init() {
 	telemetry.NewGaugeFunc("featgraph_admission_queue_depth", "",
 		"Kernel runs waiting in admission queues, across all governors.",
 		func() float64 { return float64(queuedCount.Load()) })
+	telemetry.NewGaugeFunc("featgraph_admission_memory_reserved_bytes", "",
+		"Bytes held by standing memory reservations (out-of-core shard residency), across all governors.",
+		func() float64 { return float64(memReserved.Load()) })
 }
 
 // mOn gates counter recording on the process-wide telemetry switch.

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"featgraph/internal/core"
+	"featgraph/internal/dgl"
+	"featgraph/internal/expr"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/graphio"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The out-of-core report (featbench -oocjson, checked in as BENCH_PR8.json)
+// measures a sharded SpMM whose graph is several times larger than the
+// residency budget — every epoch streams most shards off disk through the
+// byte-budget LRU cache — against the same kernel on the fully resident
+// CSR. Sharded and in-memory runs of each round are interleaved and the
+// median kept, so machine noise perturbs both sides equally. The report
+// carries its own oracle: one run of each path compared element-wise.
+
+func init() {
+	register("outofcore", "Out-of-core sharded SpMM vs in-memory (budget ≪ graph)", oocExp)
+}
+
+const (
+	oocVerts = 40000
+	oocDeg   = 32
+	oocDim   = 32
+	oocSkew  = 1.2
+	// oocBudget is the residency cap. The decoded graph (col+eid+val at 12
+	// bytes/edge) is ~15 MiB, so a 2 MiB budget forces ≥ 4× out-of-core.
+	oocBudget = int64(2 << 20)
+)
+
+// OOCBenchResult is one measured (path, threads) pair.
+type OOCBenchResult struct {
+	Name        string  `json:"name"`
+	Path        string  `json:"path"` // "sharded" or "inmemory"
+	Threads     int     `json:"threads"`
+	FeatDim     int     `json:"feat_dim"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+}
+
+// OOCAgreement is the built-in oracle check: one SpMM per path on identical
+// inputs, with the largest element divergence. Passed means it stayed
+// within Tolerance — the same bound the sharded differential tests in
+// internal/core enforce.
+type OOCAgreement struct {
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+	Tolerance  float64 `json:"tolerance"`
+	Passed     bool    `json:"passed"`
+}
+
+// OOCGraphInfo describes the benchmark graph and its on-disk shard layout.
+type OOCGraphInfo struct {
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	FileBytes    int64   `json:"file_bytes"`
+	DecodedBytes int64   `json:"decoded_bytes"`
+	NumShards    int     `json:"num_shards"`
+	BudgetBytes  int64   `json:"budget_bytes"`
+	BudgetRatio  float64 `json:"budget_ratio"` // decoded / budget, must be >= 4
+}
+
+// OOCCacheStats is the residency cache's traffic over the whole
+// measurement, straight from ShardedCSR.Stats.
+type OOCCacheStats struct {
+	Loads     uint64 `json:"loads"`
+	Hits      uint64 `json:"hits"`
+	Evictions uint64 `json:"evictions"`
+	PeakBytes int64  `json:"peak_bytes"`
+}
+
+// OOCReport is the payload of featbench -oocjson.
+type OOCReport struct {
+	GitRev     string             `json:"git_rev"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Rounds     int                `json:"rounds"`
+	Graph      OOCGraphInfo       `json:"graph"`
+	Results    []OOCBenchResult   `json:"results"`
+	Slowdown   map[string]float64 `json:"sharded_slowdown"` // per "threads-N": sharded/inmemory ns
+	Cache      OOCCacheStats      `json:"cache"`
+	Agreement  OOCAgreement       `json:"agreement"`
+}
+
+// oocGraph is the benchmark graph: Zipf-skewed sources (the hub-heavy
+// column distribution of real social graphs) with a fixed in-degree, big
+// enough that its decoded form dwarfs the residency budget.
+func oocGraph() *sparse.CSR {
+	rng := rand.New(rand.NewSource(8))
+	return graphgen.Skewed(rng, oocVerts, oocDeg, oocSkew)
+}
+
+// RunOutOfCoreReport writes the graph to a temporary sharded file, opens it
+// under the residency budget, and measures sharded-vs-in-memory SpMM over
+// `rounds` interleaved rounds. A cancelled ctx stops between measurements
+// and assembles the report from the rounds already completed.
+func RunOutOfCoreReport(ctx context.Context, out io.Writer, gitRev string, rounds int) (*OOCReport, error) {
+	adj := oocGraph()
+	nnz := adj.NNZ()
+	decoded := 12*int64(nnz) + 4*int64(adj.NumRows+1)
+
+	dir, err := os.MkdirTemp("", "featbench-ooc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "graph.fgshard")
+	// Cut shards so roughly four fit the budget: eviction pressure on
+	// every pass, but never a shard too large to admit at all.
+	targetEdges := int(oocBudget / (12 * 4))
+	if err := graphio.SaveSharded(path, adj, targetEdges); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := graphio.OpenSharded(path, graphio.ShardedOptions{BudgetBytes: oocBudget})
+	if err != nil {
+		return nil, err
+	}
+	defer sh.Close()
+
+	rep := &OOCReport{
+		GitRev:     gitRev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+		Graph: OOCGraphInfo{
+			Vertices: adj.NumRows, Edges: nnz,
+			FileBytes: fi.Size(), DecodedBytes: decoded,
+			NumShards: sh.NumShards(), BudgetBytes: oocBudget,
+			BudgetRatio: float64(decoded) / float64(oocBudget),
+		},
+		Slowdown: map[string]float64{},
+	}
+
+	const d = oocDim
+	x := randX(9, adj.NumCols, d)
+	udf := expr.CopySrc(adj.NumCols, d)
+
+	threadSet := []int{4, 8}
+	type caseKey struct {
+		path    string
+		threads int
+	}
+	planners := map[int]*dgl.ShardPlanCache{}
+	for _, th := range threadSet {
+		planners[th] = dgl.NewShardPlanCache(fmt.Sprintf("bench.ooc.t%d", th))
+		defer planners[th].Invalidate()
+	}
+	build := func(c caseKey) (func(*tensor.Tensor) error, error) {
+		opts := core.Options{Target: core.CPU, NumThreads: c.threads}
+		if c.path == "inmemory" {
+			k, err := core.BuildSpMM(adj, udf, []*tensor.Tensor{x}, core.AggSum, nil, opts)
+			if err != nil {
+				return nil, err
+			}
+			return func(out *tensor.Tensor) error { _, err := k.Run(out); return err }, nil
+		}
+		k, err := core.BuildShardedSpMM(sh, udf, []*tensor.Tensor{x}, core.AggSum, nil, opts, planners[c.threads])
+		if err != nil {
+			return nil, err
+		}
+		return func(out *tensor.Tensor) error { _, err := k.Run(out); return err }, nil
+	}
+
+	var cases []caseKey
+	for _, th := range threadSet {
+		cases = append(cases, caseKey{"sharded", th}, caseKey{"inmemory", th})
+	}
+	epochs := map[caseKey]func(*tensor.Tensor) error{}
+	for _, c := range cases {
+		e, err := build(c)
+		if err != nil {
+			return nil, err
+		}
+		epochs[c] = e
+		// Warmup: one unmeasured run so first-touch page faults and plan
+		// compilation land outside the samples.
+		if err := e(tensor.New(adj.NumRows, d)); err != nil {
+			return nil, err
+		}
+	}
+
+	samples := map[caseKey][]float64{}
+	scratch := tensor.New(adj.NumRows, d)
+measure:
+	for round := 0; round < rounds; round++ {
+		for _, c := range cases {
+			if ctx.Err() != nil {
+				fmt.Fprintf(out, "interrupted after round %d; writing partial report\n", round)
+				break measure
+			}
+			epoch := epochs[c]
+			var runErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := epoch(scratch); err != nil {
+						runErr = err
+						return
+					}
+				}
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			samples[c] = append(samples[c], float64(r.NsPerOp()))
+			fmt.Fprintf(out, "round %d: spmm/%s/threads-%d %12.0f ns/op\n",
+				round, c.path, c.threads, float64(r.NsPerOp()))
+		}
+	}
+	median := map[caseKey]float64{}
+	for _, c := range cases {
+		if s := samples[c]; len(s) > 0 {
+			sort.Float64s(s)
+			median[c] = s[len(s)/2]
+			rep.Results = append(rep.Results, OOCBenchResult{
+				Name: "spmm-copysrc-sum", Path: c.path, Threads: c.threads, FeatDim: d,
+				NsPerOp:     median[c],
+				EdgesPerSec: float64(nnz) / (median[c] / 1e9),
+			})
+		}
+	}
+	for _, th := range threadSet {
+		s, m := median[caseKey{"sharded", th}], median[caseKey{"inmemory", th}]
+		if s > 0 && m > 0 {
+			rep.Slowdown[fmt.Sprintf("threads-%d", th)] = s / m
+		}
+	}
+	st := sh.Stats()
+	rep.Cache = OOCCacheStats{Loads: st.Loads, Hits: st.Hits, Evictions: st.Evictions, PeakBytes: st.PeakBytes}
+
+	// Agreement: one run of each path into fresh outputs, compared
+	// element-wise — the report carries its own correctness evidence.
+	const tol = 1e-4
+	got, want := tensor.New(adj.NumRows, d), tensor.New(adj.NumRows, d)
+	if err := epochs[caseKey{"sharded", 4}](got); err != nil {
+		return nil, err
+	}
+	if err := epochs[caseKey{"inmemory", 4}](want); err != nil {
+		return nil, err
+	}
+	rep.Agreement = OOCAgreement{MaxAbsDiff: got.MaxAbsDiff(want), Tolerance: tol}
+	rep.Agreement.Passed = rep.Agreement.MaxAbsDiff <= tol
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *OOCReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// oocExp is the registry entry: a table view of the same measurement,
+// sized by cfg.Reps, for featbench -exp outofcore and the CI bench smoke.
+func oocExp(cfg *Config) error {
+	rep, err := RunOutOfCoreReport(context.Background(), io.Discard, "n/a", max(cfg.Reps, 1))
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Out-of-core sharded SpMM (|V|=%d, |E|=%d, d=%d, %d shards, budget %d MiB, %.1fx over budget)",
+			rep.Graph.Vertices, rep.Graph.Edges, oocDim, rep.Graph.NumShards,
+			rep.Graph.BudgetBytes>>20, rep.Graph.BudgetRatio),
+		Columns: []string{"threads", "in-memory", "sharded", "slowdown"},
+	}
+	find := func(path string, threads int) *OOCBenchResult {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			if r.Path == path && r.Threads == threads {
+				return r
+			}
+		}
+		return nil
+	}
+	for _, threads := range []int{4, 8} {
+		s, m := find("sharded", threads), find("inmemory", threads)
+		if s == nil || m == nil {
+			continue
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", threads),
+			secs(m.NsPerOp / 1e9), secs(s.NsPerOp / 1e9),
+			ratio(s.NsPerOp, m.NsPerOp),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "cache: %d loads, %d hits, %d evictions, peak %d bytes (budget %d)\n",
+		rep.Cache.Loads, rep.Cache.Hits, rep.Cache.Evictions, rep.Cache.PeakBytes, rep.Graph.BudgetBytes)
+	fmt.Fprintf(cfg.Out, "agreement: max diff %.2e (tol %.0e, passed=%v)\n",
+		rep.Agreement.MaxAbsDiff, rep.Agreement.Tolerance, rep.Agreement.Passed)
+	return nil
+}

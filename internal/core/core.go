@@ -221,8 +221,10 @@ func (o *Options) device() *cudasim.Device {
 // validateBindings checks that every placeholder indexed by a special
 // variable has a leading dimension compatible with the graph: Src indexes
 // source vertices (adjacency columns), Dst destination vertices (rows),
-// and EID edge ids (nnz).
-func validateBindings(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor) error {
+// and EID edge ids (nnz). The dimensions are passed explicitly rather
+// than as a CSR because sharded kernels validate against the global graph
+// while executing a local shard.
+func validateBindings(numRows, numCols int, nnz int64, udf *expr.UDF, inputs []*tensor.Tensor) error {
 	var err error
 	walkLoads(udf.Body, func(l *expr.Load) {
 		if err != nil {
@@ -235,16 +237,16 @@ func validateBindings(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor) e
 		dim0 := inputs[l.P.ID()].Dim(0)
 		switch sp {
 		case expr.Src:
-			if dim0 != adj.NumCols {
-				err = fmt.Errorf("core: %s indexed by src has %d rows, graph has %d source vertices", l.P.Name, dim0, adj.NumCols)
+			if dim0 != numCols {
+				err = fmt.Errorf("core: %s indexed by src has %d rows, graph has %d source vertices", l.P.Name, dim0, numCols)
 			}
 		case expr.Dst:
-			if dim0 != adj.NumRows {
-				err = fmt.Errorf("core: %s indexed by dst has %d rows, graph has %d destination vertices", l.P.Name, dim0, adj.NumRows)
+			if dim0 != numRows {
+				err = fmt.Errorf("core: %s indexed by dst has %d rows, graph has %d destination vertices", l.P.Name, dim0, numRows)
 			}
 		case expr.EID:
-			if dim0 < adj.NNZ() {
-				err = fmt.Errorf("core: %s indexed by eid has %d rows, graph has %d edges", l.P.Name, dim0, adj.NNZ())
+			if int64(dim0) < nnz {
+				err = fmt.Errorf("core: %s indexed by eid has %d rows, graph has %d edges", l.P.Name, dim0, nnz)
 			}
 		}
 	})

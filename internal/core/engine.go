@@ -180,7 +180,9 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats
 	st.edges.Store(0)
 	st.stolen.Store(0)
 	tracing := telemetry.TraceActive()
-	out.Fill(k.agg.identity())
+	if !k.partial {
+		out.Fill(k.agg.identity())
+	}
 
 	var phaseStart time.Time
 	for ti, tile := range k.tiles {
@@ -199,7 +201,7 @@ func (k *SpMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stats
 			}
 		}
 	}
-	if !st.rc.stop() {
+	if !st.rc.stop() && !k.partial {
 		st.finalize = true
 		st.chunks = k.finChunks
 		st.site.tile, st.site.part = -1, -1
@@ -293,7 +295,7 @@ func (st *sddmmRunState) runChunk(slot, ci int) {
 				return
 			}
 			for i := clo; i < min(clo+cancelChunk, r.Hi); i++ {
-				u, v := int(ed.Col[i]), int(ed.Row[i])
+				u, v := int(ed.Col[i]), int(ed.Row[i])+k.dstBase
 				xrow := xd[u*xs+klo : u*xs+khi]
 				yrow := yd[v*ys+klo : v*ys+khi]
 				var s float32
@@ -316,7 +318,7 @@ func (st *sddmmRunState) runChunk(slot, ci int) {
 		}
 		for i := clo; i < min(clo+cancelChunk, r.Hi); i++ {
 			eid := int(ed.EID[i])
-			k.compiled.Eval(env, ed.Col[i], ed.Row[i], ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
+			k.compiled.Eval(env, ed.Col[i], ed.Row[i]+int32(k.dstBase), ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
 		}
 	}
 	faultinject.CorruptFloats(faultinject.SiteSDDMMCPUOutput, odata[r.Lo*ostride:r.Hi*ostride])
@@ -345,7 +347,9 @@ func (k *SDDMMKernel) runCPUEngine(ctx context.Context, out *tensor.Tensor, stat
 
 	var phaseStart time.Time
 	if k.match.Pattern == codegen.DotSrcDst {
-		out.Zero()
+		if !k.partial {
+			out.Zero()
+		}
 		st.dot = true
 		for kti, kt := range k.redTiles {
 			if st.rc.stop() {

@@ -14,7 +14,7 @@ import (
 // ReferenceSpMM computes out[v] = agg over in-edges (u→v, eid e) of
 // udf(u, v, e), with isolated vertices aggregating to zero.
 func ReferenceSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp) (*tensor.Tensor, error) {
-	if err := validateBindings(adj, udf, inputs); err != nil {
+	if err := validateBindings(adj.NumRows, adj.NumCols, int64(adj.NNZ()), udf, inputs); err != nil {
 		return nil, err
 	}
 	c, err := codegen.Compile(udf, inputs)
@@ -39,7 +39,7 @@ func ReferenceSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg 
 // ReferenceSDDMM computes out[e] = udf(u, v, e) for every edge u→v with id
 // e, producing an |E|×outLen tensor indexed by global edge id.
 func ReferenceSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
-	if err := validateBindings(adj, udf, inputs); err != nil {
+	if err := validateBindings(adj.NumRows, adj.NumCols, int64(adj.NNZ()), udf, inputs); err != nil {
 		return nil, err
 	}
 	c, err := codegen.Compile(udf, inputs)

@@ -26,6 +26,16 @@ type SDDMMKernel struct {
 	opts   Options
 	outLen int
 
+	// Sharded execution (see sharded.go): a partial kernel computes one
+	// shard's edges of a larger graph directly into the full global output
+	// (SDDMM output is indexed by global edge id, which shard CSRs carry),
+	// so outRows is the global edge count and the executor owns the
+	// one-time output zeroing. dstBase maps local destination rows onto
+	// global rows for Dst-indexed inputs.
+	outRows int
+	dstBase int
+	partial bool
+
 	compiled *codegen.CompiledUDF
 	match    codegen.Match
 
@@ -54,6 +64,14 @@ type SDDMMKernel struct {
 
 // BuildSDDMM builds a generalized SDDMM kernel. fds may be nil.
 func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options) (*SDDMMKernel, error) {
+	return buildSDDMM(adj, udf, inputs, fds, opts, nil)
+}
+
+// buildSDDMM is BuildSDDMM plus the sharded-execution hook: a non-nil sh
+// builds a partial kernel over one shard of a larger graph (CPU only),
+// validating inputs against the global dimensions and sizing the output
+// for the global edge count.
+func buildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options, sh *shardSpec) (*SDDMMKernel, error) {
 	tracing := telemetry.TraceActive()
 	var buildStart, stepStart time.Time
 	if tracing {
@@ -68,7 +86,14 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 	if err := fds.Validate(udf); err != nil {
 		return nil, err
 	}
-	if err := validateBindings(adj, udf, inputs); err != nil {
+	bindRows, bindCols, bindNNZ := adj.NumRows, adj.NumCols, int64(adj.NNZ())
+	if sh != nil {
+		if opts.Target != CPU {
+			return nil, fmt.Errorf("core: sharded kernels run on CPU only")
+		}
+		bindRows, bindCols, bindNNZ = sh.globalRows, sh.globalCols, sh.globalNNZ
+	}
+	if err := validateBindings(bindRows, bindCols, bindNNZ, udf, inputs); err != nil {
 		return nil, err
 	}
 	if tracing {
@@ -85,8 +110,13 @@ func BuildSDDMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, fds *sc
 		adj:      adj,
 		opts:     opts,
 		outLen:   compiled.OutLen(),
+		outRows:  adj.NNZ(),
 		compiled: compiled,
 		match:    codegen.Recognize(udf, inputs),
+	}
+	if sh != nil {
+		k.outRows = int(sh.globalNNZ)
+		k.dstBase, k.partial = sh.dstBase, true
 	}
 	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
 
@@ -165,8 +195,9 @@ func findReduceAxis(e expr.Expr) *expr.Axis {
 	return nil
 }
 
-// OutShape returns the required output tensor shape.
-func (k *SDDMMKernel) OutShape() (rows, cols int) { return k.adj.NNZ(), k.outLen }
+// OutShape returns the required output tensor shape (the global edge
+// count for a sharded partial kernel).
+func (k *SDDMMKernel) OutShape() (rows, cols int) { return k.outRows, k.outLen }
 
 // Pattern returns the recognized UDF pattern.
 func (k *SDDMMKernel) Pattern() string { return k.match.Pattern.String() }
@@ -181,8 +212,8 @@ func (k *SDDMMKernel) Run(out *tensor.Tensor) (RunStats, error) {
 // (admission, deadlines, circuit breaker, stall watchdog, retries) — the
 // two templates behave identically.
 func (k *SDDMMKernel) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
-	if out.Dim(0) != k.adj.NNZ() || out.Len() != k.adj.NNZ()*k.outLen {
-		return RunStats{}, fmt.Errorf("core: SDDMM output shape %v, want [%d, %d]", out.Shape(), k.adj.NNZ(), k.outLen)
+	if out.Dim(0) != k.outRows || out.Len() != k.outRows*k.outLen {
+		return RunStats{}, fmt.Errorf("core: SDDMM output shape %v, want [%d, %d]", out.Shape(), k.outRows, k.outLen)
 	}
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
@@ -317,7 +348,9 @@ func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) erro
 		xd, xs := x.Data(), x.RowStride()
 		yd, ys := y.Data(), y.RowStride()
 		odata := out.Data()
-		out.Zero()
+		if !k.partial {
+			out.Zero()
+		}
 		for kti, kt := range k.redTiles {
 			if rc.stop() {
 				return rc.verdict()
@@ -331,7 +364,7 @@ func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) erro
 						return
 					}
 					for i := clo; i < min(clo+cancelChunk, ehi); i++ {
-						u, v := int(ed.Col[i]), int(ed.Row[i])
+						u, v := int(ed.Col[i]), int(ed.Row[i])+k.dstBase
 						xrow := xd[u*xs+klo : u*xs+khi]
 						yrow := yd[v*ys+klo : v*ys+khi]
 						var s float32
@@ -367,7 +400,7 @@ func (k *SDDMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) erro
 				}
 				for i := clo; i < min(clo+cancelChunk, ehi); i++ {
 					eid := int(ed.EID[i])
-					k.compiled.Eval(env, ed.Col[i], ed.Row[i], ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
+					k.compiled.Eval(env, ed.Col[i], ed.Row[i]+int32(k.dstBase), ed.EID[i], odata[eid*ostride+lo:eid*ostride+hi], lo, hi)
 				}
 			}
 			faultinject.CorruptFloats(faultinject.SiteSDDMMCPUOutput, odata[elo*ostride:ehi*ostride])

@@ -1,0 +1,438 @@
+// Sharded (out-of-core) execution: the SpMM/SDDMM templates applied shard
+// by shard to a graph that never exists as one in-memory CSR.
+//
+// A ShardSource hands out contiguous destination-row shards (local rows,
+// global columns and edge ids — internal/graphio.ShardedCSR is the
+// on-disk implementation). The executors stream through the shards with
+// partial template kernels (see the shardSpec hooks in spmm.go/sddmm.go)
+// and own the cross-shard aggregation algebra:
+//
+//   - SpMM: the output is prefilled with the aggregation identity once,
+//     each shard accumulates into its destination-row slice (a shard
+//     boundary may split a row, so two shards can touch the same output
+//     row — which is exactly why partial kernels must not prefill or
+//     finalize), and one global finalization pass divides means by the
+//     global degree and zeroes isolated vertices.
+//   - SDDMM: the output is indexed by global edge id, which shard CSRs
+//     carry verbatim, so each shard writes its edges into the full output
+//     tensor directly; the executor zeroes it once up front.
+//
+// Per-shard kernels are built lazily and memoized through a ShardPlanner,
+// so epoch 2..N of a training loop rebuilds a shard's kernel only if the
+// residency cache evicted and re-materialized that shard in between.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"featgraph/internal/admission"
+	"featgraph/internal/codegen"
+	"featgraph/internal/expr"
+	"featgraph/internal/schedule"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// shardSpec configures a partial kernel build: the kernel executes one
+// shard's local CSR but validates inputs against (and indexes Dst-bound
+// tensors with) the global graph.
+type shardSpec struct {
+	dstBase    int // global destination row of local row 0
+	globalRows int
+	globalCols int
+	globalNNZ  int64
+}
+
+// ShardSource is a graph served as contiguous destination-row shards.
+// Shard i covers global rows [rowLo, rowHi) and a contiguous edge range;
+// a pinned shard is a local-row CSR (row 0 = global row rowLo) whose
+// ColIdx and EID stay global. Shard boundaries may split a row: the row's
+// edges are divided between the adjacent shards, and Degree reports the
+// global in-degree the executors finalize with.
+type ShardSource interface {
+	// Dims returns the global graph dimensions.
+	Dims() (numRows, numCols int, nnz int64)
+	// NumShards returns the shard count.
+	NumShards() int
+	// ShardRows returns shard i's destination-row span [rowLo, rowHi).
+	ShardRows(i int) (rowLo, rowHi int)
+	// ShardNNZ returns shard i's edge count.
+	ShardNNZ(i int) int64
+	// Degree returns global destination row r's in-degree.
+	Degree(r int) int64
+	// Pin materializes shard i and returns it with a release function the
+	// caller must invoke when done; while pinned the CSR must not change.
+	Pin(ctx context.Context, i int) (*sparse.CSR, func(), error)
+}
+
+// ShardPlanner memoizes per-shard kernels across runs. Plan returns the
+// cached kernel for (shard, adj) or invokes build and caches the result;
+// adj is the identity key — a re-materialized shard (new CSR pointer)
+// must rebuild, because the cached kernel's precomputed schedule aliases
+// the old arrays. internal/dgl plugs its LRU plan cache in here.
+type ShardPlanner interface {
+	Plan(shard int, adj *sparse.CSR, build func() (Kernel, error)) (Kernel, error)
+}
+
+// mapPlanner is the default ShardPlanner: an unbounded per-executor map.
+// Replacing a stale entry drops the old kernel (and its reference to the
+// evicted shard's arrays), so at most one kernel per shard stays live.
+type mapPlanner struct {
+	mu    sync.Mutex
+	plans map[int]mapPlan
+}
+
+type mapPlan struct {
+	adj *sparse.CSR
+	k   Kernel
+}
+
+func (p *mapPlanner) Plan(shard int, adj *sparse.CSR, build func() (Kernel, error)) (Kernel, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pl, ok := p.plans[shard]; ok && pl.adj == adj {
+		return pl.k, nil
+	}
+	k, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if p.plans == nil {
+		p.plans = make(map[int]mapPlan)
+	}
+	p.plans[shard] = mapPlan{adj: adj, k: k}
+	return k, nil
+}
+
+// shardSubGovernor admits the per-shard sub-kernels of a sharded run: the
+// executor already passed the caller's governor once for the whole run,
+// so sub-kernels must not be admitted (and their scratch double-counted)
+// a second time.
+var shardSubGovernor = admission.NewGovernor(admission.Config{})
+
+// scrubShardOptions derives the per-shard kernel options from the
+// executor's: serving policy (admission, deadline, retries, numerics,
+// metrics) stays with the executor, scheduling knobs pass through.
+func scrubShardOptions(opts Options) Options {
+	opts.Admission = shardSubGovernor
+	opts.Deadline = 0
+	opts.Retries = 0
+	opts.CheckNumerics = false
+	opts.Metrics = false
+	return opts
+}
+
+// shardedBase is the state the two sharded executors share.
+type shardedBase struct {
+	src     ShardSource
+	udf     *expr.UDF
+	inputs  []*tensor.Tensor
+	fds     *schedule.FDS
+	opts    Options // executor (serving) options
+	subOpts Options // scrubbed per-shard kernel options
+	planner ShardPlanner
+
+	numRows, numCols int
+	nnz              int64
+	outLen           int
+	pattern          string
+	memEstimate      int64
+
+	lastMu sync.Mutex
+	last   RunStats
+}
+
+func (s *shardedBase) build(src ShardSource, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options, planner ShardPlanner) error {
+	if opts.Target != CPU {
+		return fmt.Errorf("core: sharded kernels run on CPU only")
+	}
+	if len(udf.OutAxes) == 0 {
+		return fmt.Errorf("core: UDF must have at least one output axis")
+	}
+	if err := fds.Validate(udf); err != nil {
+		return err
+	}
+	s.numRows, s.numCols, s.nnz = src.Dims()
+	if err := validateBindings(s.numRows, s.numCols, s.nnz, udf, inputs); err != nil {
+		return err
+	}
+	compiled, err := codegen.Compile(udf, inputs)
+	if err != nil {
+		return err
+	}
+	s.src, s.udf, s.inputs, s.fds = src, udf, inputs, fds
+	s.opts, s.subOpts = opts, scrubShardOptions(opts)
+	s.planner = planner
+	if s.planner == nil {
+		s.planner = &mapPlanner{}
+	}
+	s.outLen = compiled.OutLen()
+	s.pattern = codegen.Recognize(udf, inputs).Pattern.String()
+	return nil
+}
+
+// admit runs the executor's serving-policy preamble (deadline context and
+// one admission pass for the whole sharded run) and returns the governed
+// context, the release function, and the queued duration.
+func (s *shardedBase) admit(ctx context.Context) (context.Context, context.CancelFunc, func(), time.Duration, error) {
+	gov := admission.Resolve(s.opts.Admission)
+	cancel := context.CancelFunc(func() {})
+	if s.opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Deadline)
+	}
+	tk, err := gov.Admit(ctx, s.memEstimate)
+	if err != nil {
+		cancel()
+		return nil, nil, nil, 0, err
+	}
+	return ctx, cancel, func() { gov.Release(tk) }, tk.Queued(), nil
+}
+
+func (s *shardedBase) finishShardedRun(stats *RunStats, start time.Time) {
+	stats.Duration = time.Since(start)
+	s.lastMu.Lock()
+	s.last = *stats
+	s.lastMu.Unlock()
+}
+
+// LastStats returns the statistics of the most recently completed RunCtx.
+func (s *shardedBase) LastStats() RunStats {
+	s.lastMu.Lock()
+	defer s.lastMu.Unlock()
+	return s.last
+}
+
+// Pattern returns the recognized UDF pattern.
+func (s *shardedBase) Pattern() string { return s.pattern }
+
+// --- Sharded SpMM ---
+
+// ShardedSpMM is a generalized SpMM kernel over a ShardSource: the same
+// semantics as BuildSpMM over the assembled graph, computed one shard at
+// a time within the source's residency budget.
+type ShardedSpMM struct {
+	shardedBase
+	agg AggOp
+}
+
+// BuildShardedSpMM builds a sharded SpMM kernel. planner may be nil for
+// the default per-executor memoization; fds may be nil. Options carry the
+// executor's serving policy and the per-shard scheduling knobs; the
+// target must be CPU.
+func BuildShardedSpMM(src ShardSource, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp, fds *schedule.FDS, opts Options, planner ShardPlanner) (*ShardedSpMM, error) {
+	k := &ShardedSpMM{agg: agg}
+	if err := k.build(src, udf, inputs, fds, opts, planner); err != nil {
+		return nil, err
+	}
+	// Admission estimate: the global output surface; per-shard scratch is
+	// bounded by the source's residency budget, which charges the ledger
+	// itself as shards materialize.
+	k.memEstimate = 4 * int64(k.numRows) * int64(k.outLen)
+	return k, nil
+}
+
+// OutShape returns the required output tensor shape.
+func (k *ShardedSpMM) OutShape() (rows, cols int) { return k.numRows, k.outLen }
+
+// Describe returns a one-line description of the built kernel.
+func (k *ShardedSpMM) Describe() string {
+	return fmt.Sprintf("spmm-sharded{agg:%s pattern:%s rows:%d nnz:%d out:%d shards:%d}",
+		k.agg, k.pattern, k.numRows, k.nnz, k.outLen, k.src.NumShards())
+}
+
+// Run executes the kernel into out (Run = RunCtx under context.Background()).
+func (k *ShardedSpMM) Run(out *tensor.Tensor) (RunStats, error) {
+	return k.RunCtx(context.Background(), out)
+}
+
+// RunCtx executes the sharded SpMM into out, a [NumRows, outLen] tensor.
+// The run passes the admission governor once; each shard then executes a
+// partial template kernel into its row slice of out, and a final pass
+// applies the global aggregation fix-ups (mean normalization by global
+// degree, isolated vertices to zero). On any error the contents of out
+// are undefined.
+func (k *ShardedSpMM) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
+	if out.Dim(0) != k.numRows || out.Len() != k.numRows*k.outLen {
+		return RunStats{}, fmt.Errorf("core: sharded SpMM output shape %v, want [%d, %d]", out.Shape(), k.numRows, k.outLen)
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
+	ctx, cancel, release, queued, err := k.admit(ctx)
+	if err != nil {
+		return RunStats{}, err
+	}
+	defer cancel()
+	defer release()
+
+	start := time.Now()
+	stats := RunStats{Queued: queued}
+	out.Fill(k.agg.identity())
+	odata := out.Data()
+	stride := out.RowStride()
+	for i := 0; i < k.src.NumShards(); i++ {
+		if k.src.ShardNNZ(i) == 0 {
+			continue // nothing to accumulate; rows finalize from the identity
+		}
+		adj, unpin, err := k.src.Pin(ctx, i)
+		if err != nil {
+			return RunStats{}, err
+		}
+		rowLo, rowHi := k.src.ShardRows(i)
+		kern, err := k.planner.Plan(i, adj, func() (Kernel, error) {
+			return buildSpMM(adj, k.udf, k.inputs, k.agg, k.fds, k.subOpts, &shardSpec{
+				dstBase: rowLo, globalRows: k.numRows, globalCols: k.numCols, globalNNZ: k.nnz,
+			})
+		})
+		if err != nil {
+			unpin()
+			return RunStats{}, err
+		}
+		view := tensor.FromSlice(odata[rowLo*stride:rowHi*stride], rowHi-rowLo, stride)
+		sstats, err := kern.RunCtx(ctx, view)
+		unpin()
+		if err != nil {
+			return RunStats{}, fmt.Errorf("core: sharded SpMM shard %d: %w", i, err)
+		}
+		stats.EdgesProcessed += sstats.EdgesProcessed
+		stats.ChunksStolen += sstats.ChunksStolen
+	}
+
+	// Global finalization across shard boundaries: split rows have
+	// accumulated contributions from both neighbors by now, so the global
+	// degree is the right normalizer everywhere.
+	rc := newRunControl(ctx)
+	site := workerSite{kernel: "spmm-sharded", target: CPU, tile: -1, part: -1}
+	parallelFor(rc, site, k.numRows, max(k.opts.NumThreads, 1), func(_, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			deg := k.src.Degree(r)
+			row := odata[r*stride : (r+1)*stride]
+			if deg == 0 {
+				clear(row)
+				continue
+			}
+			if k.agg == AggMean {
+				inv := 1 / float32(deg)
+				for f := range row {
+					row[f] *= inv
+				}
+			}
+		}
+	})
+	if err := rc.verdict(); err != nil {
+		return RunStats{}, err
+	}
+	if k.opts.CheckNumerics {
+		if err := checkNumerics("spmm", out); err != nil {
+			return stats, err
+		}
+	}
+	k.finishShardedRun(&stats, start)
+	return stats, nil
+}
+
+// --- Sharded SDDMM ---
+
+// ShardedSDDMM is a generalized SDDMM kernel over a ShardSource: the same
+// semantics as BuildSDDMM over the assembled graph, computed one shard at
+// a time within the source's residency budget.
+type ShardedSDDMM struct {
+	shardedBase
+	outRows int
+}
+
+// BuildShardedSDDMM builds a sharded SDDMM kernel; see BuildShardedSpMM
+// for the parameter conventions. The output is one row per global edge,
+// so the global edge count must fit an in-memory tensor.
+func BuildShardedSDDMM(src ShardSource, udf *expr.UDF, inputs []*tensor.Tensor, fds *schedule.FDS, opts Options, planner ShardPlanner) (*ShardedSDDMM, error) {
+	k := &ShardedSDDMM{}
+	if err := k.build(src, udf, inputs, fds, opts, planner); err != nil {
+		return nil, err
+	}
+	k.outRows = int(k.nnz)
+	if int64(k.outRows) != k.nnz || k.outRows < 0 {
+		return nil, fmt.Errorf("core: sharded SDDMM output needs %d rows, beyond addressable tensors", k.nnz)
+	}
+	k.memEstimate = 4 * k.nnz * int64(k.outLen)
+	return k, nil
+}
+
+// OutShape returns the required output tensor shape.
+func (k *ShardedSDDMM) OutShape() (rows, cols int) { return k.outRows, k.outLen }
+
+// Describe returns a one-line description of the built kernel.
+func (k *ShardedSDDMM) Describe() string {
+	return fmt.Sprintf("sddmm-sharded{pattern:%s rows:%d nnz:%d out:%d shards:%d}",
+		k.pattern, k.numRows, k.nnz, k.outLen, k.src.NumShards())
+}
+
+// Run executes the kernel into out (Run = RunCtx under context.Background()).
+func (k *ShardedSDDMM) Run(out *tensor.Tensor) (RunStats, error) {
+	return k.RunCtx(context.Background(), out)
+}
+
+// RunCtx executes the sharded SDDMM into out, an [NNZ, outLen] tensor
+// indexed by global edge id. The run passes the admission governor once;
+// the executor zeroes out, then each shard's partial kernel writes its
+// edges' rows directly (shard CSRs carry global edge ids). On any error
+// the contents of out are undefined.
+func (k *ShardedSDDMM) RunCtx(ctx context.Context, out *tensor.Tensor) (RunStats, error) {
+	if out.Dim(0) != k.outRows || out.Len() != k.outRows*k.outLen {
+		return RunStats{}, fmt.Errorf("core: sharded SDDMM output shape %v, want [%d, %d]", out.Shape(), k.outRows, k.outLen)
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
+	ctx, cancel, release, queued, err := k.admit(ctx)
+	if err != nil {
+		return RunStats{}, err
+	}
+	defer cancel()
+	defer release()
+
+	start := time.Now()
+	stats := RunStats{Queued: queued}
+	out.Zero()
+	for i := 0; i < k.src.NumShards(); i++ {
+		if k.src.ShardNNZ(i) == 0 {
+			continue // no edges, no output rows
+		}
+		adj, unpin, err := k.src.Pin(ctx, i)
+		if err != nil {
+			return RunStats{}, err
+		}
+		rowLo, _ := k.src.ShardRows(i)
+		kern, err := k.planner.Plan(i, adj, func() (Kernel, error) {
+			return buildSDDMM(adj, k.udf, k.inputs, k.fds, k.subOpts, &shardSpec{
+				dstBase: rowLo, globalRows: k.numRows, globalCols: k.numCols, globalNNZ: k.nnz,
+			})
+		})
+		if err != nil {
+			unpin()
+			return RunStats{}, err
+		}
+		sstats, err := kern.RunCtx(ctx, out)
+		unpin()
+		if err != nil {
+			return RunStats{}, fmt.Errorf("core: sharded SDDMM shard %d: %w", i, err)
+		}
+		stats.EdgesProcessed += sstats.EdgesProcessed
+		stats.ChunksStolen += sstats.ChunksStolen
+	}
+	if k.opts.CheckNumerics {
+		if err := checkNumerics("sddmm", out); err != nil {
+			return stats, err
+		}
+	}
+	k.finishShardedRun(&stats, start)
+	return stats, nil
+}
+
+// Compile-time interface checks: the sharded executors are Kernels.
+var (
+	_ Kernel = (*ShardedSpMM)(nil)
+	_ Kernel = (*ShardedSDDMM)(nil)
+)

@@ -30,6 +30,14 @@ type SpMMKernel struct {
 	opts   Options
 	outLen int
 
+	// Sharded execution (see sharded.go): dstBase maps the shard's local
+	// destination rows onto the global graph for Dst-indexed inputs, and
+	// partial suppresses the output prefill and aggregate finalization —
+	// the sharded executor owns both, because a shard boundary may split a
+	// row whose aggregate this kernel only partially computes.
+	dstBase int
+	partial bool
+
 	compiled *codegen.CompiledUDF
 	match    codegen.Match
 
@@ -72,6 +80,13 @@ type SpMMKernel struct {
 // agg is the aggregation operator; fds may be nil for the unscheduled
 // degradation the paper describes in §III-B.
 func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp, fds *schedule.FDS, opts Options) (*SpMMKernel, error) {
+	return buildSpMM(adj, udf, inputs, agg, fds, opts, nil)
+}
+
+// buildSpMM is BuildSpMM plus the sharded-execution hook: a non-nil sh
+// builds a partial kernel over one shard of a larger graph (CPU only),
+// validating inputs against the global dimensions.
+func buildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggOp, fds *schedule.FDS, opts Options, sh *shardSpec) (*SpMMKernel, error) {
 	tracing := telemetry.TraceActive()
 	var buildStart, stepStart time.Time
 	if tracing {
@@ -86,7 +101,14 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 	if err := fds.Validate(udf); err != nil {
 		return nil, err
 	}
-	if err := validateBindings(adj, udf, inputs); err != nil {
+	bindRows, bindCols, bindNNZ := adj.NumRows, adj.NumCols, int64(adj.NNZ())
+	if sh != nil {
+		if opts.Target != CPU {
+			return nil, fmt.Errorf("core: sharded kernels run on CPU only")
+		}
+		bindRows, bindCols, bindNNZ = sh.globalRows, sh.globalCols, sh.globalNNZ
+	}
+	if err := validateBindings(bindRows, bindCols, bindNNZ, udf, inputs); err != nil {
 		return nil, err
 	}
 	if tracing {
@@ -106,6 +128,9 @@ func BuildSpMM(adj *sparse.CSR, udf *expr.UDF, inputs []*tensor.Tensor, agg AggO
 		outLen:   compiled.OutLen(),
 		compiled: compiled,
 		match:    codegen.Recognize(udf, inputs),
+	}
+	if sh != nil {
+		k.dstBase, k.partial = sh.dstBase, true
 	}
 	k.tiles = partition.FeatureTiles(k.outLen, fds.SplitFactor(udf.OutAxes[0]))
 	for _, t := range k.tiles {
@@ -353,7 +378,9 @@ func (k *SpMMKernel) runCPU(ctx context.Context, out *tensor.Tensor, stats *RunS
 func (k *SpMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error {
 	rc := newRunControl(ctx)
 	threads := max(k.opts.NumThreads, 1)
-	out.Fill(k.agg.identity())
+	if !k.partial {
+		out.Fill(k.agg.identity())
+	}
 
 	// Per-worker scratch: env and message buffer for the generic path,
 	// plus a combined-feature buffer for the MLP fast path.
@@ -386,7 +413,7 @@ func (k *SpMMKernel) runCPULegacy(ctx context.Context, out *tensor.Tensor) error
 			})
 		}
 	}
-	if !rc.stop() {
+	if !rc.stop() && !k.partial {
 		site := workerSite{kernel: "spmm", target: CPU, tile: -1, part: -1}
 		parallelFor(rc, site, k.adj.NumRows, threads, func(_, rlo, rhi int) {
 			finalizeAgg(k.agg, out, k.adj, rlo, rhi)
@@ -493,7 +520,9 @@ func (k *SpMMKernel) cpuRows(out *tensor.Tensor, part *sparse.CSR, tile partitio
 		msg := sc.msg[:tl]
 		for r := rlo; r < rhi; r++ {
 			orow := odata[r*ostride+lo : r*ostride+hi]
-			xv := xd[r*xs : r*xs+d1]
+			// Dst features live at the global row; out at the local one
+			// (identical for non-sharded kernels, where dstBase is 0).
+			xv := xd[(r+k.dstBase)*xs : (r+k.dstBase)*xs+d1]
 			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
 				c := int(part.ColIdx[p])
 				xu := xd[c*xs : c*xs+d1]
@@ -528,7 +557,7 @@ func (k *SpMMKernel) cpuRows(out *tensor.Tensor, part *sparse.CSR, tile partitio
 		for r := rlo; r < rhi; r++ {
 			orow := odata[r*ostride+lo : r*ostride+hi]
 			for p := part.RowPtr[r]; p < part.RowPtr[r+1]; p++ {
-				k.compiled.Eval(sc.env, part.ColIdx[p], int32(r), part.EID[p], msg, lo, hi)
+				k.compiled.Eval(sc.env, part.ColIdx[p], int32(r+k.dstBase), part.EID[p], msg, lo, hi)
 				aggInto(k.agg, orow, msg)
 			}
 		}

@@ -80,6 +80,7 @@ type planKey struct {
 	agg      core.AggOp
 	opts     core.Options // full scheduling configuration
 	tile     int          // FDS feature tile factor
+	shard    int          // shard index for out-of-core plans (0 otherwise)
 }
 
 type planEntry struct {
@@ -125,11 +126,18 @@ func (g *Graph) planKeyFor(kind string, adj *sparse.CSR, in0, in1 *tensor.Tensor
 // template types travel as core.Kernel, so one cache and one fetch path
 // serve SpMM and SDDMM plans alike.
 func (g *Graph) plan(key planKey, build func() (core.Kernel, error)) (core.Kernel, error) {
+	return cachePlan(&g.PlanCache, key, build)
+}
+
+// cachePlan is the shared fetch-or-build path over the process-wide cache,
+// charging traffic to the caller's stats (a Graph's PlanCache counters, or
+// a ShardPlanCache's). stats is written under the cache mutex.
+func cachePlan(stats *CacheStats, key planKey, build func() (core.Kernel, error)) (core.Kernel, error) {
 	metrics := telemetry.Enabled()
 	planCache.mu.Lock()
 	if el, ok := planCache.entries[key]; ok {
 		planCache.lru.MoveToFront(el)
-		g.PlanCache.Hits++
+		stats.Hits++
 		k := el.Value.(*planEntry).kernel
 		planCache.mu.Unlock()
 		if metrics {
@@ -137,7 +145,7 @@ func (g *Graph) plan(key planKey, build func() (core.Kernel, error)) (core.Kerne
 		}
 		return k, nil
 	}
-	g.PlanCache.Misses++
+	stats.Misses++
 	planCache.mu.Unlock()
 	if metrics {
 		mPlanMisses.Inc()
@@ -161,7 +169,7 @@ func (g *Graph) plan(key planKey, build func() (core.Kernel, error)) (core.Kerne
 			oldest := planCache.lru.Back()
 			delete(planCache.entries, oldest.Value.(*planEntry).key)
 			planCache.lru.Remove(oldest)
-			g.PlanCache.Evictions++
+			stats.Evictions++
 			evicted++
 		}
 	}
@@ -170,6 +178,16 @@ func (g *Graph) plan(key planKey, build func() (core.Kernel, error)) (core.Kerne
 		mPlanEvictions.Add(evicted)
 	}
 	return kernel, nil
+}
+
+// planCacheDelete removes one plan by exact key, if cached.
+func planCacheDelete(key planKey) {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	if el, ok := planCache.entries[key]; ok {
+		delete(planCache.entries, key)
+		planCache.lru.Remove(el)
+	}
 }
 
 // mustPlan re-fetches a plan that op construction already built once; a

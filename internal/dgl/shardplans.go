@@ -1,0 +1,85 @@
+package dgl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"featgraph/internal/core"
+	"featgraph/internal/sparse"
+)
+
+// ShardPlanCache adapts the process-wide LRU plan cache to
+// core.ShardPlanner, so out-of-core executors share the same bounded,
+// observable plan store as the in-memory ops instead of growing a private
+// unbounded map. Each shard's plan is keyed by (instance, shard index,
+// shard CSR identity): a re-materialized shard has a new CSR pointer, so
+// its stale plan can never be wrongly hit — and the adapter deletes it
+// eagerly rather than leaving it to age out, because a stale shard plan
+// pins the evicted shard's arrays in memory, exactly what an out-of-core
+// budget exists to prevent.
+type ShardPlanCache struct {
+	kind string
+
+	mu      sync.Mutex
+	lastAdj map[int]*sparse.CSR // CSR identity behind each shard's live key
+	stats   CacheStats
+}
+
+// shardPlanSeq uniquifies ShardPlanCache instances: two executors with the
+// same kind label must never collide in the shared cache, since their
+// plans bind different UDFs, inputs, or options.
+var shardPlanSeq atomic.Uint64
+
+// NewShardPlanCache returns a planner caching shard plans in the
+// process-wide plan cache. kind labels the plans (e.g. "spmm.outofcore")
+// for humans; isolation between instances is automatic.
+func NewShardPlanCache(kind string) *ShardPlanCache {
+	return &ShardPlanCache{
+		kind:    fmt.Sprintf("shard.%s.%d", kind, shardPlanSeq.Add(1)),
+		lastAdj: make(map[int]*sparse.CSR),
+	}
+}
+
+// Plan implements core.ShardPlanner.
+func (c *ShardPlanCache) Plan(shard int, adj *sparse.CSR, build func() (core.Kernel, error)) (core.Kernel, error) {
+	c.mu.Lock()
+	if prev, ok := c.lastAdj[shard]; ok && prev != adj {
+		// The shard was evicted and re-materialized since this plan was
+		// built; drop the stale plan so it stops holding the old arrays.
+		planCacheDelete(planKey{kind: c.kind, shard: shard, adj: prev})
+	}
+	c.lastAdj[shard] = adj
+	c.mu.Unlock()
+	return cachePlan(&c.stats, planKey{kind: c.kind, shard: shard, adj: adj}, build)
+}
+
+// Invalidate drops every plan this adapter has cached, returning how many
+// were removed. Call it when the backing shard source closes.
+func (c *ShardPlanCache) Invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for shard, adj := range c.lastAdj {
+		key := planKey{kind: c.kind, shard: shard, adj: adj}
+		planCache.mu.Lock()
+		if el, ok := planCache.entries[key]; ok {
+			delete(planCache.entries, key)
+			planCache.lru.Remove(el)
+			removed++
+		}
+		planCache.mu.Unlock()
+		delete(c.lastAdj, shard)
+	}
+	return removed
+}
+
+// Stats returns a consistent snapshot of the adapter's cache counters.
+func (c *ShardPlanCache) Stats() CacheStats {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return c.stats
+}
+
+// Compile-time check: the adapter satisfies core.ShardPlanner.
+var _ core.ShardPlanner = (*ShardPlanCache)(nil)

@@ -1,0 +1,189 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func writeIndexedContainer(t *testing.T, sections map[string][]byte, order []string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "idx-test", 3, len(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if err := w.Section(name, sections[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadIndexRoundTrip(t *testing.T) {
+	sections := map[string][]byte{
+		"alpha": []byte("first payload"),
+		"beta":  {},
+		"gamma": bytes.Repeat([]byte{0xAB}, 1024),
+	}
+	order := []string{"alpha", "beta", "gamma"}
+	blob := writeIndexedContainer(t, sections, order)
+
+	version, locs, err := ReadIndex(bytes.NewReader(blob), "p", "idx-test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Fatalf("version %d, want 3", version)
+	}
+	if len(locs) != len(order) {
+		t.Fatalf("%d sections indexed, want %d", len(locs), len(order))
+	}
+	for i, loc := range locs {
+		if loc.Name != order[i] {
+			t.Fatalf("section %d named %q, want %q", i, loc.Name, order[i])
+		}
+		want := sections[loc.Name]
+		if loc.Len != int64(len(want)) {
+			t.Fatalf("section %q len %d, want %d", loc.Name, loc.Len, len(want))
+		}
+		got := blob[loc.Off : loc.Off+loc.Len]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("section %q payload differs at indexed offset", loc.Name)
+		}
+		if err := loc.VerifyPayload(got, "p", "idx-test"); err != nil {
+			t.Fatalf("pristine payload failed verification: %v", err)
+		}
+	}
+}
+
+// The index must match what the streaming Reader sees: same sections, same
+// payload bytes. The two readers parse the same format independently, so
+// divergence means one of them is wrong.
+func TestReadIndexAgreesWithStreamingReader(t *testing.T) {
+	sections := map[string][]byte{"a": []byte("xyz"), "b": []byte("0123456789")}
+	blob := writeIndexedContainer(t, sections, []string{"a", "b"})
+
+	_, locs, err := ReadIndex(bytes.NewReader(blob), "p", "idx-test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(blob), "p", "idx-test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		name, payload, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != loc.Name {
+			t.Fatalf("stream section %q, index says %q", name, loc.Name)
+		}
+		if !bytes.Equal(payload, blob[loc.Off:loc.Off+loc.Len]) {
+			t.Fatalf("section %q: stream and index disagree on payload", name)
+		}
+	}
+}
+
+func TestReadIndexVersionGate(t *testing.T) {
+	blob := writeIndexedContainer(t, map[string][]byte{"a": []byte("x")}, []string{"a"})
+	_, _, err := ReadIndex(bytes.NewReader(blob), "p", "idx-test", 2)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError for future kind version, got %T: %v", err, err)
+	}
+	if ve.Got != 3 || ve.Want != 2 {
+		t.Fatalf("VersionError got=%d want=%d, expected 3/2", ve.Got, ve.Want)
+	}
+}
+
+func TestReadIndexWrongKind(t *testing.T) {
+	blob := writeIndexedContainer(t, map[string][]byte{"a": []byte("x")}, []string{"a"})
+	_, _, err := ReadIndex(bytes.NewReader(blob), "p", "other-kind", 3)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError for kind mismatch, got %T: %v", err, err)
+	}
+}
+
+// The full damage matrix: every truncation point and every bit flip must
+// yield a typed error either at index time or at payload verification —
+// never a panic and never silent acceptance.
+func TestReadIndexCorruptionMatrix(t *testing.T) {
+	sections := map[string][]byte{
+		"head": []byte("abcdefgh"),
+		"mid":  {},
+		"tail": bytes.Repeat([]byte{7}, 64),
+	}
+	blob := writeIndexedContainer(t, sections, []string{"head", "mid", "tail"})
+	err := VerifyReader(blob, func(data []byte) error {
+		_, locs, err := ReadIndex(bytes.NewReader(data), "p", "idx-test", 3)
+		if err != nil {
+			return err
+		}
+		for _, loc := range locs {
+			if loc.Off+loc.Len > int64(len(data)) {
+				return corrupt("p", "idx-test", loc.Name, "payload extends past container", nil)
+			}
+			if err := loc.VerifyPayload(data[loc.Off:loc.Off+loc.Len], "p", "idx-test"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adversarial headers: implausible section counts and payload lengths must
+// fail fast with typed errors, without allocating proportional memory.
+func TestReadIndexAdversarialHeaders(t *testing.T) {
+	base := writeIndexedContainer(t, map[string][]byte{"a": []byte("x")}, []string{"a"})
+
+	// Patch the section count to the cap+1 and recompute the header CRC so
+	// only the count is implausible, not the checksum.
+	kindLen := int(base[6])
+	hdrLen := 7 + kindLen + 6 // fixed + kind + kindVersion + count
+	patched := append([]byte{}, base...)
+	binary.LittleEndian.PutUint32(patched[hdrLen-4:hdrLen], maxSections+1)
+	binary.LittleEndian.PutUint32(patched[hdrLen:hdrLen+4], crc32.Checksum(patched[:hdrLen], crcTable))
+	_, _, err := ReadIndex(bytes.NewReader(patched), "p", "idx-test", 3)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("implausible section count: want *CorruptError, got %T: %v", err, err)
+	}
+
+	// A declared section count larger than the actual sections present:
+	// the index read must stop with a typed error at the missing header.
+	binary.LittleEndian.PutUint32(patched[hdrLen-4:hdrLen], 12)
+	binary.LittleEndian.PutUint32(patched[hdrLen:hdrLen+4], crc32.Checksum(patched[:hdrLen], crcTable))
+	_, _, err = ReadIndex(bytes.NewReader(patched), "p", "idx-test", 3)
+	if !errors.As(err, &ce) {
+		t.Fatalf("overdeclared section count: want *CorruptError, got %T: %v", err, err)
+	}
+}
+
+func TestVerifyPayloadMismatch(t *testing.T) {
+	payload := []byte("payload bytes")
+	loc := SectionLoc{Name: "s", Len: int64(len(payload)), CRC: crc32.Checksum(payload, crcTable)}
+	if err := loc.VerifyPayload(payload, "p", "k"); err != nil {
+		t.Fatalf("matching payload rejected: %v", err)
+	}
+	flipped := append([]byte{}, payload...)
+	flipped[3] ^= 1
+	var ce *CorruptError
+	if err := loc.VerifyPayload(flipped, "p", "k"); !errors.As(err, &ce) {
+		t.Fatalf("flipped payload: want *CorruptError, got %v", err)
+	}
+	if err := loc.VerifyPayload(payload[:5], "p", "k"); !errors.As(err, &ce) {
+		t.Fatalf("short payload: want *CorruptError, got %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -174,6 +175,38 @@ func TestCorruptionMatrixTensorFormat(t *testing.T) {
 	err := durable.VerifyReader(buf.Bytes(), func(data []byte) error {
 		_, err := ReadTensor(bytes.NewReader(data))
 		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionMatrixShardFormat runs the acceptance matrix over the
+// sharded out-of-core container. Payload verification is lazy in this
+// format, so the read closure pins every shard — damage anywhere, from
+// the header through the last shard's checksum, must still surface as a
+// typed error and never a panic or silent acceptance.
+func TestCorruptionMatrixShardFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := sparse.Random(rng, 30, 25, 5)
+	var buf bytes.Buffer
+	if err := WriteSharded(&buf, g, 16); err != nil {
+		t.Fatal(err)
+	}
+	err := durable.VerifyReader(buf.Bytes(), func(data []byte) error {
+		s, err := OpenShardedReader(bytes.NewReader(data), int64(len(data)), ShardedOptions{})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		for i := 0; i < s.NumShards(); i++ {
+			_, unpin, err := s.Pin(context.Background(), i)
+			if err != nil {
+				return err
+			}
+			unpin()
+		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

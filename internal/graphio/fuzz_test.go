@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -106,6 +107,78 @@ func FuzzLoadTensor(f *testing.F) {
 		}
 		if !again.AllClose(got, 0) && !hasNaN(got) {
 			t.Fatal("round trip changed tensor")
+		}
+	})
+}
+
+// FuzzLoadShard drives the sharded out-of-core loader end to end:
+// arbitrary bytes must open with a typed error or parse into shards that
+// all pin and materialize into a structurally valid graph, which must
+// round-trip through the writer. Seeds cover both degenerate shapes
+// (zero edges) and the adversarial manifests that motivated the format's
+// validation: huge declared counts, shard spans outside the graph, and
+// row pointers disagreeing with shard boundaries.
+func FuzzLoadShard(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	g := sparse.Random(rng, 20, 15, 4)
+	var well bytes.Buffer
+	if err := WriteSharded(&well, g, 16); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(well.Bytes())
+	var empty bytes.Buffer
+	if err := WriteSharded(&empty, &sparse.CSR{NumRows: 3, NumCols: 2, RowPtr: make([]int32, 4)}, 8); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	// Historical crasher shapes: truncation mid-payload, a flipped byte in
+	// the manifest, and a bare container preamble.
+	f.Add(well.Bytes()[:len(well.Bytes())/2])
+	flipped := append([]byte{}, well.Bytes()...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("FGDC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenShardedReader(bytes.NewReader(data), int64(len(data)), ShardedOptions{})
+		requireTypedOrNil(t, err)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		ctx := context.Background()
+		for i := 0; i < s.NumShards(); i++ {
+			_, unpin, err := s.Pin(ctx, i)
+			requireTypedOrNil(t, err)
+			if err != nil {
+				return
+			}
+			unpin()
+		}
+		got, err := s.Materialize(ctx)
+		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				return // validly sharded but too large to assemble in memory
+			}
+			requireTypedOrNil(t, err)
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted structurally invalid sharded graph: %v", verr)
+		}
+		var re bytes.Buffer
+		if err := WriteSharded(&re, got, 16); err != nil {
+			t.Fatalf("re-encoding accepted sharded graph failed: %v", err)
+		}
+		s2, err := OpenShardedReader(bytes.NewReader(re.Bytes()), int64(re.Len()), ShardedOptions{})
+		if err != nil {
+			t.Fatalf("re-reading re-encoded sharded graph failed: %v", err)
+		}
+		defer s2.Close()
+		r2, c2, n2 := s2.Dims()
+		if r2 != got.NumRows || c2 != got.NumCols || n2 != int64(got.NNZ()) {
+			t.Fatal("round trip changed dimensions")
 		}
 	})
 }

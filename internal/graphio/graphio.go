@@ -48,8 +48,62 @@ const (
 	maxRank = 8
 )
 
+// LimitError reports a graph or tensor whose counts exceed what a format
+// can represent. Writers return it instead of narrowing counts through
+// fixed-width casts: the v2 graph/tensor headers store u32 counts (and
+// readers reject anything past maxDim), so a count past the limit used to
+// truncate silently — exactly the failure mode that corrupts the large
+// graphs the out-of-core shard format exists to serve.
+type LimitError struct {
+	Kind  string // "graph", "tensor", or "gshard"
+	Field string // which count exceeded the limit
+	Value int64
+	Max   int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("graphio: %s %s %d exceeds the format limit %d", e.Kind, e.Field, e.Value, e.Max)
+}
+
+// graphLimits validates a graph's counts against the v2 container format's
+// representable range before any header byte is written.
+func graphLimits(numRows, numCols, nnz int) error {
+	for _, c := range []struct {
+		field string
+		v     int64
+	}{{"rows", int64(numRows)}, {"cols", int64(numCols)}, {"nnz", int64(nnz)}} {
+		if c.v > maxDim {
+			return &LimitError{Kind: graphKind, Field: c.field, Value: c.v, Max: maxDim}
+		}
+	}
+	return nil
+}
+
+// tensorLimits validates a tensor's shape against the format: bounded
+// rank, bounded dimensions, and a total element count the reader's
+// overflow check (decodeShape) will accept back.
+func tensorLimits(shape []int, total int) error {
+	if len(shape) > maxRank {
+		return &LimitError{Kind: tensorKind, Field: "rank", Value: int64(len(shape)), Max: maxRank}
+	}
+	for _, d := range shape {
+		if d > maxDim {
+			return &LimitError{Kind: tensorKind, Field: "dim", Value: int64(d), Max: maxDim}
+		}
+	}
+	if total > math.MaxInt32 {
+		return &LimitError{Kind: tensorKind, Field: "elements", Value: int64(total), Max: math.MaxInt32}
+	}
+	return nil
+}
+
 // WriteGraph serializes a CSR matrix in the current container format.
+// Counts past the format's limit fail with a typed *LimitError instead of
+// silently truncating through the header's u32 fields.
 func WriteGraph(w io.Writer, g *sparse.CSR) error {
+	if err := graphLimits(g.NumRows, g.NumCols, g.NNZ()); err != nil {
+		return err
+	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("graphio: refusing to write invalid graph: %w", err)
 	}
@@ -188,7 +242,12 @@ func readLegacyGraph(br io.Reader) (*sparse.CSR, error) {
 }
 
 // WriteTensor serializes a dense tensor in the current container format.
+// Shapes past the format's limit fail with a typed *LimitError instead of
+// silently truncating through the header's u32 fields.
 func WriteTensor(w io.Writer, t *tensor.Tensor) error {
+	if err := tensorLimits(t.Shape(), t.Len()); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	dw, err := durable.NewWriter(bw, tensorKind, tensorVersion, 2)
 	if err != nil {

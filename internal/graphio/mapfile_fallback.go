@@ -1,0 +1,22 @@
+//go:build !((linux || darwin) && !featgraph_nommap)
+
+package graphio
+
+import "os"
+
+// openByteSource on platforms without the mmap path (or with the
+// featgraph_nommap build tag) serves shard payloads with positioned reads
+// into transient buffers — the same interface, one extra copy per shard
+// load.
+func openByteSource(path string) (byteSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &readerAtSource{r: f, size: st.Size(), closer: f}, nil
+}

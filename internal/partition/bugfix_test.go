@@ -1,0 +1,330 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"featgraph/internal/sparse"
+)
+
+// hybridReference reproduces the replaced Hybrid extraction semantics: one
+// full edge scan per part through a membership map. It is deliberately the
+// slow O(nnz × parts) formulation — the rewrite must match it bit for bit,
+// only faster.
+func hybridReference(a *sparse.CSR, threshold int32, chunkCols int) *HybridPlan {
+	deg := ColumnDegrees(a)
+	var low, high []int32
+	for c := int32(0); c < int32(a.NumCols); c++ {
+		if deg[c] >= threshold {
+			high = append(high, c)
+		} else {
+			low = append(low, c)
+		}
+	}
+	plan := &HybridPlan{Threshold: threshold, LowCols: len(low)}
+	for lo := 0; lo < len(high); lo += chunkCols {
+		hi := min(lo+chunkCols, len(high))
+		plan.ChunkCols = append(plan.ChunkCols, high[lo:hi])
+	}
+	colSets := make([]map[int32]bool, 1+len(plan.ChunkCols))
+	colSets[0] = make(map[int32]bool, len(low))
+	for _, c := range low {
+		colSets[0][c] = true
+	}
+	for i, chunk := range plan.ChunkCols {
+		colSets[i+1] = make(map[int32]bool, len(chunk))
+		for _, c := range chunk {
+			colSets[i+1][c] = true
+		}
+	}
+	for _, set := range colSets {
+		part := &sparse.CSR{
+			NumRows: a.NumRows,
+			NumCols: a.NumCols,
+			RowPtr:  make([]int32, a.NumRows+1),
+		}
+		for r := 0; r < a.NumRows; r++ {
+			for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+				if set[a.ColIdx[p]] {
+					part.ColIdx = append(part.ColIdx, a.ColIdx[p])
+					part.EID = append(part.EID, a.EID[p])
+					part.Val = append(part.Val, a.Val[p])
+				}
+			}
+			part.RowPtr[r+1] = int32(len(part.ColIdx))
+		}
+		plan.Parts = append(plan.Parts, part)
+	}
+	return plan
+}
+
+func sameCSRBits(a, b *sparse.CSR) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for r := 0; r <= a.NumRows; r++ {
+		if a.RowPtr[r] != b.RowPtr[r] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.EID[i] != b.EID[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The single-pass Hybrid rewrite is pinned against the old per-chunk-scan
+// semantics: same parts, same edge order, same values, across degree
+// skews and chunk widths.
+func TestHybridMatchesReferenceImplementation(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		n, deg    int
+		threshold int32
+		chunkCols int
+	}{
+		{seed: 20, n: 60, deg: 6, threshold: 5, chunkCols: 4},
+		{seed: 21, n: 40, deg: 3, threshold: 1, chunkCols: 1},  // everything high, 1-col chunks
+		{seed: 22, n: 40, deg: 3, threshold: 99, chunkCols: 8}, // everything low
+		{seed: 23, n: 80, deg: 10, threshold: 9, chunkCols: 16},
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		a := sparse.Random(rng, tc.n, tc.n, tc.deg)
+		for i := range a.Val {
+			a.Val[i] = rng.Float32()
+		}
+		got, err := Hybrid(a, tc.threshold, tc.chunkCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := hybridReference(a, tc.threshold, tc.chunkCols)
+		if got.LowCols != want.LowCols || len(got.ChunkCols) != len(want.ChunkCols) {
+			t.Fatalf("seed %d: plan shape differs: lowCols %d/%d chunks %d/%d",
+				tc.seed, got.LowCols, want.LowCols, len(got.ChunkCols), len(want.ChunkCols))
+		}
+		if len(got.Parts) != len(want.Parts) {
+			t.Fatalf("seed %d: %d parts, reference has %d", tc.seed, len(got.Parts), len(want.Parts))
+		}
+		for p := range got.Parts {
+			if !sameCSRBits(got.Parts[p], want.Parts[p]) {
+				t.Fatalf("seed %d: part %d differs from reference extraction", tc.seed, p)
+			}
+		}
+	}
+}
+
+func TestHybridPropertyMatchesReference(t *testing.T) {
+	f := func(seed int64, thrRaw, chunkRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		a := sparse.Random(rng, n, n, 1+rng.Intn(6))
+		threshold := int32(thrRaw % 12)
+		chunkCols := 1 + int(chunkRaw)%7
+		got, err := Hybrid(a, threshold, chunkCols)
+		if err != nil {
+			return false
+		}
+		want := hybridReference(a, threshold, chunkCols)
+		if len(got.Parts) != len(want.Parts) {
+			return false
+		}
+		for p := range got.Parts {
+			if !sameCSRBits(got.Parts[p], want.Parts[p]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkHybridManyChunks exercises the regime that was quadratic: a
+// high-degree graph cut into single-column chunks, so parts ≈ columns. The
+// old extraction rescanned every edge once per chunk; the rewrite visits
+// each edge once regardless of chunk count.
+func BenchmarkHybridManyChunks(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	a := sparse.Random(rng, 2000, 2000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hybrid(a, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- OneD degenerate shapes (the zero-column clamp regression) ---
+
+func TestOneDZeroColumns(t *testing.T) {
+	a := &sparse.CSR{NumRows: 5, NumCols: 0, RowPtr: make([]int32, 6)}
+	for _, parts := range []int{0, 1, 3, 100} {
+		p := OneD(a, parts)
+		if p.NumParts() != 1 {
+			t.Fatalf("parts=%d: zero-column matrix must yield 1 part, got %d", parts, p.NumParts())
+		}
+		if p.Parts[0].NNZ() != 0 || p.Parts[0].NumRows != 5 {
+			t.Fatalf("parts=%d: degenerate part has wrong shape", parts)
+		}
+	}
+}
+
+func TestOneDZeroEdges(t *testing.T) {
+	a := &sparse.CSR{NumRows: 4, NumCols: 10, RowPtr: make([]int32, 5)}
+	p := OneD(a, 3)
+	if p.NumParts() != 3 {
+		t.Fatalf("NumParts = %d, want 3", p.NumParts())
+	}
+	total := 0
+	for _, part := range p.Parts {
+		if err := part.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += part.NNZ()
+	}
+	if total != 0 {
+		t.Fatalf("zero-edge graph grew %d edges", total)
+	}
+	if p.ColRanges[0].Lo != 0 || p.ColRanges[2].Hi != 10 {
+		t.Fatalf("ranges do not cover columns: %v", p.ColRanges)
+	}
+}
+
+// byColumnBoundaries must place every edge in exactly the part whose
+// column range contains it — a disjoint cover, for arbitrary interior cut
+// points, not just OneD's equal-width ones.
+func TestByColumnBoundariesDisjointCover(t *testing.T) {
+	f := func(seed int64, cutsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		a := sparse.Random(rng, n, n, 1+rng.Intn(5))
+		// Arbitrary sorted interior cuts in [0, NumCols].
+		boundaries := []int32{0}
+		for _, c := range cutsRaw {
+			boundaries = append(boundaries, int32(int(c)%(a.NumCols+1)))
+		}
+		boundaries = append(boundaries, int32(a.NumCols))
+		for i := 1; i < len(boundaries); i++ {
+			for j := i; j > 0 && boundaries[j] < boundaries[j-1]; j-- {
+				boundaries[j], boundaries[j-1] = boundaries[j-1], boundaries[j]
+			}
+		}
+		p := byColumnBoundaries(a, boundaries)
+		seen := make(map[int32]int)
+		for pi, part := range p.Parts {
+			lo, hi := boundaries[pi], boundaries[pi+1]
+			for _, c := range part.ColIdx {
+				if c < lo || c >= hi {
+					return false
+				}
+			}
+			for _, e := range part.EID {
+				seen[e]++
+			}
+		}
+		if len(seen) != a.NNZ() {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- EdgeShards / ExtractShard (the out-of-core cut) ---
+
+func TestEdgeShardsExactCover(t *testing.T) {
+	f := func(seed int64, targetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		a := sparse.Random(rng, n, n, rng.Intn(8))
+		target := 1 + int(targetRaw)%32
+		shards := EdgeShards(a, target)
+		if a.NNZ() == 0 {
+			return len(shards) == 1 && shards[0].RowLo == 0 && shards[0].RowHi == a.NumRows && shards[0].NNZ() == 0
+		}
+		prev := 0
+		for _, s := range shards {
+			if s.EdgeLo != prev || s.EdgeHi <= s.EdgeLo || s.NNZ() > target {
+				return false
+			}
+			// Row span must agree with the edge span: the first row
+			// intersecting EdgeLo, one past the last row before EdgeHi.
+			if int(a.RowPtr[s.RowHi]) < s.EdgeHi || (s.RowLo < a.NumRows && int(a.RowPtr[s.RowLo+1]) <= s.EdgeLo) {
+				return false
+			}
+			prev = s.EdgeHi
+		}
+		return prev == a.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A row heavier than the shard target must split, with the boundary row
+// shared by adjacent shards.
+func TestEdgeShardsSplitHeavyRow(t *testing.T) {
+	// Row 0 owns all 20 edges; target 6 forces a split across 4 shards.
+	coo := &sparse.COO{NumRows: 3, NumCols: 20}
+	for c := int32(0); c < 20; c++ {
+		coo.Row = append(coo.Row, 0)
+		coo.Col = append(coo.Col, c)
+	}
+	a, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := EdgeShards(a, 6)
+	if len(shards) < 2 {
+		t.Fatalf("heavy row did not split: %v", shards)
+	}
+	for i, s := range shards {
+		if s.RowLo != 0 {
+			t.Fatalf("shard %d should start at the split row: %+v", i, s)
+		}
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i].RowLo >= shards[i-1].RowHi {
+			t.Fatalf("adjacent shards %d/%d do not share the boundary row", i-1, i)
+		}
+	}
+}
+
+func TestExtractShardMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := sparse.Random(rng, 40, 35, 5)
+	for i := range a.Val {
+		a.Val[i] = rng.Float32()
+	}
+	for _, s := range EdgeShards(a, 16) {
+		part := ExtractShard(a, s)
+		if part.NumRows != s.Rows() || part.NNZ() != s.NNZ() {
+			t.Fatalf("shard %+v extracted wrong shape", s)
+		}
+		for r := 0; r < part.NumRows; r++ {
+			glo := max(int(a.RowPtr[s.RowLo+r]), s.EdgeLo)
+			ghi := min(int(a.RowPtr[s.RowLo+r+1]), s.EdgeHi)
+			lo, hi := int(part.RowPtr[r]), int(part.RowPtr[r+1])
+			if hi-lo != ghi-glo {
+				t.Fatalf("shard %+v local row %d has %d edges, want %d", s, r, hi-lo, ghi-glo)
+			}
+			for k := 0; k < hi-lo; k++ {
+				if part.ColIdx[lo+k] != a.ColIdx[glo+k] || part.EID[lo+k] != a.EID[glo+k] || part.Val[lo+k] != a.Val[glo+k] {
+					t.Fatalf("shard %+v local row %d edge %d differs from global", s, r, k)
+				}
+			}
+		}
+	}
+}

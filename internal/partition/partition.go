@@ -44,14 +44,15 @@ func (p *Partition1D) NumParts() int { return len(p.Parts) }
 
 // OneD splits the columns of a into numParts contiguous, equal-width
 // segments and extracts the per-segment sub-matrices. numParts is clamped
-// to [1, NumCols]. Total edges are conserved across parts and each part's
-// rows remain sorted by column.
+// to [1, max(NumCols, 1)] — a zero-column matrix yields exactly one
+// (empty) part rather than numParts duplicates of it. Total edges are
+// conserved across parts and each part's rows remain sorted by column.
 func OneD(a *sparse.CSR, numParts int) *Partition1D {
 	if numParts < 1 {
 		numParts = 1
 	}
-	if numParts > a.NumCols && a.NumCols > 0 {
-		numParts = a.NumCols
+	if numParts > max(a.NumCols, 1) {
+		numParts = max(a.NumCols, 1)
 	}
 	boundaries := make([]int32, numParts+1)
 	for p := 0; p <= numParts; p++ {
@@ -171,38 +172,49 @@ func Hybrid(a *sparse.CSR, threshold int32, chunkCols int) (*HybridPlan, error) 
 		hi := min(lo+chunkCols, len(high))
 		plan.ChunkCols = append(plan.ChunkCols, high[lo:hi])
 	}
-	lowSet := make([]bool, a.NumCols)
-	for _, c := range low {
-		lowSet[c] = true
-	}
-	plan.Parts = append(plan.Parts, extractColumns(a, func(c int32) bool { return lowSet[c] }))
-	for _, chunk := range plan.ChunkCols {
-		inChunk := make(map[int32]bool, len(chunk))
+	// Single extraction pass over the edges via a column→part lookup
+	// table: part 0 is the low-degree part, part 1+i is high-degree chunk
+	// i. The earlier implementation rescanned all of a's edges once per
+	// chunk through a per-chunk map — O(nnz × parts) with a map lookup on
+	// the hot path, quadratic in practice for many-chunk GPU plans. The
+	// table costs one int32 per column and makes extraction O(nnz + rows ×
+	// parts), the latter term being the per-part RowPtr arrays the output
+	// shape requires anyway.
+	numParts := 1 + len(plan.ChunkCols)
+	partOf := make([]int32, a.NumCols)
+	for ci, chunk := range plan.ChunkCols {
 		for _, c := range chunk {
-			inChunk[c] = true
+			partOf[c] = int32(ci + 1)
 		}
-		plan.Parts = append(plan.Parts, extractColumns(a, func(c int32) bool { return inChunk[c] }))
 	}
-	return plan, nil
-}
-
-// extractColumns returns the sub-matrix of a containing exactly the edges
-// whose column satisfies keep. Column ids remain global.
-func extractColumns(a *sparse.CSR, keep func(int32) bool) *sparse.CSR {
-	part := &sparse.CSR{
-		NumRows: a.NumRows,
-		NumCols: a.NumCols,
-		RowPtr:  make([]int32, a.NumRows+1),
+	// Pre-size each part's edge arrays from per-part counts so the fill
+	// pass appends without reallocation.
+	counts := make([]int32, numParts)
+	for _, c := range a.ColIdx {
+		counts[partOf[c]]++
+	}
+	plan.Parts = make([]*sparse.CSR, numParts)
+	for p := range plan.Parts {
+		plan.Parts[p] = &sparse.CSR{
+			NumRows: a.NumRows,
+			NumCols: a.NumCols,
+			RowPtr:  make([]int32, a.NumRows+1),
+			ColIdx:  make([]int32, 0, counts[p]),
+			EID:     make([]int32, 0, counts[p]),
+			Val:     make([]float32, 0, counts[p]),
+		}
 	}
 	for r := 0; r < a.NumRows; r++ {
 		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
-			if keep(a.ColIdx[p]) {
-				part.ColIdx = append(part.ColIdx, a.ColIdx[p])
-				part.EID = append(part.EID, a.EID[p])
-				part.Val = append(part.Val, a.Val[p])
-			}
+			c := a.ColIdx[p]
+			pt := plan.Parts[partOf[c]]
+			pt.ColIdx = append(pt.ColIdx, c)
+			pt.EID = append(pt.EID, a.EID[p])
+			pt.Val = append(pt.Val, a.Val[p])
 		}
-		part.RowPtr[r+1] = int32(len(part.ColIdx))
+		for _, pt := range plan.Parts {
+			pt.RowPtr[r+1] = int32(len(pt.ColIdx))
+		}
 	}
-	return part
+	return plan, nil
 }

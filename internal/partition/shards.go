@@ -1,0 +1,106 @@
+package partition
+
+import "featgraph/internal/sparse"
+
+// EdgeShard is one contiguous shard of a CSR for out-of-core execution:
+// edges [EdgeLo, EdgeHi) spanning destination rows [RowLo, RowHi). Shards
+// are cut at exact edge multiples so every shard carries nearly the same
+// number of edges regardless of degree skew; a row heavier than the target
+// is therefore split across shards, and adjacent shards then share the
+// boundary row (shard i's RowHi-1 == shard i+1's RowLo). Splitting is safe
+// because the shard executor merges partial aggregations: sum/max/min fold
+// associatively into an identity-prefilled output, and mean accumulates as
+// sum and divides by the global degree at the end.
+type EdgeShard struct {
+	RowLo, RowHi   int // destination-row span (half-open); RowHi-1 may continue in the next shard
+	EdgeLo, EdgeHi int // edge span (half-open) in CSR storage order
+}
+
+// NNZ returns the shard's edge count.
+func (s EdgeShard) NNZ() int { return s.EdgeHi - s.EdgeLo }
+
+// Rows returns the shard's destination-row count.
+func (s EdgeShard) Rows() int { return s.RowHi - s.RowLo }
+
+// EdgeShards cuts a into contiguous edge-range shards of at most
+// targetEdges edges each. The empty graph yields a single empty shard
+// covering every row, so executors need no zero-edge special case. Shard
+// edge ranges partition [0, nnz) exactly; row ranges cover every non-empty
+// row, with boundary rows repeated where a row splits.
+func EdgeShards(a *sparse.CSR, targetEdges int) []EdgeShard {
+	nnz := a.NNZ()
+	if targetEdges < 1 {
+		targetEdges = 1
+	}
+	if nnz == 0 {
+		return []EdgeShard{{RowLo: 0, RowHi: a.NumRows}}
+	}
+	nshards := (nnz + targetEdges - 1) / targetEdges
+	shards := make([]EdgeShard, 0, nshards)
+	for s := 0; s < nshards; s++ {
+		// Boundaries in int64 so shard math survives graphs near the int32
+		// edge limit on 32-bit platforms.
+		elo := int(int64(nnz) * int64(s) / int64(nshards))
+		ehi := int(int64(nnz) * int64(s+1) / int64(nshards))
+		shards = append(shards, EdgeShard{
+			RowLo:  rowContaining(a.RowPtr, elo),
+			RowHi:  rowAfter(a.RowPtr, ehi),
+			EdgeLo: elo,
+			EdgeHi: ehi,
+		})
+	}
+	return shards
+}
+
+// rowContaining returns the first row whose edge range intersects
+// [e, nnz): the smallest r with RowPtr[r+1] > e.
+func rowContaining(rowPtr []int32, e int) int {
+	lo, hi := 0, len(rowPtr)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(rowPtr[mid+1]) > e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// rowAfter returns one past the last row with an edge before e: the
+// smallest r with RowPtr[r] >= e.
+func rowAfter(rowPtr []int32, e int) int {
+	lo, hi := 0, len(rowPtr)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(rowPtr[mid]) >= e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ExtractShard materializes shard s of a as a local-row CSR: row r of the
+// result is global destination row s.RowLo + r. Column indices and edge
+// ids stay global, so kernels index the original feature and edge tensors
+// directly; a split boundary row's pointer range is clamped to the shard's
+// edge span.
+func ExtractShard(a *sparse.CSR, s EdgeShard) *sparse.CSR {
+	rows := s.RowHi - s.RowLo
+	nnz := s.EdgeHi - s.EdgeLo
+	part := &sparse.CSR{
+		NumRows: rows,
+		NumCols: a.NumCols,
+		RowPtr:  make([]int32, rows+1),
+		ColIdx:  append([]int32(nil), a.ColIdx[s.EdgeLo:s.EdgeHi]...),
+		EID:     append([]int32(nil), a.EID[s.EdgeLo:s.EdgeHi]...),
+		Val:     append([]float32(nil), a.Val[s.EdgeLo:s.EdgeHi]...),
+	}
+	for r := 0; r <= rows; r++ {
+		p := int(a.RowPtr[s.RowLo+r]) - s.EdgeLo
+		part.RowPtr[r] = int32(min(max(p, 0), nnz))
+	}
+	return part
+}
