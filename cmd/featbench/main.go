@@ -10,6 +10,7 @@
 //	featbench -json bench.json     # machine-readable engine report
 //	featbench -fusedjson fused.json # machine-readable fused-attention report
 //	featbench -oocjson ooc.json    # machine-readable out-of-core report
+//	featbench -servejson serve.json # machine-readable serving report
 //
 // CPU experiments report wall time; GPU experiments report simulated
 // cycles from the cudasim cost model (see DESIGN.md).
@@ -44,7 +45,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the execution-engine report (engine vs legacy scheduler, plan cache) to this file and exit")
 		fusedOut = flag.String("fusedjson", "", "write the fused-attention report (fused vs three-pass GAT layer) to this file and exit")
 		oocOut   = flag.String("oocjson", "", "write the out-of-core report (sharded vs in-memory SpMM) to this file and exit")
-		rounds   = flag.Int("rounds", 3, "interleaved measurement rounds for -json / -fusedjson / -oocjson")
+		serveOut = flag.String("servejson", "", "write the serving report (micro-batched vs unbatched inference) to this file and exit")
+		rounds   = flag.Int("rounds", 3, "interleaved measurement rounds for -json / -fusedjson / -oocjson / -servejson")
 		metrics  = flag.Bool("metrics", false, "run the telemetry smoke workload and print the Prometheus metrics snapshot")
 	)
 	flag.Parse()
@@ -75,6 +77,14 @@ func main() {
 
 	if *oocOut != "" {
 		if err := writeOutOfCoreReport(ctx, *oocOut, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveOut != "" {
+		if err := writeServeReport(ctx, *serveOut, *rounds); err != nil {
 			fmt.Fprintf(os.Stderr, "featbench: %v\n", err)
 			os.Exit(1)
 		}

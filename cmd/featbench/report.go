@@ -90,3 +90,28 @@ func writeOutOfCoreReport(ctx context.Context, path string, rounds int) error {
 		path, rep.Slowdown, rep.Graph.BudgetRatio, rep.Agreement.Passed)
 	return f.Close()
 }
+
+// writeServeReport runs the micro-batched-vs-unbatched serving measurements
+// under thousands of closed-loop users and writes the JSON report to path
+// (checked in as BENCH_PR9.json).
+func writeServeReport(ctx context.Context, path string, rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	rep, err := bench.RunServeReport(ctx, os.Stderr, gitRev(), rounds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("serving report written to %s (%.1fx throughput at the %.0fms p99 SLO, passed: %v, bitwise: %v)\n",
+		path, rep.Summary.ThroughputRatio, rep.Summary.SLOMs,
+		rep.Summary.Passed, rep.Agreement.Bitwise)
+	return f.Close()
+}

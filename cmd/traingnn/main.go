@@ -203,9 +203,9 @@ func run(ctx context.Context, rc runConfig) error {
 	if err != nil {
 		return err
 	}
-	// Route the shutdown context into every kernel the training loop runs,
-	// so a signal aborts the in-flight epoch rather than waiting it out.
-	g.UseContext(ctx)
+	// The shutdown context rides into every kernel run through the
+	// per-call TrainEpochCtx/EvaluateCtx below, so a signal aborts the
+	// in-flight epoch rather than waiting it out.
 
 	mrng := rand.New(rand.NewSource(rc.seed + 1))
 	var m nn.Model
@@ -257,7 +257,7 @@ func run(ctx context.Context, rc runConfig) error {
 	lastLoss, lastLossValid := resumedLoss, resumedLossValid
 	aborted := false
 	for e := startEpoch; e < rc.epochs; e++ {
-		loss, err := nn.TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt)
+		loss, _, err := nn.TrainEpochCtx(ctx, m, ds.Features, ds.Labels, ds.TrainMask, opt)
 		if err != nil {
 			// An abort (SIGINT/SIGTERM, deadline, load shed, stall) ends
 			// training early but still flushes the summary and -trace file;
@@ -281,7 +281,12 @@ func run(ctx context.Context, rc runConfig) error {
 			}
 		}
 		if (e+1)%10 == 0 || e == 0 {
-			val := nn.Evaluate(m, ds.Features, ds.Labels, ds.ValMask)
+			val, err := nn.EvaluateCtx(ctx, m, ds.Features, ds.Labels, ds.ValMask)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "traingnn: validation aborted at epoch %d: %v\n", e+1, err)
+				aborted = true
+				break
+			}
 			fmt.Printf("epoch %4d  loss %.4f  val acc %.3f\n", e+1, loss, val)
 		}
 	}
@@ -293,8 +298,12 @@ func run(ctx context.Context, rc runConfig) error {
 		fmt.Printf("final loss: %.6f\n", lastLoss)
 	}
 	if !aborted {
-		test := nn.Evaluate(m, ds.Features, ds.Labels, ds.TestMask)
-		fmt.Printf("test accuracy: %.3f\n", test)
+		test, err := nn.EvaluateCtx(ctx, m, ds.Features, ds.Labels, ds.TestMask)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traingnn: test evaluation aborted: %v\n", err)
+		} else {
+			fmt.Printf("test accuracy: %.3f\n", test)
+		}
 	}
 	if cfg.Target == core.GPU {
 		fmt.Printf("simulated GPU cycles: %.1f Mcycles total\n", float64(g.SimCycles)/1e6)

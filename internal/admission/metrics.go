@@ -25,6 +25,10 @@ var (
 		"Kernel runs cancelled by the stall watchdog with a StallError.")
 	mRetries = telemetry.NewCounter("featgraph_run_retries_total", "",
 		"Kernel run attempts retried after a retryable failure (stall, recovered panic, numeric fault).")
+	mQuotaAllowed = telemetry.NewCounter("featgraph_quota_allowed_total", "",
+		"Serving requests admitted by per-tenant token-bucket quotas.")
+	mQuotaShed = telemetry.NewCounter("featgraph_quota_shed_total", "",
+		"Serving requests shed with a QuotaError because a tenant's token bucket was empty.")
 )
 
 func init() {

@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig sets one tenant's token bucket: a sustained rate plus a
+// burst allowance. Zero values take defaults from the TenantQuotas they
+// are registered with.
+type QuotaConfig struct {
+	// RatePerSec is the sustained request budget (tokens refilled per
+	// second). <= 0 means unlimited for that tenant.
+	RatePerSec float64
+	// Burst caps how many tokens the bucket can hold; it bounds how far a
+	// tenant can run ahead of its sustained rate. <= 0 defaults to
+	// max(RatePerSec, 1).
+	Burst float64
+}
+
+// QuotaError is returned by TenantQuotas.Allow when a tenant's bucket is
+// empty. It matches ErrOverloaded (like *OverloadError) so serving callers
+// handle both shed flavors with one errors.Is check, and carries the time
+// until the bucket holds enough tokens again.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("featgraph: tenant %q over quota (retry after %v)", e.Tenant, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match quota sheds too.
+func (e *QuotaError) Is(target error) bool { return target == ErrOverloaded }
+
+// TenantQuotas is a set of per-tenant token buckets layered in front of a
+// governor: the governor protects the process (concurrency, memory,
+// queue), the quotas protect tenants from each other. Buckets refill
+// lazily on access, so an idle TenantQuotas costs nothing. Safe for
+// concurrent use.
+type TenantQuotas struct {
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	defaults QuotaConfig
+	perTen   map[string]QuotaConfig
+	now      func() time.Time // test hook
+}
+
+type bucket struct {
+	cfg    QuotaConfig
+	tokens float64
+	last   time.Time
+}
+
+// NewTenantQuotas builds a quota set whose unregistered tenants get def.
+// A zero def (RatePerSec <= 0) leaves unknown tenants unlimited.
+func NewTenantQuotas(def QuotaConfig) *TenantQuotas {
+	return &TenantQuotas{
+		buckets:  make(map[string]*bucket),
+		defaults: def,
+		perTen:   make(map[string]QuotaConfig),
+		now:      time.Now,
+	}
+}
+
+// SetTenant overrides the bucket configuration for one tenant. The
+// tenant's bucket restarts full at the new burst.
+func (q *TenantQuotas) SetTenant(tenant string, cfg QuotaConfig) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.perTen[tenant] = cfg
+	delete(q.buckets, tenant)
+}
+
+// Allow charges cost tokens (one per request seed is the serving layer's
+// convention) against the tenant's bucket. It returns nil and debits the
+// bucket, or a *QuotaError — leaving the bucket untouched — when fewer
+// than cost tokens are available.
+func (q *TenantQuotas) Allow(tenant string, cost float64) error {
+	if cost <= 0 {
+		cost = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		cfg, ok := q.perTen[tenant]
+		if !ok {
+			cfg = q.defaults
+		}
+		if cfg.Burst <= 0 {
+			cfg.Burst = math.Max(cfg.RatePerSec, 1)
+		}
+		b = &bucket{cfg: cfg, tokens: cfg.Burst, last: q.now()}
+		q.buckets[tenant] = b
+	}
+	if b.cfg.RatePerSec <= 0 {
+		return nil // unlimited tenant
+	}
+	now := q.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.cfg.Burst, b.tokens+dt*b.cfg.RatePerSec)
+	}
+	b.last = now
+	if b.tokens < cost {
+		if mOn() {
+			mQuotaShed.Inc()
+		}
+		wait := time.Duration((cost - b.tokens) / b.cfg.RatePerSec * float64(time.Second))
+		return &QuotaError{Tenant: tenant, RetryAfter: wait}
+	}
+	b.tokens -= cost
+	if mOn() {
+		mQuotaAllowed.Inc()
+	}
+	return nil
+}
+
+// Tokens reports the tenant's current token balance after lazy refill
+// (math.Inf(1) for unlimited tenants); mainly for tests and introspection.
+func (q *TenantQuotas) Tokens(tenant string) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		cfg, ok := q.perTen[tenant]
+		if !ok {
+			cfg = q.defaults
+		}
+		if cfg.RatePerSec <= 0 {
+			return math.Inf(1)
+		}
+		if cfg.Burst <= 0 {
+			return math.Max(cfg.RatePerSec, 1)
+		}
+		return cfg.Burst
+	}
+	if b.cfg.RatePerSec <= 0 {
+		return math.Inf(1)
+	}
+	if dt := q.now().Sub(b.last).Seconds(); dt > 0 {
+		return math.Min(b.cfg.Burst, b.tokens+dt*b.cfg.RatePerSec)
+	}
+	return b.tokens
+}

@@ -1,0 +1,151 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives TenantQuotas deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Shed then recover: a tenant burns its burst, gets typed QuotaErrors that
+// match ErrOverloaded, and is re-admitted once the bucket refills.
+func TestTenantQuotaShedAndRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := NewTenantQuotas(QuotaConfig{RatePerSec: 10, Burst: 3})
+	q.now = clk.now
+
+	for i := 0; i < 3; i++ {
+		if err := q.Allow("acme", 1); err != nil {
+			t.Fatalf("request %d within burst rejected: %v", i, err)
+		}
+	}
+	err := q.Allow("acme", 1)
+	if err == nil {
+		t.Fatal("4th immediate request should be shed")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("want *QuotaError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("QuotaError must match ErrOverloaded")
+	}
+	if qe.Tenant != "acme" || qe.RetryAfter <= 0 || qe.RetryAfter > time.Second {
+		t.Fatalf("bad shed hint: %+v", qe)
+	}
+
+	// Not enough refill yet: 50ms at 10/s = 0.5 tokens.
+	clk.advance(50 * time.Millisecond)
+	if err := q.Allow("acme", 1); err == nil {
+		t.Fatal("should still be shed after 50ms")
+	}
+	// Another 60ms brings the bucket over 1 token: recovered.
+	clk.advance(60 * time.Millisecond)
+	if err := q.Allow("acme", 1); err != nil {
+		t.Fatalf("should recover after refill: %v", err)
+	}
+
+	// Refill must cap at burst: after a long idle stretch only 3 tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := q.Allow("acme", 1); err != nil {
+			t.Fatalf("burst request %d after idle rejected: %v", i, err)
+		}
+	}
+	if err := q.Allow("acme", 1); err == nil {
+		t.Fatal("burst must cap refill after idle")
+	}
+}
+
+func TestTenantQuotaIsolationAndOverrides(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	q := NewTenantQuotas(QuotaConfig{RatePerSec: 1, Burst: 1})
+	q.now = clk.now
+	q.SetTenant("vip", QuotaConfig{RatePerSec: 100, Burst: 50})
+	q.SetTenant("free", QuotaConfig{}) // unlimited (RatePerSec <= 0)
+
+	if err := q.Allow("acme", 1); err != nil {
+		t.Fatalf("first default request: %v", err)
+	}
+	if err := q.Allow("acme", 1); err == nil {
+		t.Fatal("default tenant should exhaust burst=1")
+	}
+	// One tenant's exhaustion must not affect another.
+	for i := 0; i < 50; i++ {
+		if err := q.Allow("vip", 1); err != nil {
+			t.Fatalf("vip request %d: %v", i, err)
+		}
+	}
+	if err := q.Allow("vip", 1); err == nil {
+		t.Fatal("vip should exhaust burst=50")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := q.Allow("free", 1); err != nil {
+			t.Fatalf("unlimited tenant shed: %v", err)
+		}
+	}
+	if tk := q.Tokens("free"); !math.IsInf(tk, 1) {
+		t.Fatalf("unlimited tenant tokens = %v, want +Inf", tk)
+	}
+	// Multi-token cost: a 5-seed request against a 10-burst bucket.
+	q.SetTenant("batchy", QuotaConfig{RatePerSec: 1, Burst: 10})
+	if err := q.Allow("batchy", 5); err != nil {
+		t.Fatalf("5-token request: %v", err)
+	}
+	if tk := q.Tokens("batchy"); tk != 5 {
+		t.Fatalf("tokens after 5-cost allow = %v, want 5", tk)
+	}
+	if err := q.Allow("batchy", 6); err == nil {
+		t.Fatal("6-token request against 5 remaining should shed")
+	}
+}
+
+func TestTenantQuotaConcurrent(t *testing.T) {
+	q := NewTenantQuotas(QuotaConfig{RatePerSec: 1000, Burst: 100})
+	var wg sync.WaitGroup
+	var allowed, shed int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := q.Allow("shared", 1)
+				mu.Lock()
+				if err == nil {
+					allowed++
+				} else if errors.Is(err, ErrOverloaded) {
+					shed++
+				} else {
+					mu.Unlock()
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed == 0 || shed == 0 {
+		t.Fatalf("want both outcomes under contention, got allowed=%d shed=%d", allowed, shed)
+	}
+}

@@ -1,0 +1,510 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"featgraph/internal/graphgen"
+	"featgraph/internal/serve"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The serving report (featbench -servejson, checked in as BENCH_PR9.json)
+// measures the dynamic micro-batcher against a no-coalescing baseline.
+// Both sides share one graph, feature matrix, model, sampler seed, and
+// thread budget; the only difference is the batching policy (window +
+// MaxBatch vs one-request batches).
+//
+// Two measurements per mode, rounds interleaved so machine noise perturbs
+// both equally:
+//
+//  1. Capacity: a closed-loop herd of thousands of users fired through a
+//     start gate — the server's peak request rate.
+//  2. SLO throughput: paced open-loop arrivals, doubling the offered rate
+//     until the p99 latency breaks a shared 50ms SLO or requests shed. The
+//     latency clock for each request starts at its INTENDED arrival time,
+//     not when its goroutine gets scheduled — the standard correction for
+//     coordinated omission, without which a saturated serial server looks
+//     fast because queueing hides in the load generator. The headline is
+//     throughput at equal p99: both modes bound p99 by the same SLO, and
+//     the ratio of the rates they sustain under it is the batching win.
+//
+// The report carries its own oracle: a sweep of requests run through both
+// modes must agree bitwise, the batcher's core contract.
+
+func init() {
+	register("serve", "Online serving: micro-batched vs unbatched request throughput", serveExp)
+}
+
+const (
+	serveVerts   = 20000
+	serveDeg     = 16
+	serveSkew    = 1.1
+	serveDim     = 32
+	serveHidden  = 32
+	serveOut     = 8
+	serveFanout  = 10
+	serveThreads = 4
+	serveWindow  = 2 * time.Millisecond
+	serveUsers   = 2000
+	servePerUser = 2
+	// serveSLO is the shared p99 bound of the open-loop comparison: both
+	// modes are driven to the highest paced rate whose p99 stays under it.
+	serveSLO = 50 * time.Millisecond
+)
+
+// pacedReqsFor sizes a paced run to ~0.4s of offered load, clamped so slow
+// rates still finish quickly and fast rates still gather enough samples.
+func pacedReqsFor(rate float64) int {
+	return int(min(max(rate*0.4, 2000), 16000))
+}
+
+// ServeBenchResult is one measured serving mode (medians across rounds).
+type ServeBenchResult struct {
+	Mode    string `json:"mode"` // "batched" or "unbatched"
+	Users   int    `json:"users"`
+	Threads int    `json:"threads"`
+	// CapacityReqPerSec is the closed-loop herd throughput ceiling.
+	CapacityReqPerSec float64 `json:"capacity_req_per_sec"`
+	// SLOReqPerSec is the highest paced open-loop rate sustained with
+	// p99 <= the shared SLO and nothing shed; P50Ms/P99Ms are measured at
+	// that rate from intended arrival times (coordinated-omission-safe).
+	SLOReqPerSec  float64 `json:"slo_req_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanCoalesced float64 `json:"mean_batch_requests"` // requests per executed batch (herd)
+	PlanBuilt     int     `json:"plan_built"`
+	PlanReused    int     `json:"plan_reused"`
+}
+
+// ServeAgreement is the built-in oracle: the same requests through both
+// modes, compared bitwise (MaxAbsDiff must be exactly zero — batching may
+// never change answers).
+type ServeAgreement struct {
+	Requests   int     `json:"requests"`
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+	Bitwise    bool    `json:"bitwise"`
+}
+
+// ServeSummary states the acceptance claim: batched-over-unbatched
+// throughput at equal p99 (both bounded by the shared SLO).
+type ServeSummary struct {
+	SLOMs           float64 `json:"slo_ms"`           // the shared p99 bound
+	ThroughputRatio float64 `json:"throughput_ratio"` // batched / unbatched SLO req/s
+	CapacityRatio   float64 `json:"capacity_ratio"`   // batched / unbatched herd req/s
+	Passed          bool    `json:"passed"`           // >= 2x throughput at equal p99
+}
+
+// ServeGraphInfo describes the benchmark workload.
+type ServeGraphInfo struct {
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	FeatDim  int     `json:"feat_dim"`
+	Layers   string  `json:"layers"`
+	Fanouts  []int   `json:"fanouts"`
+	WindowMs float64 `json:"window_ms"`
+	MaxBatch int     `json:"max_batch"`
+}
+
+// ServeReport is the payload of featbench -servejson.
+type ServeReport struct {
+	GitRev     string             `json:"git_rev"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Rounds     int                `json:"rounds"`
+	Graph      ServeGraphInfo     `json:"graph"`
+	Results    []ServeBenchResult `json:"results"`
+	Summary    ServeSummary       `json:"summary"`
+	Agreement  ServeAgreement     `json:"agreement"`
+}
+
+// serveWorkload builds the shared graph, features, and model.
+func serveWorkload() (*sparse.CSR, *tensor.Tensor, serve.Model) {
+	rng := rand.New(rand.NewSource(11))
+	adj := graphgen.Skewed(rng, serveVerts, serveDeg, serveSkew)
+	feats := tensor.New(adj.NumRows, serveDim)
+	feats.FillUniform(rng, -1, 1)
+	return adj, feats, serve.RandomModel(rng, serveDim, serveHidden, serveOut)
+}
+
+// serveBatcher builds one serving stack in the given mode over the shared
+// workload. Unbatched means MaxBatch 1: every request dispatches alone,
+// which is exactly the per-request path minus coalescing.
+func serveBatcher(adj *sparse.CSR, feats *tensor.Tensor, model serve.Model, batched bool) (*serve.Batcher, error) {
+	cfg := serve.Config{
+		Fanouts:    []int{serveFanout, serveFanout},
+		SampleSeed: 42,
+		NumThreads: serveThreads,
+		MaxQueue:   2 * serveUsers,
+	}
+	if batched {
+		cfg.Window = serveWindow
+		cfg.MaxBatch = 512
+	} else {
+		cfg.MaxBatch = 1
+	}
+	return serve.New(adj, feats, model, cfg)
+}
+
+// serveRound drives users*perUser closed-loop requests through b and
+// returns the round wall time plus every request's latency and batch size.
+// All users block on a start gate until every goroutine is spawned, so both
+// modes face the same thundering herd — without the gate, goroutine spawn
+// contention meters arrivals down to the server's service rate and the
+// unbatched queue never builds, hiding exactly the queueing delay batching
+// exists to absorb.
+func serveRound(ctx context.Context, b *serve.Batcher, n int, users, perUser int) (time.Duration, []float64, []int, error) {
+	type sample struct {
+		lat   time.Duration
+		batch int
+	}
+	samples := make([][]sample, users)
+	errs := make(chan error, users)
+	gate := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + u)))
+			ready.Done()
+			<-gate
+			for i := 0; i < perUser; i++ {
+				t0 := time.Now()
+				res, err := b.Serve(ctx, serve.Request{Seeds: []int32{int32(rng.Intn(n))}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				samples[u] = append(samples[u], sample{time.Since(t0), res.Info.BatchRequests})
+			}
+		}()
+	}
+	ready.Wait()
+	start := time.Now()
+	close(gate)
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, nil, nil, err
+	default:
+	}
+	var lats []float64
+	var batches []int
+	for _, ss := range samples {
+		for _, s := range ss {
+			lats = append(lats, float64(s.lat.Nanoseconds())/1e6)
+			batches = append(batches, s.batch)
+		}
+	}
+	return wall, lats, batches, nil
+}
+
+// quantile returns the q-quantile of sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// pacedRun offers `total` single-seed requests at `rate` req/s and returns
+// the latency samples (ms) measured from each request's INTENDED arrival
+// time — a generator that falls behind fires late, but the clock already
+// started, so saturation shows up as latency instead of being silently
+// absorbed by the load generator (coordinated omission). Any error (shed,
+// deadline) fails the run: sustaining a rate means serving everything.
+func pacedRun(b *serve.Batcher, n, total int, rate float64) ([]float64, error) {
+	// All request goroutines, seeds, and intended times are prepared
+	// before the clock starts: on a small box the generator shares CPUs
+	// with the server, and per-request setup in the hot path would be
+	// charged to whichever mode is being measured.
+	rng := rand.New(rand.NewSource(2000))
+	seeds := make([]int32, total)
+	for i := range seeds {
+		seeds[i] = int32(rng.Intn(n))
+	}
+	lats := make([]float64, total)
+	errs := make(chan error, total)
+	interval := time.Duration(float64(time.Second) / rate)
+	gate := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	var start time.Time
+	for i := 0; i < total; i++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			<-gate
+			intended := start.Add(time.Duration(i) * interval)
+			if d := time.Until(intended); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := b.Serve(context.Background(), serve.Request{Seeds: []int32{seeds[i]}}); err != nil {
+				errs <- err
+				return
+			}
+			lats[i] = float64(time.Now().Sub(intended).Nanoseconds()) / 1e6
+		}()
+	}
+	ready.Wait()
+	start = time.Now()
+	close(gate)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	sort.Float64s(lats)
+	return lats, nil
+}
+
+// serveRates is the offered-rate ladder of the SLO sweep (req/s): 4k steps
+// through the knee region, coarser above.
+var serveRates = []float64{
+	4000, 8000, 12000, 16000, 20000, 24000, 28000, 32000,
+	36000, 40000, 44000, 48000, 56000, 64000, 80000,
+}
+
+// sloSweep walks the rate ladder until p99 breaks the SLO or requests shed,
+// and returns the last sustained rate with its latency quantiles. Each rate
+// gets up to two attempts (applied identically to both modes): on a 1-CPU
+// box a single GC or scheduler hiccup can spike one run's p99 far off the
+// steady state, and ending the sweep on that noise would misplace the knee.
+func sloSweep(out io.Writer, mode string, b *serve.Batcher, n int) (rate, p50, p99 float64, err error) {
+	sloMs := float64(serveSLO) / 1e6
+ladder:
+	for _, r := range serveRates {
+		for attempt := 0; attempt < 2; attempt++ {
+			lats, runErr := pacedRun(b, n, pacedReqsFor(r), r)
+			if runErr != nil {
+				fmt.Fprintf(out, "  slo/%s @ %6.0f req/s: shed (%v)\n", mode, r, runErr)
+				continue
+			}
+			q99 := quantile(lats, 0.99)
+			fmt.Fprintf(out, "  slo/%s @ %6.0f req/s: p50=%.2fms p99=%.2fms\n", mode, r, quantile(lats, 0.50), q99)
+			if q99 <= sloMs {
+				rate, p50, p99 = r, quantile(lats, 0.50), q99
+				continue ladder
+			}
+		}
+		break
+	}
+	if rate == 0 {
+		return 0, 0, 0, fmt.Errorf("serve: %s sustained no rate under the %v SLO", mode, serveSLO)
+	}
+	return rate, p50, p99, nil
+}
+
+// RunServeReport measures batched-vs-unbatched serving over `rounds`
+// interleaved rounds of serveUsers closed-loop users. A cancelled ctx stops
+// between rounds and assembles the report from what completed.
+func RunServeReport(ctx context.Context, out io.Writer, gitRev string, rounds int) (*ServeReport, error) {
+	adj, feats, model := serveWorkload()
+	rep := &ServeReport{
+		GitRev:     gitRev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+		Graph: ServeGraphInfo{
+			Vertices: adj.NumRows, Edges: adj.NNZ(), FeatDim: serveDim,
+			Layers:   fmt.Sprintf("%d-%d-%d", serveDim, serveHidden, serveOut),
+			Fanouts:  []int{serveFanout, serveFanout},
+			WindowMs: float64(serveWindow) / 1e6,
+			MaxBatch: 512,
+		},
+	}
+
+	modes := []struct {
+		name    string
+		batched bool
+	}{{"batched", true}, {"unbatched", false}}
+
+	batchers := map[string]*serve.Batcher{}
+	for _, m := range modes {
+		b, err := serveBatcher(adj, feats, model, m.batched)
+		if err != nil {
+			return nil, err
+		}
+		defer b.Close()
+		batchers[m.name] = b
+		// Warmup: compile the steady-state plan classes outside the samples.
+		if _, _, _, err := serveRound(context.Background(), b, adj.NumRows, 64, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	caps := map[string][]float64{}
+	sloRates := map[string][]float64{}
+	sloP50s := map[string][]float64{}
+	sloP99s := map[string][]float64{}
+	batchSizes := map[string][]int{}
+	lastInfo := map[string]serve.RunInfo{}
+measure:
+	for round := 0; round < rounds; round++ {
+		for _, m := range modes {
+			if ctx.Err() != nil {
+				fmt.Fprintf(out, "interrupted after round %d; writing partial report\n", round)
+				break measure
+			}
+			// Capacity: closed-loop herd.
+			wall, _, bs, err := serveRound(context.Background(), batchers[m.name], adj.NumRows, serveUsers, servePerUser)
+			if err != nil {
+				return nil, err
+			}
+			caps[m.name] = append(caps[m.name], float64(serveUsers*servePerUser)/wall.Seconds())
+			batchSizes[m.name] = append(batchSizes[m.name], bs...)
+			fmt.Fprintf(out, "round %d: herd/%s %d req in %.3fs (%.0f req/s)\n",
+				round, m.name, serveUsers*servePerUser, wall.Seconds(),
+				float64(serveUsers*servePerUser)/wall.Seconds())
+			// SLO throughput: paced open-loop rate ladder.
+			rate, p50, p99, err := sloSweep(out, m.name, batchers[m.name], adj.NumRows)
+			if err != nil {
+				return nil, err
+			}
+			sloRates[m.name] = append(sloRates[m.name], rate)
+			sloP50s[m.name] = append(sloP50s[m.name], p50)
+			sloP99s[m.name] = append(sloP99s[m.name], p99)
+			res, err := batchers[m.name].Serve(context.Background(), serve.Request{Seeds: []int32{0}})
+			if err != nil {
+				return nil, err
+			}
+			lastInfo[m.name] = res.Info
+		}
+	}
+
+	median := func(s []float64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		c := append([]float64(nil), s...)
+		sort.Float64s(c)
+		return c[len(c)/2]
+	}
+	byMode := map[string]*ServeBenchResult{}
+	for _, m := range modes {
+		if len(caps[m.name]) == 0 {
+			continue
+		}
+		var sumB int
+		for _, b := range batchSizes[m.name] {
+			sumB += b
+		}
+		mean := 0.0
+		if len(batchSizes[m.name]) > 0 {
+			mean = float64(sumB) / float64(len(batchSizes[m.name]))
+		}
+		r := ServeBenchResult{
+			Mode: m.name, Users: serveUsers, Threads: serveThreads,
+			CapacityReqPerSec: median(caps[m.name]),
+			SLOReqPerSec:      median(sloRates[m.name]),
+			P50Ms:             median(sloP50s[m.name]),
+			P99Ms:             median(sloP99s[m.name]),
+			MeanCoalesced:     mean,
+			PlanBuilt:         lastInfo[m.name].PlanBuilt,
+			PlanReused:        lastInfo[m.name].PlanReused,
+		}
+		rep.Results = append(rep.Results, r)
+		byMode[m.name] = &rep.Results[len(rep.Results)-1]
+	}
+	if b, u := byMode["batched"], byMode["unbatched"]; b != nil && u != nil {
+		rep.Summary = ServeSummary{
+			SLOMs:           float64(serveSLO) / 1e6,
+			ThroughputRatio: b.SLOReqPerSec / u.SLOReqPerSec,
+			CapacityRatio:   b.CapacityReqPerSec / u.CapacityReqPerSec,
+		}
+		rep.Summary.Passed = rep.Summary.ThroughputRatio >= 2
+	}
+
+	// Oracle: a sweep of multi-seed requests through both modes must agree
+	// bitwise — coalescing must never change a single output bit.
+	rng := rand.New(rand.NewSource(77))
+	const checks = 32
+	maxDiff := 0.0
+	var wg sync.WaitGroup
+	diffs := make([]float64, checks)
+	errc := make(chan error, checks)
+	for i := 0; i < checks; i++ {
+		seeds := []int32{int32(rng.Intn(adj.NumRows)), int32(rng.Intn(adj.NumRows))}
+		for seeds[1] == seeds[0] {
+			seeds[1] = int32(rng.Intn(adj.NumRows))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			br, err := batchers["batched"].Serve(context.Background(), serve.Request{Seeds: seeds})
+			if err != nil {
+				errc <- err
+				return
+			}
+			ur, err := batchers["unbatched"].Serve(context.Background(), serve.Request{Seeds: seeds})
+			if err != nil {
+				errc <- err
+				return
+			}
+			diffs[i] = br.Out.MaxAbsDiff(ur.Out)
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	for _, d := range diffs {
+		maxDiff = max(maxDiff, d)
+	}
+	rep.Agreement = ServeAgreement{Requests: checks, MaxAbsDiff: maxDiff, Bitwise: maxDiff == 0}
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *ServeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// serveExp is the registry entry: a table view of the same measurement for
+// featbench -exp serve and the CI bench smoke.
+func serveExp(cfg *Config) error {
+	rep, err := RunServeReport(context.Background(), io.Discard, "n/a", max(cfg.Reps, 1))
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Online serving (|V|=%d, |E|=%d, %s model, fanouts %v, %d users, %d threads)",
+			rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Layers, rep.Graph.Fanouts,
+			serveUsers, serveThreads),
+		Columns: []string{"mode", "capacity req/s", "req/s @ 50ms p99", "p50", "p99", "req/batch"},
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%.0f", r.CapacityReqPerSec),
+			fmt.Sprintf("%.0f", r.SLOReqPerSec),
+			fmt.Sprintf("%.2fms", r.P50Ms),
+			fmt.Sprintf("%.2fms", r.P99Ms),
+			fmt.Sprintf("%.1f", r.MeanCoalesced),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "summary: %.1fx throughput at the shared %.0fms p99 SLO, %.1fx capacity (passed=%v); agreement: max diff %g (bitwise=%v)\n",
+		rep.Summary.ThroughputRatio, rep.Summary.SLOMs, rep.Summary.CapacityRatio,
+		rep.Summary.Passed, rep.Agreement.MaxAbsDiff, rep.Agreement.Bitwise)
+	return nil
+}

@@ -109,6 +109,12 @@ type Graph struct {
 	// whether a kernel is run standalone or through a cached dgl plan.
 	// Like SimCycles, these are written by the goroutine executing Apply;
 	// read them from that goroutine only.
+	//
+	// Deprecated: these graph-wide accumulators only see runs issued
+	// through the legacy Apply path (ApplyCtx with a non-nil *RunInfo
+	// bypasses them by design — that is what makes concurrent requests on
+	// one Graph race-free). Use the per-call RunInfo for fallback
+	// attribution.
 	Fallbacks          uint64
 	LastFallbackReason string
 	// PlanCache counts kernel-plan cache traffic attributed to this graph
@@ -160,6 +166,10 @@ func (g *Graph) Adj() *sparse.CSR { return g.adj }
 // this graph's ops: cancelling it aborts the op (and with it the training
 // step) with a *AbortError. A nil ctx restores context.Background().
 // Set it between tapes, from the goroutine that Applies ops.
+//
+// Deprecated: pass the context per call via the ops' ApplyCtx variants (or
+// nn's TrainEpochCtx/InferCtx/EvaluateCtx). A graph-wide mutable context
+// cannot serve concurrent requests with distinct deadlines; ApplyCtx can.
 func (g *Graph) UseContext(ctx context.Context) { g.ctx = ctx }
 
 // runCtx is the context kernel runs execute under.

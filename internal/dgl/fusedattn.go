@@ -1,6 +1,7 @@
 package dgl
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -84,7 +85,16 @@ func (op *FusedAttentionOp) buildBwd() (core.Kernel, error) {
 // Apply records the fused attention aggregation on the tape. x carries
 // source-vertex features, y destination-vertex features; in GAT both are
 // the same Var, and the two gradient streams accumulate onto it.
+//
+// Deprecated: use ApplyCtx, which scopes the context and run statistics to
+// this call instead of the shared Graph fields.
 func (op *FusedAttentionOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
+	return op.ApplyCtx(nil, tp, x, y, nil)
+}
+
+// ApplyCtx records the fused attention aggregation on the tape. See
+// CopyAggOp.ApplyCtx for the ctx/info contract.
+func (op *FusedAttentionOp) ApplyCtx(ctx context.Context, tp *autodiff.Tape, x, y *autodiff.Var, info *RunInfo) *autodiff.Var {
 	g := op.g
 	n := g.NumVertices()
 	if g.cfg.Backend == FeatGraph {
@@ -93,21 +103,21 @@ func (op *FusedAttentionOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodi
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.ybuf.Data(), y.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.execCtx(ctx), out)
 				if err != nil {
 					panic(opError("fused attention forward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				return out
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				grad := tensor.New(2*n, op.d)
-				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).RunCtx(g.runCtx(), grad)
+				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).RunCtx(g.execCtx(ctx), grad)
 				if err != nil {
 					panic(opError("fused attention backward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				gd := grad.Data()
 				dx := tensor.New(n, op.d)
 				dy := tensor.New(n, op.d)

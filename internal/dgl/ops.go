@@ -1,6 +1,7 @@
 package dgl
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -127,8 +128,21 @@ func (op *CopyAggOp) buildBwd() (core.Kernel, error) {
 	return k, nil
 }
 
-// Apply records the aggregation on the tape.
+// Apply records the aggregation on the tape under the graph-wide context.
+//
+// Deprecated: use ApplyCtx, which scopes the context and run statistics to
+// this call instead of the shared Graph fields.
 func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
+	return op.ApplyCtx(nil, tp, x, nil)
+}
+
+// ApplyCtx records the aggregation on the tape. The kernel runs the op
+// issues (forward now, backward when the tape unwinds) execute under ctx,
+// and their statistics accumulate onto info. Both may be nil: a nil ctx
+// falls back to the graph-wide context, a nil info to the legacy Graph
+// counters. With both set, the call touches no shared graph state, so
+// concurrent callers with distinct ops on one Graph need no locking.
+func (op *CopyAggOp) ApplyCtx(ctx context.Context, tp *autodiff.Tape, x *autodiff.Var, info *RunInfo) *autodiff.Var {
 	g := op.g
 	n := g.NumVertices()
 	if g.cfg.Backend == FeatGraph {
@@ -136,21 +150,21 @@ func (op *CopyAggOp) Apply(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 			func() *tensor.Tensor {
 				copy(op.xbuf.Data(), x.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.execCtx(ctx), out)
 				if err != nil {
 					panic(opError("copy-agg forward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				return out
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).RunCtx(g.runCtx(), dx)
+				stats, err := g.mustPlan(op.bwdKey, op.buildBwd).RunCtx(g.execCtx(ctx), dx)
 				if err != nil {
 					panic(opError("copy-agg backward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				autodiff.SeedGrad(x, dx)
 			})
 	}
@@ -274,7 +288,16 @@ func reduceAxisOf(udf *expr.UDF) *expr.Axis {
 }
 
 // Apply records out = Σ w[e]·x[src] on the tape. w must be an [m,1] Var.
+//
+// Deprecated: use ApplyCtx, which scopes the context and run statistics to
+// this call instead of the shared Graph fields.
 func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.Var {
+	return op.ApplyCtx(nil, tp, x, w, nil)
+}
+
+// ApplyCtx records out = Σ w[e]·x[src] on the tape; w must be an [m,1]
+// Var. See CopyAggOp.ApplyCtx for the ctx/info contract.
+func (op *WeightedSumOp) ApplyCtx(ctx context.Context, tp *autodiff.Tape, x, w *autodiff.Var, info *RunInfo) *autodiff.Var {
 	g := op.g
 	n, m := g.NumVertices(), g.NumEdges()
 	if w.Value.Dim(0) != m {
@@ -286,29 +309,29 @@ func (op *WeightedSumOp) Apply(tp *autodiff.Tape, x, w *autodiff.Var) *autodiff.
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.wbuf.Data(), w.Value.Data())
 				out := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), out)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.execCtx(ctx), out)
 				if err != nil {
 					panic(opError("weighted-sum forward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				return out
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.gbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.runCtx(), dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.execCtx(ctx), dx)
 				if err != nil {
 					panic(opError("weighted-sum backward dX", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				autodiff.SeedGrad(x, dx)
 
 				dw := tensor.New(m, 1)
-				stats, err = g.mustPlan(op.bwdWKey, op.buildBwdW).RunCtx(g.runCtx(), dw)
+				stats, err = g.mustPlan(op.bwdWKey, op.buildBwdW).RunCtx(g.execCtx(ctx), dw)
 				if err != nil {
 					panic(opError("weighted-sum backward dW", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				autodiff.SeedGrad(w, dw)
 			})
 	}
@@ -400,7 +423,16 @@ func (op *DotOp) buildBwdY() (core.Kernel, error) {
 }
 
 // Apply records att = x·y per edge. x and y may be the same Var (GAT).
+//
+// Deprecated: use ApplyCtx, which scopes the context and run statistics to
+// this call instead of the shared Graph fields.
 func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
+	return op.ApplyCtx(nil, tp, x, y, nil)
+}
+
+// ApplyCtx records att = x·y per edge; x and y may be the same Var (GAT).
+// See CopyAggOp.ApplyCtx for the ctx/info contract.
+func (op *DotOp) ApplyCtx(ctx context.Context, tp *autodiff.Tape, x, y *autodiff.Var, info *RunInfo) *autodiff.Var {
 	g := op.g
 	n, m := g.NumVertices(), g.NumEdges()
 	if g.cfg.Backend == FeatGraph {
@@ -409,29 +441,29 @@ func (op *DotOp) Apply(tp *autodiff.Tape, x, y *autodiff.Var) *autodiff.Var {
 				copy(op.xbuf.Data(), x.Value.Data())
 				copy(op.ybuf.Data(), y.Value.Data())
 				att := tensor.New(m, 1)
-				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.runCtx(), att)
+				stats, err := g.mustPlan(op.fwdKey, op.buildFwd).RunCtx(g.execCtx(ctx), att)
 				if err != nil {
 					panic(opError("dot forward", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				return att
 			},
 			func(dOut *tensor.Tensor) {
 				copy(op.dattbuf.Data(), dOut.Data())
 				dx := tensor.New(n, op.d)
-				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.runCtx(), dx)
+				stats, err := g.mustPlan(op.bwdXKey, op.buildBwdX).RunCtx(g.execCtx(ctx), dx)
 				if err != nil {
 					panic(opError("dot backward dX", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				autodiff.SeedGrad(x, dx)
 
 				dy := tensor.New(n, op.d)
-				stats, err = g.mustPlan(op.bwdYKey, op.buildBwdY).RunCtx(g.runCtx(), dy)
+				stats, err = g.mustPlan(op.bwdYKey, op.buildBwdY).RunCtx(g.execCtx(ctx), dy)
 				if err != nil {
 					panic(opError("dot backward dY", err))
 				}
-				g.record(stats)
+				g.track(info, stats)
 				autodiff.SeedGrad(y, dy)
 			})
 	}

@@ -1,0 +1,90 @@
+package dgl
+
+import (
+	"context"
+	"time"
+
+	"featgraph/internal/core"
+)
+
+// RunInfo accumulates execution statistics for one logical call — a single
+// ApplyCtx, or a whole forward/backward pass when the same *RunInfo is
+// threaded through every op of a tape. Unlike the legacy Graph counters
+// (Fallbacks, LastFallbackReason, SimCycles) it is owned by the caller, so
+// concurrent requests sharing one Graph each observe their own runs with
+// no shared mutable state: fallback attribution, queueing and retries
+// travel per call instead of racing on graph fields.
+//
+// A RunInfo must not be shared across goroutines without external
+// synchronization; give each concurrent request its own.
+type RunInfo struct {
+	// Runs counts kernel launches observed.
+	Runs int
+	// SimCycles sums simulated GPU cycles (Target == GPU runs only).
+	SimCycles uint64
+	// Fallbacks counts runs that degraded from the simulated GPU to the
+	// CPU path; FallbackReason keeps the most recent degradation's reason
+	// verbatim, the same string a direct core kernel run reports.
+	Fallbacks      int
+	FallbackReason string
+	// Queued sums time spent waiting in admission queues.
+	Queued time.Duration
+	// Retries sums per-run retry attempts consumed.
+	Retries int
+	// BreakerState is the GPU circuit breaker's state after the most
+	// recent run ("" when the breaker never engaged).
+	BreakerState string
+}
+
+// observe folds one kernel run's stats into the info.
+func (ri *RunInfo) observe(stats core.RunStats) {
+	ri.Runs++
+	ri.SimCycles += stats.SimCycles
+	if stats.Fallback {
+		ri.Fallbacks++
+		ri.FallbackReason = stats.FallbackReason
+	}
+	ri.Queued += stats.Queued
+	ri.Retries += stats.Retries
+	if stats.BreakerState != "" {
+		ri.BreakerState = stats.BreakerState
+	}
+}
+
+// Merge folds another RunInfo into this one (for callers aggregating
+// per-stage infos into a per-request total).
+func (ri *RunInfo) Merge(o RunInfo) {
+	ri.Runs += o.Runs
+	ri.SimCycles += o.SimCycles
+	ri.Fallbacks += o.Fallbacks
+	if o.FallbackReason != "" {
+		ri.FallbackReason = o.FallbackReason
+	}
+	ri.Queued += o.Queued
+	ri.Retries += o.Retries
+	if o.BreakerState != "" {
+		ri.BreakerState = o.BreakerState
+	}
+}
+
+// track routes one kernel run's stats either to the caller's RunInfo (the
+// request-scoped path: no graph state touched, safe under concurrency) or,
+// when info is nil, to the legacy per-Graph counters for compatibility
+// with the deprecated Apply/UseContext surface.
+func (g *Graph) track(info *RunInfo, stats core.RunStats) {
+	if info != nil {
+		info.observe(stats)
+		return
+	}
+	g.record(stats)
+}
+
+// execCtx resolves the context a kernel run executes under: the per-call
+// ctx when one was given to ApplyCtx, else the graph-wide context of the
+// deprecated UseContext path.
+func (g *Graph) execCtx(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return g.runCtx()
+}

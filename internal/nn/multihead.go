@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,29 +82,37 @@ func NewMultiHeadGAT(g *dgl.Graph, in, hidden, out, heads int, rng *rand.Rand) (
 }
 
 // headOutputs runs every head of one layer on its feature slice.
-func (m *MultiHeadGAT) headOutputs(tp *autodiff.Tape, x, w *autodiff.Var, fused []*dgl.FusedAttentionOp, dots []*dgl.DotOp, wsums []*dgl.WeightedSumOp) []*autodiff.Var {
+func (m *MultiHeadGAT) headOutputs(ctx context.Context, tp *autodiff.Tape, x, w *autodiff.Var, fused []*dgl.FusedAttentionOp, dots []*dgl.DotOp, wsums []*dgl.WeightedSumOp, info *dgl.RunInfo) []*autodiff.Var {
 	z := m.g.DenseMatMul(tp, x, w)
 	zs := tp.SplitCols(z, m.heads)
 	outs := make([]*autodiff.Var, m.heads)
 	for h := 0; h < m.heads; h++ {
 		if fused != nil {
-			outs[h] = fused[h].Apply(tp, zs[h], zs[h])
+			outs[h] = fused[h].ApplyCtx(ctx, tp, zs[h], zs[h], info)
 			continue
 		}
 		d := zs[h].Value.Dim(1)
-		att := tp.Scale(tp.LeakyReLU(dots[h].Apply(tp, zs[h], zs[h]), 0.2), float32(1/math.Sqrt(float64(d))))
+		att := tp.Scale(tp.LeakyReLU(dots[h].ApplyCtx(ctx, tp, zs[h], zs[h], info), 0.2), float32(1/math.Sqrt(float64(d))))
 		alpha := m.g.EdgeSoftmax(tp, att)
-		outs[h] = wsums[h].Apply(tp, zs[h], alpha)
+		outs[h] = wsums[h].ApplyCtx(ctx, tp, zs[h], alpha, info)
 	}
 	return outs
 }
 
 // Forward computes the multi-head GAT logits: layer 1 concatenates heads,
 // layer 2 averages them.
+//
+// Deprecated: use ForwardCtx.
 func (m *MultiHeadGAT) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
+	return m.ForwardCtx(nil, tp, x, nil)
+}
+
+// ForwardCtx computes the multi-head GAT logits under a per-call context,
+// accumulating kernel stats onto info.
+func (m *MultiHeadGAT) ForwardCtx(ctx context.Context, tp *autodiff.Tape, x *tensor.Tensor, info *dgl.RunInfo) (*autodiff.Var, []*autodiff.Var) {
 	w1, w2 := tp.Param(m.w1), tp.Param(m.w2)
-	h1 := tp.ReLU(tp.ConcatCols(m.headOutputs(tp, tp.Input(x), w1, m.fused1, m.dots1, m.wsums1)))
-	heads2 := m.headOutputs(tp, h1, w2, m.fused2, m.dots2, m.wsums2)
+	h1 := tp.ReLU(tp.ConcatCols(m.headOutputs(ctx, tp, tp.Input(x), w1, m.fused1, m.dots1, m.wsums1, info)))
+	heads2 := m.headOutputs(ctx, tp, h1, w2, m.fused2, m.dots2, m.wsums2, info)
 	sum := heads2[0]
 	for _, hv := range heads2[1:] {
 		sum = tp.Add(sum, hv)

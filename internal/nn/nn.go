@@ -5,6 +5,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,7 +19,15 @@ import (
 type Model interface {
 	// Forward runs the model on the tape and returns the logits Var plus
 	// the parameter Vars (for the optimizer to read gradients from).
+	//
+	// Deprecated: use ForwardCtx; Forward runs under the graph-wide
+	// UseContext and accumulates stats onto shared Graph fields.
 	Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var)
+	// ForwardCtx is Forward with a per-call context and stats sink: every
+	// kernel run the pass issues (forward now, backward when the tape
+	// unwinds) executes under ctx, and its statistics land on info. Both
+	// may be nil, which falls back to the legacy graph-wide behavior.
+	ForwardCtx(ctx context.Context, tp *autodiff.Tape, x *tensor.Tensor, info *dgl.RunInfo) (*autodiff.Var, []*autodiff.Var)
 	// Params returns the trainable tensors.
 	Params() []*tensor.Tensor
 	// Name identifies the architecture.
@@ -49,11 +58,19 @@ func NewGCN(g *dgl.Graph, in, hidden, out int, rng *rand.Rand) (*GCN, error) {
 }
 
 // Forward computes logits = A·ReLU(A·(X W1)) W2.
+//
+// Deprecated: use ForwardCtx.
 func (m *GCN) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
+	return m.ForwardCtx(nil, tp, x, nil)
+}
+
+// ForwardCtx computes logits = A·ReLU(A·(X W1)) W2 under a per-call
+// context, accumulating kernel stats onto info.
+func (m *GCN) ForwardCtx(ctx context.Context, tp *autodiff.Tape, x *tensor.Tensor, info *dgl.RunInfo) (*autodiff.Var, []*autodiff.Var) {
 	w1 := tp.Param(m.w1)
 	w2 := tp.Param(m.w2)
-	h := tp.ReLU(m.agg1.Apply(tp, m.g.DenseMatMul(tp, tp.Input(x), w1)))
-	logits := m.agg2.Apply(tp, m.g.DenseMatMul(tp, h, w2))
+	h := tp.ReLU(m.agg1.ApplyCtx(ctx, tp, m.g.DenseMatMul(tp, tp.Input(x), w1), info))
+	logits := m.agg2.ApplyCtx(ctx, tp, m.g.DenseMatMul(tp, h, w2), info)
 	return logits, []*autodiff.Var{w1, w2}
 }
 
@@ -95,12 +112,20 @@ func NewGraphSage(g *dgl.Graph, in, hidden, out int, rng *rand.Rand) (*GraphSage
 }
 
 // Forward computes the 2-layer GraphSage logits.
+//
+// Deprecated: use ForwardCtx.
 func (m *GraphSage) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
+	return m.ForwardCtx(nil, tp, x, nil)
+}
+
+// ForwardCtx computes the 2-layer GraphSage logits under a per-call
+// context, accumulating kernel stats onto info.
+func (m *GraphSage) ForwardCtx(ctx context.Context, tp *autodiff.Tape, x *tensor.Tensor, info *dgl.RunInfo) (*autodiff.Var, []*autodiff.Var) {
 	ws1, wn1 := tp.Param(m.wSelf1), tp.Param(m.wNeigh1)
 	ws2, wn2 := tp.Param(m.wSelf2), tp.Param(m.wNeigh2)
 	xv := tp.Input(x)
-	h := tp.ReLU(tp.Add(m.g.DenseMatMul(tp, xv, ws1), m.g.DenseMatMul(tp, m.aggMean1.Apply(tp, xv), wn1)))
-	logits := tp.Add(m.g.DenseMatMul(tp, h, ws2), m.g.DenseMatMul(tp, m.aggMean2.Apply(tp, h), wn2))
+	h := tp.ReLU(tp.Add(m.g.DenseMatMul(tp, xv, ws1), m.g.DenseMatMul(tp, m.aggMean1.ApplyCtx(ctx, tp, xv, info), wn1)))
+	logits := tp.Add(m.g.DenseMatMul(tp, h, ws2), m.g.DenseMatMul(tp, m.aggMean2.ApplyCtx(ctx, tp, h, info), wn2))
 	return logits, []*autodiff.Var{ws1, wn1, ws2, wn2}
 }
 
@@ -161,25 +186,33 @@ func NewGAT(g *dgl.Graph, in, hidden, out int, rng *rand.Rand) (*GAT, error) {
 	return m, nil
 }
 
-func (m *GAT) layer(tp *autodiff.Tape, x *autodiff.Var, w *autodiff.Var, fused *dgl.FusedAttentionOp, dot *dgl.DotOp, wsum *dgl.WeightedSumOp) *autodiff.Var {
+func (m *GAT) layer(ctx context.Context, tp *autodiff.Tape, x *autodiff.Var, w *autodiff.Var, fused *dgl.FusedAttentionOp, dot *dgl.DotOp, wsum *dgl.WeightedSumOp, info *dgl.RunInfo) *autodiff.Var {
 	z := m.g.DenseMatMul(tp, x, w)
 	if fused != nil {
 		// Scale and LeakyReLU are folded into the kernel's score transform.
-		return fused.Apply(tp, z, z)
+		return fused.ApplyCtx(ctx, tp, z, z, info)
 	}
 	// Scale the attention logits by 1/sqrt(d) (as in scaled dot-product
 	// attention) to keep edge softmax in a trainable regime.
 	d := z.Value.Dim(1)
-	att := tp.Scale(tp.LeakyReLU(dot.Apply(tp, z, z), 0.2), float32(1/math.Sqrt(float64(d))))
+	att := tp.Scale(tp.LeakyReLU(dot.ApplyCtx(ctx, tp, z, z, info), 0.2), float32(1/math.Sqrt(float64(d))))
 	alpha := m.g.EdgeSoftmax(tp, att)
-	return wsum.Apply(tp, z, alpha)
+	return wsum.ApplyCtx(ctx, tp, z, alpha, info)
 }
 
 // Forward computes the 2-layer GAT logits.
+//
+// Deprecated: use ForwardCtx.
 func (m *GAT) Forward(tp *autodiff.Tape, x *tensor.Tensor) (*autodiff.Var, []*autodiff.Var) {
+	return m.ForwardCtx(nil, tp, x, nil)
+}
+
+// ForwardCtx computes the 2-layer GAT logits under a per-call context,
+// accumulating kernel stats onto info.
+func (m *GAT) ForwardCtx(ctx context.Context, tp *autodiff.Tape, x *tensor.Tensor, info *dgl.RunInfo) (*autodiff.Var, []*autodiff.Var) {
 	w1, w2 := tp.Param(m.w1), tp.Param(m.w2)
-	h := tp.ReLU(m.layer(tp, tp.Input(x), w1, m.fused1, m.dot1, m.wsum1))
-	logits := m.layer(tp, h, w2, m.fused2, m.dot2, m.wsum2)
+	h := tp.ReLU(m.layer(ctx, tp, tp.Input(x), w1, m.fused1, m.dot1, m.wsum1, info))
+	logits := m.layer(ctx, tp, h, w2, m.fused2, m.dot2, m.wsum2, info)
 	return logits, []*autodiff.Var{w1, w2}
 }
 

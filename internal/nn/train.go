@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -111,7 +112,19 @@ func (a *Adam) SetState(params []*tensor.Tensor, st AdamState) error {
 // inside an op — cancellation, deadline expiry, load shedding, a watchdog
 // stall — is returned as the error (a *dgl.AbortError) instead of
 // panicking; genuine programming-error panics still propagate.
-func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (loss float64, err error) {
+//
+// Deprecated: use TrainEpochCtx, which scopes the context and run
+// statistics to the call instead of the graph-wide UseContext.
+func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (float64, error) {
+	loss, _, err := TrainEpochCtx(nil, m, x, labels, mask, opt)
+	return loss, err
+}
+
+// TrainEpochCtx is TrainEpoch with a per-call context: every kernel run of
+// the epoch executes under ctx, and the returned RunInfo reports the
+// epoch's kernel launches, fallback attribution, admission queueing and
+// retries. A nil ctx falls back to the deprecated graph-wide UseContext.
+func TrainEpochCtx(ctx context.Context, m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam) (loss float64, info dgl.RunInfo, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ae, ok := r.(*dgl.AbortError); ok {
@@ -122,23 +135,56 @@ func TrainEpoch(m Model, x *tensor.Tensor, labels []int, mask []bool, opt *Adam)
 		}
 	}()
 	tp := autodiff.NewTape()
-	logits, params := m.Forward(tp, x)
+	logits, params := m.ForwardCtx(ctx, tp, x, &info)
 	lossVar := tp.CrossEntropyLoss(logits, labels, mask)
 	if err := tp.Backward(lossVar); err != nil {
-		return 0, err
+		return 0, info, err
 	}
 	opt.Step(params)
-	return float64(lossVar.Value.Data()[0]), nil
+	return float64(lossVar.Value.Data()[0]), info, nil
 }
 
 // Infer runs a forward pass and returns the logits tensor.
+//
+// Deprecated: use InferCtx, which scopes the context and run statistics to
+// the call and reports aborts as errors instead of panicking.
 func Infer(m Model, x *tensor.Tensor) *tensor.Tensor {
 	tp := autodiff.NewTape()
 	logits, _ := m.Forward(tp, x)
 	return logits.Value
 }
 
+// InferCtx runs a forward pass under ctx and returns the logits tensor
+// plus the pass's RunInfo. A serving-policy abort inside an op is returned
+// as a *dgl.AbortError.
+func InferCtx(ctx context.Context, m Model, x *tensor.Tensor) (out *tensor.Tensor, info dgl.RunInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(*dgl.AbortError); ok {
+				out, err = nil, ae
+				return
+			}
+			panic(r)
+		}
+	}()
+	tp := autodiff.NewTape()
+	logits, _ := m.ForwardCtx(ctx, tp, x, &info)
+	return logits.Value, info, nil
+}
+
 // Evaluate returns classification accuracy over the masked vertices.
+//
+// Deprecated: use EvaluateCtx.
 func Evaluate(m Model, x *tensor.Tensor, labels []int, mask []bool) float64 {
 	return autodiff.Accuracy(Infer(m, x), labels, mask)
+}
+
+// EvaluateCtx returns classification accuracy over the masked vertices,
+// running the forward pass under ctx.
+func EvaluateCtx(ctx context.Context, m Model, x *tensor.Tensor, labels []int, mask []bool) (float64, error) {
+	logits, _, err := InferCtx(ctx, m, x)
+	if err != nil {
+		return 0, err
+	}
+	return autodiff.Accuracy(logits, labels, mask), nil
 }

@@ -9,10 +9,11 @@ import (
 	"featgraph/internal/dgl"
 )
 
-// TestTrainEpochReturnsAbortOnCancel: a cancelled graph context must surface
-// from TrainEpoch as an ordinary *dgl.AbortError return — the kernel abort
-// panics inside the autodiff closures, and TrainEpoch is the recovery
-// boundary — and the same model must train again once the context is live.
+// TestTrainEpochReturnsAbortOnCancel: a cancelled per-call context must
+// surface from TrainEpochCtx as an ordinary *dgl.AbortError return — the
+// kernel abort panics inside the autodiff closures, and TrainEpochCtx is
+// the recovery boundary — and the same model must train again under a live
+// context.
 func TestTrainEpochReturnsAbortOnCancel(t *testing.T) {
 	ds := dataset(t, 5)
 	g, err := dgl.New(ds.Adj, dgl.Config{Backend: dgl.FeatGraph, Target: core.CPU, NumThreads: 2})
@@ -24,14 +25,13 @@ func TestTrainEpochReturnsAbortOnCancel(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	g.UseContext(ctx)
-	loss, err := TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt)
+	loss, _, err := TrainEpochCtx(ctx, m, ds.Features, ds.Labels, ds.TrainMask, opt)
 	if err == nil {
-		t.Fatal("TrainEpoch with a cancelled context returned nil error")
+		t.Fatal("TrainEpochCtx with a cancelled context returned nil error")
 	}
 	var ae *dgl.AbortError
 	if !errors.As(err, &ae) {
-		t.Fatalf("TrainEpoch error = %T %v, want *dgl.AbortError", err, err)
+		t.Fatalf("TrainEpochCtx error = %T %v, want *dgl.AbortError", err, err)
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("abort does not match context.Canceled: %v", err)
@@ -40,11 +40,14 @@ func TestTrainEpochReturnsAbortOnCancel(t *testing.T) {
 		t.Fatalf("aborted epoch reported loss %v, want 0", loss)
 	}
 
-	// The abort is transient: the same graph and model train normally once
-	// the context is live again.
-	g.UseContext(context.Background())
-	if _, err := TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, opt); err != nil {
-		t.Fatalf("TrainEpoch after restoring the context: %v", err)
+	// The abort is transient: the same graph and model train normally under
+	// a live context, and the RunInfo shows the epoch's kernel launches.
+	_, info, err := TrainEpochCtx(context.Background(), m, ds.Features, ds.Labels, ds.TrainMask, opt)
+	if err != nil {
+		t.Fatalf("TrainEpochCtx under a live context: %v", err)
+	}
+	if info.Runs == 0 {
+		t.Fatal("RunInfo recorded no kernel runs for a full epoch")
 	}
 }
 
@@ -60,7 +63,7 @@ func TestTrainEpochDeadlineAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := buildModel(t, "gcn", g, 16, 8, ds.NumClasses, 7)
-	_, err = TrainEpoch(m, ds.Features, ds.Labels, ds.TrainMask, NewAdam(0.01))
+	_, _, err = TrainEpochCtx(context.Background(), m, ds.Features, ds.Labels, ds.TrainMask, NewAdam(0.01))
 	var ae *dgl.AbortError
 	if !errors.As(err, &ae) {
 		t.Fatalf("TrainEpoch error = %T %v, want *dgl.AbortError", err, err)

@@ -1,0 +1,254 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"featgraph/internal/sparse"
+)
+
+func testGraph(t *testing.T, n, deg int, seed int64) *sparse.CSR {
+	t.Helper()
+	return sparse.Random(rand.New(rand.NewSource(seed)), n, n, deg)
+}
+
+func sameBlocks(t *testing.T, a, b []*Block) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("block counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if len(x.Dst) != len(y.Dst) || len(x.Src) != len(y.Src) || x.Adj.NNZ() != y.Adj.NNZ() {
+			t.Fatalf("block %d shapes differ", i)
+		}
+		for j := range x.Dst {
+			if x.Dst[j] != y.Dst[j] {
+				t.Fatalf("block %d dst[%d]: %d vs %d", i, j, x.Dst[j], y.Dst[j])
+			}
+		}
+		for j := range x.Src {
+			if x.Src[j] != y.Src[j] {
+				t.Fatalf("block %d src[%d]: %d vs %d", i, j, x.Src[j], y.Src[j])
+			}
+		}
+		for j := range x.Adj.ColIdx {
+			if x.Adj.ColIdx[j] != y.Adj.ColIdx[j] || x.Adj.EID[j] != y.Adj.EID[j] {
+				t.Fatalf("block %d edge %d differs", i, j)
+			}
+		}
+		for j := range x.Adj.RowPtr {
+			if x.Adj.RowPtr[j] != y.Adj.RowPtr[j] {
+				t.Fatalf("block %d rowptr %d differs", i, j)
+			}
+		}
+	}
+}
+
+// Same seed → identical blocks, run-to-run and sampler-to-sampler.
+func TestSamplerDeterministic(t *testing.T) {
+	g := testGraph(t, 200, 12, 1)
+	cfg := Config{Fanouts: []int{4, 6}, Seed: 42}
+	s1, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{5, 77, 191, 0}
+	b1, err := s1.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s1.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBlocks(t, b1, b2)
+	b3, err := s2.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBlocks(t, b1, b3)
+
+	// A different sampling seed must actually change picks somewhere.
+	s4, err := New(g, Config{Fanouts: cfg.Fanouts, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := s4.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range b1 {
+		if len(b1[i].Src) != len(b4[i].Src) {
+			differ = true
+			break
+		}
+		for j := range b1[i].Adj.EID {
+			if b1[i].Adj.EID[j] != b4[i].Adj.EID[j] {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Fatal("seed 42 and 43 produced identical samples on a 200-vertex graph")
+	}
+}
+
+// Structural invariants: dst-prefix property, fanout caps, chained
+// frontiers, edges map back to the parent graph.
+func TestSamplerBlockInvariants(t *testing.T) {
+	g := testGraph(t, 300, 9, 2)
+	fanouts := []int{3, 5, 7}
+	s, err := New(g, Config{Fanouts: fanouts, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{10, 20, 30, 299}
+	blocks, err := s.Sample(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != len(fanouts) {
+		t.Fatalf("got %d blocks, want %d", len(blocks), len(fanouts))
+	}
+	last := blocks[len(blocks)-1]
+	for i, v := range seeds {
+		if last.Dst[i] != v {
+			t.Fatalf("final block dst[%d]=%d, want seed %d", i, last.Dst[i], v)
+		}
+	}
+	for li, blk := range blocks {
+		if err := blk.Adj.Validate(); err != nil {
+			t.Fatalf("block %d invalid: %v", li, err)
+		}
+		if blk.Adj.NumRows != len(blk.Dst) || blk.Adj.NumCols != len(blk.Src) {
+			t.Fatalf("block %d shape/label mismatch", li)
+		}
+		for i := range blk.Dst {
+			if blk.Src[i] != blk.Dst[i] {
+				t.Fatalf("block %d: dst prefix violated at %d", li, i)
+			}
+			deg := int(blk.Adj.RowPtr[i+1] - blk.Adj.RowPtr[i])
+			if deg > fanouts[li] {
+				t.Fatalf("block %d row %d: degree %d exceeds fanout %d", li, i, deg, fanouts[li])
+			}
+			// Each block edge must exist in the parent graph with the same
+			// endpoints, located by its global EID.
+			for p := blk.Adj.RowPtr[i]; p < blk.Adj.RowPtr[i+1]; p++ {
+				eid := blk.Adj.EID[p]
+				gs, gd := blk.Src[blk.Adj.ColIdx[p]], blk.Dst[i]
+				lo, hi := g.RowPtr[gd], g.RowPtr[gd+1]
+				found := false
+				for q := lo; q < hi; q++ {
+					if g.EID[q] == eid && g.ColIdx[q] == gs {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("block %d edge eid=%d (%d<-%d) not found in parent", li, eid, gd, gs)
+				}
+			}
+		}
+		if li+1 < len(blocks) {
+			nxt := blocks[li+1]
+			if len(blk.Dst) != len(nxt.Src) {
+				t.Fatalf("frontier chain broken between blocks %d and %d", li, li+1)
+			}
+			for i := range blk.Dst {
+				if blk.Dst[i] != nxt.Src[i] {
+					t.Fatalf("blocks[%d].Dst[%d] != blocks[%d].Src[%d]", li, i, li+1, i)
+				}
+			}
+		}
+	}
+}
+
+// Minibatch independence: the block a seed gets when sampled together with
+// other seeds is exactly the block it gets alone. This is what lets the
+// batcher promise bitwise-identical per-request outputs.
+func TestSamplerMinibatchIndependent(t *testing.T) {
+	g := testGraph(t, 150, 10, 3)
+	s, err := New(g, Config{Fanouts: []int{4, 4}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := s.Sample([]int32{3, 60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := s.Sample([]int32{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every layer, vertex 60's sampled edge set (by EID) in the merged
+	// run must equal its solo run — and so must every vertex it reaches.
+	for li := range solo {
+		soloEdges := edgesByDst(solo[li])
+		mergedEdges := edgesByDst(merged[li])
+		for v, se := range soloEdges {
+			me, ok := mergedEdges[v]
+			if !ok {
+				t.Fatalf("layer %d: vertex %d sampled solo but missing from merged run", li, v)
+			}
+			if len(se) != len(me) {
+				t.Fatalf("layer %d vertex %d: %d edges solo vs %d merged", li, v, len(se), len(me))
+			}
+			for i := range se {
+				if se[i] != me[i] {
+					t.Fatalf("layer %d vertex %d edge %d: eid %d solo vs %d merged", li, v, i, se[i], me[i])
+				}
+			}
+		}
+	}
+}
+
+func edgesByDst(b *Block) map[int32][]int32 {
+	out := make(map[int32][]int32, len(b.Dst))
+	for i, v := range b.Dst {
+		var eids []int32
+		for p := b.Adj.RowPtr[i]; p < b.Adj.RowPtr[i+1]; p++ {
+			eids = append(eids, b.Adj.EID[p])
+		}
+		out[v] = eids
+	}
+	return out
+}
+
+func TestSamplerZeroSeeds(t *testing.T) {
+	g := testGraph(t, 50, 5, 4)
+	s, err := New(g, Config{Fanouts: []int{3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Sample(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Adj.NumRows != 0 || blocks[0].Adj.NNZ() != 0 {
+		t.Fatalf("zero-seed sample not empty: %+v", blocks[0].Adj)
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	g := testGraph(t, 50, 5, 5)
+	if _, err := New(g, Config{}); err == nil {
+		t.Fatal("want error for empty fanouts")
+	}
+	s, err := New(g, Config{Fanouts: []int{2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample([]int32{-1}); err == nil {
+		t.Fatal("want error for out-of-range seed")
+	}
+	if _, err := s.Sample([]int32{3, 3}); err == nil {
+		t.Fatal("want error for duplicate seeds")
+	}
+}

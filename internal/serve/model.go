@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"featgraph/internal/tensor"
+	"featgraph/internal/workpool"
+)
+
+// Layer is one GraphSage inference layer: out = act(H_dst·Self + M·Neigh)
+// with M the mean-aggregated neighbor features. Self and Neigh are
+// [in, out] weight matrices of identical shape.
+type Layer struct {
+	Self  *tensor.Tensor
+	Neigh *tensor.Tensor
+}
+
+// Model is a stack of GraphSage layers for block inference. Serving is
+// forward-only: weights come from an offline training run (nn.GraphSage
+// has the same per-layer algebra), so the model is plain tensors with no
+// tape, ops, or graph binding — the Batcher supplies blocks and kernels.
+type Model struct {
+	Layers []Layer
+}
+
+// validate checks layer presence and dimension chaining.
+func (m Model) validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("serve: model needs at least one layer")
+	}
+	for i, l := range m.Layers {
+		if l.Self == nil || l.Neigh == nil {
+			return fmt.Errorf("serve: layer %d has nil weights", i)
+		}
+		if !l.Self.SameShape(l.Neigh) {
+			return fmt.Errorf("serve: layer %d Self %v and Neigh %v shapes differ", i, l.Self.Shape(), l.Neigh.Shape())
+		}
+		if i > 0 && l.Self.Dim(0) != m.Layers[i-1].Self.Dim(1) {
+			return fmt.Errorf("serve: layer %d input width %d does not chain from layer %d output width %d",
+				i, l.Self.Dim(0), i-1, m.Layers[i-1].Self.Dim(1))
+		}
+	}
+	return nil
+}
+
+// InDim returns the model's input feature width.
+func (m Model) InDim() int { return m.Layers[0].Self.Dim(0) }
+
+// OutDim returns the model's output width.
+func (m Model) OutDim() int { return m.Layers[len(m.Layers)-1].Self.Dim(1) }
+
+// RandomModel builds a Glorot-initialized model with the given dimension
+// chain (dims = [in, hidden..., out]) — benchmark and example fodder;
+// real deployments load trained weights.
+func RandomModel(rng *rand.Rand, dims ...int) Model {
+	if len(dims) < 2 {
+		panic("serve: RandomModel needs at least [in, out] dims")
+	}
+	var m Model
+	for i := 0; i+1 < len(dims); i++ {
+		l := Layer{Self: tensor.New(dims[i], dims[i+1]), Neigh: tensor.New(dims[i], dims[i+1])}
+		l.Self.FillGlorot(rng)
+		l.Neigh.FillGlorot(rng)
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+// applyRows computes out[r] = act(h[r]·Self + agg[r]·Neigh) for rows
+// [lo, hi), with ReLU when relu is set. Rows are independent and the
+// accumulation order within a row is a fixed function of the layer shape
+// (k-outer over the shared weight rows, two rows per pass), so a row's
+// output bits depend only on h[r] and agg[r] — the row-level determinism
+// the batcher's bitwise guarantee needs. The first weight row initializes
+// the output and subsequent rows are folded in pairs, halving the
+// store/reload traffic on the output row relative to a scalar k loop.
+func (l Layer) applyRows(h, agg, out *tensor.Tensor, lo, hi int, relu bool) {
+	in, width := l.Self.Dim(0), l.Self.Dim(1)
+	sd, nd := l.Self.Data(), l.Neigh.Data()
+	hd, ad, od := h.Data(), agg.Data(), out.Data()
+	hw := h.Dim(1)
+	for r := lo; r < hi; r++ {
+		or := od[r*width : (r+1)*width : (r+1)*width]
+		if in == 0 {
+			for j := range or {
+				or[j] = 0
+			}
+			continue
+		}
+		hr := hd[r*hw : r*hw+in]
+		ar := ad[r*hw : r*hw+in]
+		hv, av := hr[0], ar[0]
+		w0, n0 := sd[:width], nd[:width]
+		for j := range or {
+			or[j] = hv*w0[j] + av*n0[j]
+		}
+		k := 1
+		for ; k+1 < in; k += 2 {
+			hv0, av0 := hr[k], ar[k]
+			hv1, av1 := hr[k+1], ar[k+1]
+			w0 := sd[k*width : (k+1)*width]
+			n0 := nd[k*width : (k+1)*width]
+			w1 := sd[(k+1)*width : (k+2)*width]
+			n1 := nd[(k+1)*width : (k+2)*width]
+			for j := 0; j < width; j++ {
+				or[j] += hv0*w0[j] + av0*n0[j] + hv1*w1[j] + av1*n1[j]
+			}
+		}
+		if k < in {
+			hv, av := hr[k], ar[k]
+			wrow := sd[k*width : (k+1)*width]
+			nrow := nd[k*width : (k+1)*width]
+			for j := 0; j < width; j++ {
+				or[j] += hv*wrow[j] + av*nrow[j]
+			}
+		}
+		if relu {
+			for j := range or {
+				if or[j] < 0 {
+					or[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// rowsParallel splits [0, n) into contiguous spans dispatched on the shared
+// worker pool. fn must not panic and must touch only its own rows.
+func rowsParallel(n, threads int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = max(threads, 1)
+	chunks := min(threads*4, n)
+	if threads <= 1 || chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	span := (n + chunks - 1) / chunks
+	job := workpool.Job{Body: func(_, ci int) {
+		lo := ci * span
+		hi := min(lo+span, n)
+		if lo < hi {
+			fn(lo, hi)
+		}
+	}}
+	workpool.Default().Run(&job, chunks, threads)
+}

@@ -1,0 +1,104 @@
+package sparse
+
+import "fmt"
+
+// InducedBlock extracts the bipartite sub-matrix ("block") induced by a set
+// of destination rows and, per row, a selection of stored-edge positions —
+// the shape neighbor sampling produces. Block row i is global row rows[i];
+// block columns are relabeled compactly in first-appearance order, after an
+// optional prefix of pre-registered global column ids (a sampler passes the
+// destination set itself, so destinations occupy block columns
+// 0..len(prefix)-1 and their features are addressable from the block's
+// source side). EIDs keep the parent matrix's global edge ids so edge
+// feature tensors stay addressable from the block, matching the convention
+// partitioning already follows.
+//
+// picks[i] lists absolute positions into c.ColIdx (each within row rows[i]'s
+// span, i.e. c.RowPtr[rows[i]] <= p < c.RowPtr[rows[i]+1]); positions within
+// a row should be distinct and in ascending order for a deterministic,
+// row-sorted block. Zero rows and zero picks are valid and produce a valid
+// empty block.
+//
+// Returns the block CSR (NumRows = len(rows), NumCols = number of distinct
+// columns touched plus unused prefix entries) and the global column id of
+// every block column.
+func (c *CSR) InducedBlock(rows []int32, picks [][]int32, prefix []int32) (*CSR, []int32, error) {
+	if len(picks) != len(rows) {
+		return nil, nil, fmt.Errorf("sparse: InducedBlock got %d pick lists for %d rows", len(picks), len(rows))
+	}
+	nnz := 0
+	for _, ps := range picks {
+		nnz += len(ps)
+	}
+	// Column relabeling: a map for small blocks, a dense lookup table
+	// (lut[g] = local+1, 0 = absent) once the edge count makes per-edge
+	// map traffic the dominant cost — merged serving batches touch
+	// thousands of distinct columns and the zeroed table amortizes to a
+	// fraction of the equivalent map inserts.
+	cols := make([]int32, 0, len(prefix))
+	var lut []int32
+	var local map[int32]int32
+	if len(prefix)+nnz >= 2048 {
+		lut = make([]int32, c.NumCols)
+	} else {
+		local = make(map[int32]int32, len(prefix))
+	}
+	for _, g := range prefix {
+		if g < 0 || int(g) >= c.NumCols {
+			return nil, nil, fmt.Errorf("sparse: InducedBlock prefix column %d out of range [0,%d)", g, c.NumCols)
+		}
+		if lut != nil {
+			if lut[g] != 0 {
+				return nil, nil, fmt.Errorf("sparse: InducedBlock duplicate prefix column %d", g)
+			}
+			lut[g] = int32(len(cols)) + 1
+		} else {
+			if _, dup := local[g]; dup {
+				return nil, nil, fmt.Errorf("sparse: InducedBlock duplicate prefix column %d", g)
+			}
+			local[g] = int32(len(cols))
+		}
+		cols = append(cols, g)
+	}
+	blk := &CSR{
+		NumRows: len(rows),
+		RowPtr:  make([]int32, len(rows)+1),
+		ColIdx:  make([]int32, 0, nnz),
+		EID:     make([]int32, 0, nnz),
+		Val:     make([]float32, 0, nnz),
+	}
+	for i, r := range rows {
+		if r < 0 || int(r) >= c.NumRows {
+			return nil, nil, fmt.Errorf("sparse: InducedBlock row %d out of range [0,%d)", r, c.NumRows)
+		}
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		for _, p := range picks[i] {
+			if p < lo || p >= hi {
+				return nil, nil, fmt.Errorf("sparse: InducedBlock pick %d outside row %d's span [%d,%d)", p, r, lo, hi)
+			}
+			g := c.ColIdx[p]
+			var lc int32
+			if lut != nil {
+				if v := lut[g]; v != 0 {
+					lc = v - 1
+				} else {
+					lc = int32(len(cols))
+					lut[g] = lc + 1
+					cols = append(cols, g)
+				}
+			} else if v, ok := local[g]; ok {
+				lc = v
+			} else {
+				lc = int32(len(cols))
+				local[g] = lc
+				cols = append(cols, g)
+			}
+			blk.ColIdx = append(blk.ColIdx, lc)
+			blk.EID = append(blk.EID, c.EID[p])
+			blk.Val = append(blk.Val, c.Val[p])
+		}
+		blk.RowPtr[i+1] = int32(len(blk.ColIdx))
+	}
+	blk.NumCols = len(cols)
+	return blk, cols, nil
+}

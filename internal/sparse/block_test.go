@@ -1,0 +1,164 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildTestCSR: 4x5 matrix with known rows.
+//
+//	row 0: cols 1,3   (eid 0,1)
+//	row 1: cols 0,2,4 (eid 2,3,4)
+//	row 2: (empty)
+//	row 3: cols 1,2   (eid 5,6)
+func buildTestCSR(t *testing.T) *CSR {
+	t.Helper()
+	coo := &COO{
+		NumRows: 4, NumCols: 5,
+		Row: []int32{0, 0, 1, 1, 1, 3, 3},
+		Col: []int32{1, 3, 0, 2, 4, 1, 2},
+		Val: []float32{1, 2, 3, 4, 5, 6, 7},
+	}
+	c, err := FromCOO(coo)
+	if err != nil {
+		t.Fatalf("FromCOO: %v", err)
+	}
+	return c
+}
+
+func TestInducedBlockBasic(t *testing.T) {
+	c := buildTestCSR(t)
+	rows := []int32{3, 1}
+	// All edges of row 3 (positions 5,6) and the first two of row 1 (2,3).
+	picks := [][]int32{{5, 6}, {2, 3}}
+	blk, cols, err := c.InducedBlock(rows, picks, rows)
+	if err != nil {
+		t.Fatalf("InducedBlock: %v", err)
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatalf("block invalid: %v", err)
+	}
+	if blk.NumRows != 2 || blk.NNZ() != 4 {
+		t.Fatalf("got %dx%d nnz=%d, want 2 rows nnz=4", blk.NumRows, blk.NumCols, blk.NNZ())
+	}
+	// Prefix pins cols 0,1 to global 3,1; then first-appearance: 2, 0.
+	wantCols := []int32{3, 1, 2, 0}
+	if len(cols) != len(wantCols) {
+		t.Fatalf("cols = %v, want %v", cols, wantCols)
+	}
+	for i := range cols {
+		if cols[i] != wantCols[i] {
+			t.Fatalf("cols = %v, want %v", cols, wantCols)
+		}
+	}
+	if blk.NumCols != 4 {
+		t.Fatalf("NumCols = %d, want 4", blk.NumCols)
+	}
+	// Block row 0 = global row 3: edges to global cols 1,2 → local 1,2.
+	wantCI := []int32{1, 2, 3, 2}
+	wantEID := []int32{5, 6, 2, 3}
+	for i := range wantCI {
+		if blk.ColIdx[i] != wantCI[i] || blk.EID[i] != wantEID[i] {
+			t.Fatalf("edge %d = (col %d, eid %d), want (col %d, eid %d)",
+				i, blk.ColIdx[i], blk.EID[i], wantCI[i], wantEID[i])
+		}
+	}
+}
+
+// Zero seeds and zero edges must produce valid empty blocks, not panics —
+// the regression the sampler depends on for empty frontiers.
+func TestInducedBlockZeroSeedZeroEdge(t *testing.T) {
+	c := buildTestCSR(t)
+
+	blk, cols, err := c.InducedBlock(nil, nil, nil)
+	if err != nil {
+		t.Fatalf("zero-seed: %v", err)
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatalf("zero-seed block invalid: %v", err)
+	}
+	if blk.NumRows != 0 || blk.NumCols != 0 || blk.NNZ() != 0 || len(cols) != 0 {
+		t.Fatalf("zero-seed block not empty: %dx%d nnz=%d cols=%v", blk.NumRows, blk.NumCols, blk.NNZ(), cols)
+	}
+
+	// A row with no picked edges (row 2 is empty in the parent too).
+	blk, cols, err = c.InducedBlock([]int32{2, 0}, [][]int32{{}, {}}, []int32{2, 0})
+	if err != nil {
+		t.Fatalf("zero-edge: %v", err)
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatalf("zero-edge block invalid: %v", err)
+	}
+	if blk.NumRows != 2 || blk.NNZ() != 0 {
+		t.Fatalf("zero-edge block: %dx%d nnz=%d", blk.NumRows, blk.NumCols, blk.NNZ())
+	}
+	if blk.NumCols != 2 || cols[0] != 2 || cols[1] != 0 {
+		t.Fatalf("zero-edge cols = %v, want [2 0]", cols)
+	}
+}
+
+func TestInducedBlockErrors(t *testing.T) {
+	c := buildTestCSR(t)
+	if _, _, err := c.InducedBlock([]int32{0}, nil, nil); err == nil {
+		t.Fatal("want error for mismatched picks length")
+	}
+	if _, _, err := c.InducedBlock([]int32{9}, [][]int32{{}}, nil); err == nil {
+		t.Fatal("want error for out-of-range row")
+	}
+	// Position 2 belongs to row 1, not row 0.
+	if _, _, err := c.InducedBlock([]int32{0}, [][]int32{{2}}, nil); err == nil {
+		t.Fatal("want error for pick outside row span")
+	}
+	if _, _, err := c.InducedBlock(nil, nil, []int32{1, 1}); err == nil {
+		t.Fatal("want error for duplicate prefix column")
+	}
+	if _, _, err := c.InducedBlock(nil, nil, []int32{99}); err == nil {
+		t.Fatal("want error for out-of-range prefix column")
+	}
+}
+
+// Property check on random matrices: every block edge maps back to the
+// picked parent edge with matching endpoints, value and EID.
+func TestInducedBlockRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := Random(rng, 30, 30, 4)
+		var rows []int32
+		var picks [][]int32
+		for r := int32(0); r < int32(c.NumRows); r += 3 {
+			rows = append(rows, r)
+			lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+			var ps []int32
+			for p := lo; p < hi; p++ {
+				if rng.Intn(2) == 0 {
+					ps = append(ps, p)
+				}
+			}
+			picks = append(picks, ps)
+		}
+		blk, cols, err := c.InducedBlock(rows, picks, rows)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := blk.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid block: %v", trial, err)
+		}
+		for i := range rows {
+			for j, p := range picks[i] {
+				k := int(blk.RowPtr[i]) + j
+				if cols[blk.ColIdx[k]] != c.ColIdx[p] {
+					t.Fatalf("trial %d: edge %d col mismatch", trial, k)
+				}
+				if blk.EID[k] != c.EID[p] || blk.Val[k] != c.Val[p] {
+					t.Fatalf("trial %d: edge %d payload mismatch", trial, k)
+				}
+			}
+		}
+		// Prefix columns must come first, in order.
+		for i, r := range rows {
+			if cols[i] != r {
+				t.Fatalf("trial %d: prefix not preserved: cols[%d]=%d want %d", trial, i, cols[i], r)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package featgraph
+
+import (
+	"time"
+
+	"featgraph/internal/admission"
+	"featgraph/internal/sample"
+	"featgraph/internal/serve"
+)
+
+// Online inference serving surface: seeded neighbor sampling, the dynamic
+// micro-batcher, and per-tenant quotas. See README.md's "Online serving"
+// section and examples/serving.
+type (
+	// Sampler draws deterministic fanout-capped neighborhood blocks for
+	// seed vertices (GraphSage-style layered sampling). Safe for
+	// concurrent use.
+	Sampler = sample.Sampler
+	// SampleConfig configures a Sampler: per-layer fanouts and the hash
+	// seed that fixes every vertex's picks.
+	SampleConfig = sample.Config
+	// SampleBlock is one sampled bipartite layer: a block CSR over
+	// compact local ids plus the global ids of its dst and src vertices.
+	SampleBlock = sample.Block
+	// Batcher is the online inference server: it coalesces concurrent
+	// requests inside a deadline window into merged sampled batches
+	// executed with shape-class-cached kernels, and returns per-request
+	// slices that are bitwise identical to unbatched runs.
+	Batcher = serve.Batcher
+	// ServeConfig configures a Batcher; build one with NewServeConfig.
+	ServeConfig = serve.Config
+	// ServeModel is the forward-only GraphSage layer stack a Batcher
+	// serves.
+	ServeModel = serve.Model
+	// ServeLayer is one ServeModel layer (Self and Neigh weights).
+	ServeLayer = serve.Layer
+	// ServeRequest is one user's inference request.
+	ServeRequest = serve.Request
+	// ServeResult is a completed request: one output row per seed plus
+	// request-scoped execution info.
+	ServeResult = serve.Result
+	// ServeRunInfo describes how a request's batch executed.
+	ServeRunInfo = serve.RunInfo
+	// TenantQuotas enforces per-tenant token-bucket rate limits.
+	TenantQuotas = admission.TenantQuotas
+	// QuotaConfig is one tenant's rate/burst budget.
+	QuotaConfig = admission.QuotaConfig
+	// QuotaError is the typed per-tenant shed error; it matches
+	// ErrOverloaded and carries the tenant plus a retry-after hint.
+	QuotaError = admission.QuotaError
+)
+
+// ErrServerClosed is returned by Batcher.Serve after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// NewSampler builds a neighborhood sampler over a graph's in-edges.
+// Fanouts are per layer in forward order; <= 0 keeps all edges of a row.
+func NewSampler(g *Graph, cfg SampleConfig) (*Sampler, error) {
+	return sample.New(g.csr, cfg)
+}
+
+// NewTenantQuotas builds a per-tenant quota table with the given default
+// budget; override individual tenants with SetTenant.
+func NewTenantQuotas(def QuotaConfig) *TenantQuotas {
+	return admission.NewTenantQuotas(def)
+}
+
+// NewBatcher builds the online inference server for a graph, its
+// per-vertex features ([NumVertices, model input width]) and a trained
+// model. Close it when done.
+func NewBatcher(g *Graph, feats *Tensor, model ServeModel, cfg ServeConfig) (*Batcher, error) {
+	return serve.New(g.csr, feats, model, cfg)
+}
+
+// ServeOption mutates a ServeConfig under construction.
+type ServeOption func(*ServeConfig)
+
+// NewServeConfig builds a ServeConfig from options, mirroring NewOptions.
+func NewServeConfig(opts ...ServeOption) ServeConfig {
+	var cfg ServeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithFanouts sets the per-layer sampling fanouts (forward order; length
+// must match the served model's layer count).
+func WithFanouts(fanouts ...int) ServeOption {
+	return func(c *ServeConfig) { c.Fanouts = fanouts }
+}
+
+// WithSampleSeed fixes the sampler hash seed.
+func WithSampleSeed(seed int64) ServeOption {
+	return func(c *ServeConfig) { c.SampleSeed = seed }
+}
+
+// WithBatchWindow sets how long the batcher holds a batch open for more
+// arrivals after its first request.
+func WithBatchWindow(d time.Duration) ServeOption {
+	return func(c *ServeConfig) { c.Window = d }
+}
+
+// WithMaxBatch caps a merged batch in seeds.
+func WithMaxBatch(n int) ServeOption {
+	return func(c *ServeConfig) { c.MaxBatch = n }
+}
+
+// WithServeQueue bounds requests waiting for the dispatcher; beyond it
+// Serve sheds with an OverloadError.
+func WithServeQueue(n int) ServeOption {
+	return func(c *ServeConfig) { c.MaxQueue = n }
+}
+
+// WithServeThreads sets the CPU parallelism for batch execution.
+func WithServeThreads(n int) ServeOption {
+	return func(c *ServeConfig) { c.NumThreads = n }
+}
+
+// WithServeAdmission routes the batcher's kernel launches through a
+// governor (memory ledger, concurrency bounds).
+func WithServeAdmission(g *Governor) ServeOption {
+	return func(c *ServeConfig) { c.Admission = g }
+}
+
+// WithTenantQuotas enforces per-tenant token-bucket quotas on Serve.
+func WithTenantQuotas(q *TenantQuotas) ServeOption {
+	return func(c *ServeConfig) { c.Quota = q }
+}

@@ -1,0 +1,104 @@
+package featgraph_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"featgraph"
+)
+
+// apiGraph builds a small random graph plus matching features via the
+// public surface.
+func apiGraph(t *testing.T, n, deg, d int) (*featgraph.Graph, *featgraph.Tensor, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var srcs, dsts []int32
+	for v := 0; v < n; v++ {
+		seen := map[int32]bool{}
+		for len(seen) < deg {
+			u := int32(rng.Intn(n))
+			if !seen[u] {
+				seen[u] = true
+				srcs = append(srcs, u)
+				dsts = append(dsts, int32(v))
+			}
+		}
+	}
+	g, err := featgraph.NewGraph(n, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := featgraph.NewTensor(n, d)
+	feats.FillUniform(rng, -1, 1)
+	return g, feats, rng
+}
+
+func serveLayer(rng *rand.Rand, in, out int) featgraph.ServeLayer {
+	l := featgraph.ServeLayer{
+		Self:  featgraph.NewTensor(in, out),
+		Neigh: featgraph.NewTensor(in, out),
+	}
+	l.Self.FillGlorot(rng)
+	l.Neigh.FillGlorot(rng)
+	return l
+}
+
+// TestServingAPISurface exercises the exported serving stack end to end:
+// sampler, batcher built from functional options, quota shed matching the
+// ErrOverloaded sentinel, and the request-scoped run info.
+func TestServingAPISurface(t *testing.T) {
+	g, feats, rng := apiGraph(t, 400, 6, 16)
+
+	smp, err := featgraph.NewSampler(g, featgraph.SampleConfig{Fanouts: []int{4, 4}, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	blocks, err := smp.Sample([]int32{1, 2, 3})
+	if err != nil || len(blocks) != 2 {
+		t.Fatalf("Sample: blocks=%d err=%v, want 2 layers", len(blocks), err)
+	}
+
+	model := featgraph.ServeModel{Layers: []featgraph.ServeLayer{
+		serveLayer(rng, 16, 16), serveLayer(rng, 16, 8),
+	}}
+	quotas := featgraph.NewTenantQuotas(featgraph.QuotaConfig{RatePerSec: 50, Burst: 2})
+	b, err := featgraph.NewBatcher(g, feats, model, featgraph.NewServeConfig(
+		featgraph.WithFanouts(4, 4),
+		featgraph.WithSampleSeed(9),
+		featgraph.WithBatchWindow(time.Millisecond),
+		featgraph.WithMaxBatch(64),
+		featgraph.WithServeQueue(32),
+		featgraph.WithServeThreads(2),
+		featgraph.WithTenantQuotas(quotas),
+	))
+	if err != nil {
+		t.Fatalf("NewBatcher: %v", err)
+	}
+
+	res, err := b.Serve(context.Background(), featgraph.ServeRequest{Tenant: "t", Seeds: []int32{1, 2}})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if res.Out.Dim(0) != 2 || res.Out.Dim(1) != 8 {
+		t.Fatalf("output shape %v, want [2 8]", res.Out.Shape())
+	}
+	if res.Info.KernelLaunches != 2 || res.Info.BatchSeeds != 2 {
+		t.Fatalf("run info %+v: want 2 kernel launches over 2 seeds", res.Info)
+	}
+
+	// Burst exhausted (2 tokens spent above): the next request sheds with
+	// a typed QuotaError matching the package sentinel.
+	_, err = b.Serve(context.Background(), featgraph.ServeRequest{Tenant: "t", Seeds: []int32{3}})
+	var qe *featgraph.QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, featgraph.ErrOverloaded) {
+		t.Fatalf("over-quota: got %v, want QuotaError matching ErrOverloaded", err)
+	}
+
+	b.Close()
+	if _, err := b.Serve(context.Background(), featgraph.ServeRequest{Seeds: []int32{1}}); !errors.Is(err, featgraph.ErrServerClosed) {
+		t.Fatalf("after Close: got %v, want ErrServerClosed", err)
+	}
+}
