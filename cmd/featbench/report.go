@@ -115,3 +115,28 @@ func writeServeReport(ctx context.Context, path string, rounds int) error {
 		rep.Summary.Passed, rep.Agreement.Bitwise)
 	return f.Close()
 }
+
+// writeMutateReport measures serving latency while the graph is mutated
+// live (versioned engine) and stop-the-world (rebuild baseline), and writes
+// the JSON report to path (checked in as BENCH_PR10.json).
+func writeMutateReport(ctx context.Context, path string, rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	rep, err := bench.RunMutateReport(ctx, os.Stderr, gitRev(), rounds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("mutation report written to %s (live p99 %.2fx quiescent, stop-the-world %.2fx, passed: %v, bitwise: %v)\n",
+		path, rep.Summary.LiveOverQuiescentP99, rep.Summary.StwOverQuiescentP99,
+		rep.Summary.Passed, rep.Consistency.Bitwise)
+	return f.Close()
+}

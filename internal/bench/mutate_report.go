@@ -1,0 +1,601 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"featgraph/internal/delta"
+	"featgraph/internal/graphgen"
+	"featgraph/internal/serve"
+	"featgraph/internal/sparse"
+	"featgraph/internal/tensor"
+)
+
+// The mutation report (featbench -mutatejson, checked in as BENCH_PR10.json)
+// measures serving latency while the graph is being mutated. Three modes
+// share one workload (graph, features, model, sampler seed, thread budget,
+// offered request rate) and differ only in how writes meet reads:
+//
+//   - quiescent: the delta engine serves with no writer — the latency floor.
+//   - live: a paced writer commits edge batches to the durable delta engine
+//     (WAL append + fsync per commit, background compaction churning) while
+//     the same paced request stream is measured. The COW snapshot design
+//     claims reads never wait on writes, so live p99 must stay within 2x of
+//     quiescent p99.
+//   - stop-the-world: the baseline a versioned engine replaces — a static
+//     batcher behind an RWMutex, where each commit rebuilds the CSR and
+//     batcher under the write lock while readers block.
+//
+// Latencies are paced open-loop, measured from intended arrival times
+// (coordinated-omission-safe, same discipline as the serve report), medians
+// across rounds. The report carries a consistency oracle: after all live
+// rounds the engine tip must be bitwise-identical to a from-scratch rebuild
+// of the surviving edge set.
+
+func init() {
+	register("mutate", "Dynamic graphs: serve p99 during live commits vs stop-the-world rebuild", mutateExp)
+}
+
+const (
+	mutVerts   = 10000
+	mutDeg     = 8
+	mutSkew    = 1.1
+	mutDim     = 16
+	mutHidden  = 16
+	mutOut     = 8
+	mutFanout  = 8
+	mutThreads = 4
+	mutWindow  = time.Millisecond
+	mutBatch   = 64
+	// mutRate is the shared offered request rate — far below capacity, so
+	// p99 measures write interference rather than saturation.
+	mutRate = 800.0
+	mutReqs = 1200 // ~1.5s of offered load per measured mode
+	// mutCommitEvery paces both writers identically (100 commits/s); a
+	// writer that cannot keep the pace (stop-the-world rebuilds) simply
+	// commits less often. Every core this benchmark runs on is shared by
+	// the server, the writer, the materializer, and compaction, so the
+	// mutation rate is sized to a plausible write load rather than the
+	// writer's own ceiling — the claim under test is that reads never wait
+	// on writes, not that one CPU can do unbounded work.
+	mutCommitEvery = 10 * time.Millisecond
+	mutBatchIns    = 4
+	mutBatchDel    = 4
+	// mutCompactRows keeps compaction inside the measurement (the writer
+	// patches ~mutBatchEdges rows per commit, so the overlay crosses this
+	// threshold roughly once per round) without dominating it.
+	mutCompactRows = 1024
+)
+
+// MutateBenchResult is one measured serving mode (medians across rounds).
+type MutateBenchResult struct {
+	Mode             string  `json:"mode"` // "quiescent", "live", "stop-the-world"
+	OfferedReqPerSec float64 `json:"offered_req_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	// CommitsPerSec is the mutation rate the writer achieved during the
+	// measured window (0 for quiescent).
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// MutateConsistency is the built-in oracle: after every live round, the
+// engine's tip snapshot vs a from-scratch rebuild of the same edge set.
+type MutateConsistency struct {
+	Version uint64 `json:"version"`
+	Edges   int    `json:"edges"`
+	Bitwise bool   `json:"bitwise"`
+}
+
+// MutateSummary states the acceptance claim: serving through live commits
+// costs at most 2x the quiescent p99.
+type MutateSummary struct {
+	LiveOverQuiescentP99 float64 `json:"live_over_quiescent_p99"`
+	StwOverQuiescentP99  float64 `json:"stw_over_quiescent_p99"`
+	MaxAllowedRatio      float64 `json:"max_allowed_ratio"`
+	Passed               bool    `json:"passed"`
+}
+
+// MutateGraphInfo describes the benchmark workload.
+type MutateGraphInfo struct {
+	Vertices         int     `json:"vertices"`
+	Edges            int     `json:"edges"`
+	FeatDim          int     `json:"feat_dim"`
+	Layers           string  `json:"layers"`
+	Fanouts          []int   `json:"fanouts"`
+	CommitIntervalMs float64 `json:"commit_interval_ms"`
+	BatchEdges       int     `json:"batch_edges"`
+	CompactRows      int     `json:"compact_rows"`
+}
+
+// MutateReport is the payload of featbench -mutatejson.
+type MutateReport struct {
+	GitRev      string              `json:"git_rev"`
+	GoVersion   string              `json:"go_version"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Rounds      int                 `json:"rounds"`
+	Graph       MutateGraphInfo     `json:"graph"`
+	Results     []MutateBenchResult `json:"results"`
+	Summary     MutateSummary       `json:"summary"`
+	Consistency MutateConsistency   `json:"consistency"`
+}
+
+// mutEdgeSet mirrors the engine's live edge set, keyed (dst, src) in the
+// CSR orientation (rows are destinations). It generates valid mutation
+// batches and rebuilds the canonical CSR for the bitwise oracle.
+type mutEdgeSet struct {
+	n    int32
+	keys [][2]int32       // present edges, unordered
+	idx  map[[2]int32]int // key -> index in keys
+	vals map[[2]int32]float32
+}
+
+func newMutEdgeSet(adj *sparse.CSR) *mutEdgeSet {
+	s := &mutEdgeSet{
+		n:    int32(adj.NumRows),
+		idx:  make(map[[2]int32]int, adj.NNZ()),
+		vals: make(map[[2]int32]float32, adj.NNZ()),
+	}
+	for dst := 0; dst < adj.NumRows; dst++ {
+		for i := adj.RowPtr[dst]; i < adj.RowPtr[dst+1]; i++ {
+			s.add([2]int32{int32(dst), adj.ColIdx[i]}, adj.Val[i])
+		}
+	}
+	return s
+}
+
+func (s *mutEdgeSet) add(k [2]int32, v float32) {
+	s.idx[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+	s.vals[k] = v
+}
+
+func (s *mutEdgeSet) remove(k [2]int32) {
+	i := s.idx[k]
+	last := len(s.keys) - 1
+	s.keys[i] = s.keys[last]
+	s.idx[s.keys[i]] = i
+	s.keys = s.keys[:last]
+	delete(s.idx, k)
+	delete(s.vals, k)
+}
+
+// randomBatch draws mutBatchDel present edges to delete and mutBatchIns
+// absent pairs to insert, without mutating the set (apply does that after
+// the engine accepts the commit).
+func (s *mutEdgeSet) randomBatch(rng *rand.Rand) delta.Batch {
+	var b delta.Batch
+	taken := map[[2]int32]bool{}
+	for len(b.Delete) < mutBatchDel && len(b.Delete) < len(s.keys) {
+		k := s.keys[rng.Intn(len(s.keys))]
+		if taken[k] {
+			continue
+		}
+		taken[k] = true
+		b.Delete = append(b.Delete, delta.Edge{Src: k[1], Dst: k[0]})
+	}
+	for len(b.Insert) < mutBatchIns {
+		k := [2]int32{rng.Int31n(s.n), rng.Int31n(s.n)}
+		if taken[k] {
+			continue
+		}
+		if _, present := s.idx[k]; present {
+			continue
+		}
+		taken[k] = true
+		b.Insert = append(b.Insert, delta.Edge{Src: k[1], Dst: k[0], Val: rng.Float32() + 0.5})
+	}
+	return b
+}
+
+func (s *mutEdgeSet) apply(b delta.Batch) {
+	for _, ed := range b.Delete {
+		s.remove([2]int32{ed.Dst, ed.Src})
+	}
+	for _, ed := range b.Insert {
+		s.add([2]int32{ed.Dst, ed.Src}, ed.Val)
+	}
+}
+
+// rebuild constructs the canonical CSR from scratch: edges sorted
+// row-major, edge ids 0..nnz-1 in that order — exactly what the engine's
+// materializer and recovery produce.
+func (s *mutEdgeSet) rebuild() (*sparse.CSR, error) {
+	keys := append([][2]int32(nil), s.keys...)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	coo := &sparse.COO{
+		NumRows: int(s.n), NumCols: int(s.n),
+		Row: make([]int32, len(keys)),
+		Col: make([]int32, len(keys)),
+		Val: make([]float32, len(keys)),
+	}
+	for i, k := range keys {
+		coo.Row[i], coo.Col[i], coo.Val[i] = k[0], k[1], s.vals[k]
+	}
+	return sparse.FromCOO(coo)
+}
+
+func mutEqualCSR(a, b *sparse.CSR) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.EID[i] != b.EID[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mutServeConfig() serve.Config {
+	return serve.Config{
+		Fanouts:    []int{mutFanout, mutFanout},
+		SampleSeed: 42,
+		Window:     mutWindow,
+		MaxBatch:   mutBatch,
+		MaxQueue:   4096,
+		NumThreads: mutThreads,
+	}
+}
+
+// stwServer is the stop-the-world baseline: a static batcher swapped
+// wholesale under a write lock on every commit. Readers serve under the
+// read lock, so every rebuild stalls the whole request stream — the cost
+// the versioned engine exists to avoid.
+type stwServer struct {
+	mu    sync.RWMutex
+	b     *serve.Batcher
+	feats *tensor.Tensor
+	model serve.Model
+	set   *mutEdgeSet
+}
+
+func newStwServer(adj *sparse.CSR, feats *tensor.Tensor, model serve.Model) (*stwServer, error) {
+	b, err := serve.New(adj, feats, model, mutServeConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &stwServer{b: b, feats: feats, model: model, set: newMutEdgeSet(adj)}, nil
+}
+
+func (s *stwServer) serve(ctx context.Context, req serve.Request) (serve.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Serve(ctx, req)
+}
+
+// commit applies one batch stop-the-world: rebuild the CSR and a fresh
+// batcher outside the lock, then swap under the write lock (which waits
+// out every in-flight request and blocks new ones).
+func (s *stwServer) commit(rng *rand.Rand) error {
+	b := s.set.randomBatch(rng)
+	s.set.apply(b)
+	adj, err := s.set.rebuild()
+	if err != nil {
+		return err
+	}
+	nb, err := serve.New(adj, s.feats, s.model, mutServeConfig())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	old := s.b
+	s.b = nb
+	s.mu.Unlock()
+	old.Close()
+	return nil
+}
+
+func (s *stwServer) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.Close()
+}
+
+// mutatePaced is pacedRun generalized over a serve function, so the
+// stop-the-world mode's lock-wrapped batcher measures under the identical
+// load discipline: latency from each request's intended arrival time.
+func mutatePaced(serveFn func(context.Context, serve.Request) (serve.Result, error), n, total int, rate float64) ([]float64, error) {
+	rng := rand.New(rand.NewSource(3000))
+	seeds := make([]int32, total)
+	for i := range seeds {
+		seeds[i] = int32(rng.Intn(n))
+	}
+	lats := make([]float64, total)
+	errs := make(chan error, total)
+	interval := time.Duration(float64(time.Second) / rate)
+	gate := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	var start time.Time
+	for i := 0; i < total; i++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			<-gate
+			intended := start.Add(time.Duration(i) * interval)
+			if d := time.Until(intended); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := serveFn(context.Background(), serve.Request{Seeds: []int32{seeds[i]}}); err != nil {
+				errs <- err
+				return
+			}
+			lats[i] = float64(time.Now().Sub(intended).Nanoseconds()) / 1e6
+		}()
+	}
+	ready.Wait()
+	start = time.Now()
+	close(gate)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	sort.Float64s(lats)
+	return lats, nil
+}
+
+// runWriter paces commitFn at mutCommitEvery until stop closes, and
+// returns the achieved commit count. A writer that falls behind the pace
+// (stop-the-world rebuilds) commits back to back.
+func runWriter(stop <-chan struct{}, commitFn func() error) (int, error) {
+	commits := 0
+	next := time.Now()
+	for {
+		select {
+		case <-stop:
+			return commits, nil
+		default:
+		}
+		if err := commitFn(); err != nil {
+			return commits, err
+		}
+		commits++
+		next = next.Add(mutCommitEvery)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			next = time.Now()
+		}
+	}
+}
+
+// RunMutateReport measures quiescent / live / stop-the-world serving over
+// `rounds` interleaved rounds. A cancelled ctx stops between rounds and
+// assembles the report from what completed.
+func RunMutateReport(ctx context.Context, out io.Writer, gitRev string, rounds int) (*MutateReport, error) {
+	rng := rand.New(rand.NewSource(13))
+	adj := graphgen.Skewed(rng, mutVerts, mutDeg, mutSkew)
+	feats := tensor.New(adj.NumRows, mutDim)
+	feats.FillUniform(rng, -1, 1)
+	model := serve.RandomModel(rng, mutDim, mutHidden, mutOut)
+
+	dir, err := os.MkdirTemp("", "featbench-mutate-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := delta.New(adj, delta.Config{Dir: dir, CompactRows: mutCompactRows})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	dynB, err := serve.NewDynamic(eng, feats, model, mutServeConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer dynB.Close()
+	liveSet := newMutEdgeSet(adj)
+	liveRng := rand.New(rand.NewSource(17))
+
+	stw, err := newStwServer(adj, feats, model)
+	if err != nil {
+		return nil, err
+	}
+	defer stw.close()
+	stwRng := rand.New(rand.NewSource(17))
+
+	rep := &MutateReport{
+		GitRev:     gitRev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+		Graph: MutateGraphInfo{
+			Vertices: adj.NumRows, Edges: adj.NNZ(), FeatDim: mutDim,
+			Layers:           fmt.Sprintf("%d-%d-%d", mutDim, mutHidden, mutOut),
+			Fanouts:          []int{mutFanout, mutFanout},
+			CommitIntervalMs: float64(mutCommitEvery) / 1e6,
+			BatchEdges:       mutBatchIns + mutBatchDel,
+			CompactRows:      mutCompactRows,
+		},
+	}
+
+	// Warmup: compile the steady-state plan classes outside the samples.
+	for _, fn := range []func(context.Context, serve.Request) (serve.Result, error){dynB.Serve, stw.serve} {
+		for i := 0; i < 32; i++ {
+			if _, err := fn(context.Background(), serve.Request{Seeds: []int32{int32(i)}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	p50s := map[string][]float64{}
+	p99s := map[string][]float64{}
+	commitRates := map[string][]float64{}
+	record := func(mode string, lats []float64, commits int, window time.Duration) {
+		p50s[mode] = append(p50s[mode], quantile(lats, 0.50))
+		p99s[mode] = append(p99s[mode], quantile(lats, 0.99))
+		cps := 0.0
+		if window > 0 {
+			cps = float64(commits) / window.Seconds()
+		}
+		commitRates[mode] = append(commitRates[mode], cps)
+		fmt.Fprintf(out, "  %s: p50=%.2fms p99=%.2fms commits/s=%.0f\n",
+			mode, quantile(lats, 0.50), quantile(lats, 0.99), cps)
+	}
+
+	// measureWithWriter runs the paced request stream while commitFn runs
+	// on a paced writer goroutine, and stops the writer when the stream
+	// drains.
+	measureWithWriter := func(mode string, serveFn func(context.Context, serve.Request) (serve.Result, error), commitFn func() error) error {
+		stop := make(chan struct{})
+		var commits int
+		var werr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			commits, werr = runWriter(stop, commitFn)
+		}()
+		t0 := time.Now()
+		lats, err := mutatePaced(serveFn, adj.NumRows, mutReqs, mutRate)
+		close(stop)
+		wg.Wait()
+		window := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode, err)
+		}
+		if werr != nil {
+			return fmt.Errorf("%s writer: %w", mode, werr)
+		}
+		record(mode, lats, commits, window)
+		return nil
+	}
+
+	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(out, "interrupted after round %d; writing partial report\n", round)
+			break
+		}
+		fmt.Fprintf(out, "round %d:\n", round)
+		lats, err := mutatePaced(dynB.Serve, adj.NumRows, mutReqs, mutRate)
+		if err != nil {
+			return nil, fmt.Errorf("quiescent: %w", err)
+		}
+		record("quiescent", lats, 0, 0)
+		err = measureWithWriter("live", dynB.Serve, func() error {
+			b := liveSet.randomBatch(liveRng)
+			if _, err := eng.Commit(b); err != nil {
+				return err
+			}
+			liveSet.apply(b)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := measureWithWriter("stop-the-world", stw.serve, func() error { return stw.commit(stwRng) }); err != nil {
+			return nil, err
+		}
+	}
+
+	median := func(s []float64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		c := append([]float64(nil), s...)
+		sort.Float64s(c)
+		return c[len(c)/2]
+	}
+	for _, mode := range []string{"quiescent", "live", "stop-the-world"} {
+		if len(p99s[mode]) == 0 {
+			continue
+		}
+		rep.Results = append(rep.Results, MutateBenchResult{
+			Mode:             mode,
+			OfferedReqPerSec: mutRate,
+			P50Ms:            median(p50s[mode]),
+			P99Ms:            median(p99s[mode]),
+			CommitsPerSec:    median(commitRates[mode]),
+		})
+	}
+	if len(p99s["quiescent"]) > 0 && len(p99s["live"]) > 0 {
+		q, l, s := median(p99s["quiescent"]), median(p99s["live"]), median(p99s["stop-the-world"])
+		rep.Summary = MutateSummary{
+			LiveOverQuiescentP99: l / q,
+			StwOverQuiescentP99:  s / q,
+			MaxAllowedRatio:      2.0,
+		}
+		rep.Summary.Passed = rep.Summary.LiveOverQuiescentP99 <= rep.Summary.MaxAllowedRatio
+	}
+
+	// Oracle: after every live commit landed, the engine tip must equal a
+	// from-scratch rebuild of the surviving edge set, bit for bit.
+	snap := eng.Acquire()
+	if snap == nil {
+		return nil, fmt.Errorf("mutate: engine closed before the consistency check")
+	}
+	tip := snap.CSR()
+	want, err := liveSet.rebuild()
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	rep.Consistency = MutateConsistency{
+		Version: snap.Version(),
+		Edges:   tip.NNZ(),
+		Bitwise: mutEqualCSR(tip, want),
+	}
+	snap.Release()
+	if !rep.Consistency.Bitwise {
+		return nil, fmt.Errorf("mutate: engine tip v%d diverged from from-scratch rebuild", rep.Consistency.Version)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *MutateReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// mutateExp is the registry entry: a table view of the same measurement
+// for featbench -exp mutate.
+func mutateExp(cfg *Config) error {
+	rep, err := RunMutateReport(context.Background(), io.Discard, "n/a", max(cfg.Reps, 1))
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Serving under mutation (|V|=%d, |E|=%d, %s model, fanouts %v, %.0f req/s offered, commit every %.0fms)",
+			rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Layers, rep.Graph.Fanouts,
+			mutRate, rep.Graph.CommitIntervalMs),
+		Columns: []string{"mode", "p50", "p99", "commits/s"},
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%.2fms", r.P50Ms),
+			fmt.Sprintf("%.2fms", r.P99Ms),
+			fmt.Sprintf("%.0f", r.CommitsPerSec),
+		})
+	}
+	tbl.Fprint(cfg.Out)
+	fmt.Fprintf(cfg.Out, "summary: live p99 %.2fx quiescent (limit %.1fx, passed=%v), stop-the-world %.2fx; tip v%d bitwise=%v\n",
+		rep.Summary.LiveOverQuiescentP99, rep.Summary.MaxAllowedRatio, rep.Summary.Passed,
+		rep.Summary.StwOverQuiescentP99, rep.Consistency.Version, rep.Consistency.Bitwise)
+	return nil
+}

@@ -1,0 +1,163 @@
+package delta
+
+// Chaos test: concurrent writers committing live mutations, a dynamic
+// batcher serving inference off pinned snapshots, background compaction
+// churn, and probabilistic mid-commit faults at the delta-log sites — all
+// at once, under the race detector. The invariants at the end: the engine
+// agrees bitwise with a from-scratch rebuild of every successful commit,
+// and reopening the store recovers the same graph.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"featgraph/internal/faultinject"
+	"featgraph/internal/serve"
+	"featgraph/internal/tensor"
+)
+
+func TestChaosMutateServeCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	const (
+		n       = 48
+		d       = 4
+		writers = 3
+		servers = 3
+	)
+	dir := t.TempDir()
+	base := ringCSR(t, n)
+	eng, err := New(base, Config{Dir: dir, CompactRows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-commit faults: every delta-log site fails probabilistically but
+	// deterministically for the whole run. Failed commits must roll back
+	// cleanly; successful ones must survive to recovery.
+	for _, site := range []string{
+		faultinject.SiteDeltaWALAppend,
+		faultinject.SiteDeltaWALFsync,
+		faultinject.SiteDeltaWALReset,
+	} {
+		defer faultinject.Arm(site, &faultinject.Fault{
+			Kind: faultinject.Err, Prob: 0.15, Seed: 99,
+		})()
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	feats := tensor.New(n, d)
+	feats.FillUniform(rng, -1, 1)
+	sm := serve.RandomModel(rng, d, 5, 3)
+	batcher, err := serve.NewDynamic(eng, feats, sm, serve.Config{
+		Fanouts:  []int{3, 3},
+		Window:   200 * time.Microsecond,
+		MaxBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared oracle: generate-commit-apply is one critical section, so
+	// the model replays exactly the engine's successful commit sequence.
+	var (
+		oracleMu  sync.Mutex
+		oracle    = newEdgeModel(base)
+		committed atomic.Uint64
+		faulted   atomic.Uint64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				oracleMu.Lock()
+				b := oracle.randomBatch(wrng, 1+wrng.Intn(3), wrng.Intn(2))
+				if _, err := eng.Commit(b); err != nil {
+					faulted.Add(1)
+				} else {
+					oracle.apply(b)
+					committed.Add(1)
+				}
+				oracleMu.Unlock()
+			}
+		}(int64(100 + w))
+	}
+
+	var served, shed atomic.Uint64
+	for s := 0; s < servers; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seeds := []int32{int32(srng.Intn(n)), int32((srng.Intn(n) + n/2) % n)}
+				if seeds[0] == seeds[1] {
+					seeds = seeds[:1]
+				}
+				res, err := batcher.Serve(context.Background(), serve.Request{Seeds: seeds})
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				if res.Out.Dim(0) != len(seeds) || res.Out.Dim(1) != 3 {
+					t.Errorf("serve: got %v output for %d seeds", res.Out.Shape(), len(seeds))
+					return
+				}
+				served.Add(1)
+			}
+		}(int64(500 + s))
+	}
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	batcher.Close()
+	faultinject.Reset()
+
+	if committed.Load() == 0 || served.Load() == 0 {
+		t.Fatalf("chaos run did no work: %d commits, %d served", committed.Load(), served.Load())
+	}
+	t.Logf("chaos: %d commits, %d injected failures, %d served, %d shed",
+		committed.Load(), faulted.Load(), served.Load(), shed.Load())
+
+	if eng.Version() != committed.Load() {
+		t.Fatalf("engine at v%d after %d successful commits", eng.Version(), committed.Load())
+	}
+	s := eng.Acquire()
+	requireSameCSR(t, s.CSR(), oracle.rebuild(t), "chaos tip vs oracle")
+	s.Release()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery after chaos: %v", err)
+	}
+	defer re.Close()
+	if re.Version() != committed.Load() {
+		t.Fatalf("recovered v%d, committed %d", re.Version(), committed.Load())
+	}
+	rs := re.Acquire()
+	requireSameCSR(t, rs.CSR(), oracle.rebuild(t), "chaos recovery vs oracle")
+	rs.Release()
+}

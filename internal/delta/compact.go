@@ -1,0 +1,92 @@
+package delta
+
+import (
+	"featgraph/internal/faultinject"
+	"featgraph/internal/telemetry"
+)
+
+// Compact runs one compaction synchronously: the current overlay is
+// folded into a fresh (durable, when configured) base and the delta log
+// rewritten to just the records past it. Commits proceeding concurrently
+// are safe; their patches survive in the overlay. A compaction already in
+// flight makes Compact a no-op that returns immediately.
+func (e *Engine) Compact() {
+	e.mu.Lock()
+	if e.closed || e.compacting {
+		e.mu.Unlock()
+		return
+	}
+	e.compacting = true
+	e.wg.Add(1)
+	e.mu.Unlock()
+	e.compact()
+}
+
+// compact folds every patch up to some committed version into a fresh
+// base, in the background, without ever blocking readers and holding the
+// writer lock only for the in-memory pointer swap and log rewrite.
+//
+// Protocol, in crash-window order:
+//
+//  1. Pin the newest committed snapshot and materialize it (off-lock).
+//  2. Durably publish it as the new base via AtomicWriteFile — a crash
+//     before the rename leaves the old base; after, the new one. Either
+//     way the log still holds every record the base lacks.
+//  3. (SiteDeltaBaseSwap: new base durable, log not yet rewritten. A
+//     crash here replays log records the base already contains; replay
+//     skips them by version.)
+//  4. Swap the in-memory base/overlay/tail and atomically rewrite the
+//     log to just the records past the new base (SiteDeltaWALReset
+//     fires before that rename). A failed rewrite keeps the old log —
+//     longer than needed but fully consistent.
+func (e *Engine) compact() {
+	defer e.wg.Done()
+	s := e.Acquire()
+	if s == nil {
+		e.mu.Lock()
+		e.compacting = false
+		e.mu.Unlock()
+		return
+	}
+	mat := s.CSR()
+	if e.cfg.Dir != "" {
+		if err := saveBase(basePath(e.cfg.Dir), mat, s.version); err != nil {
+			// The old base + full log remain authoritative; retry on a
+			// later commit.
+			e.mu.Lock()
+			e.compacting = false
+			e.mu.Unlock()
+			s.Release()
+			return
+		}
+		faultinject.Hit(faultinject.SiteDeltaBaseSwap, nil, nil)
+	}
+	e.mu.Lock()
+	next := make(map[int32]*rowPatch)
+	for r, p := range e.overlay {
+		if p.ver > s.version {
+			next[r] = p
+		}
+	}
+	e.base = mat
+	e.baseVer = s.version
+	e.overlay = next
+	tail := e.tail[:0:0]
+	for _, r := range e.tail {
+		if r.ver > s.version {
+			tail = append(tail, r)
+		}
+	}
+	e.tail = tail
+	if e.wal != nil {
+		// Best effort: failure keeps the old (longer) log, which replay
+		// handles by skipping records the new base covers.
+		_ = e.wal.resetTo(tail)
+	}
+	e.compacting = false
+	e.mu.Unlock()
+	s.Release()
+	if telemetry.Enabled() {
+		mCompactions.Inc()
+	}
+}

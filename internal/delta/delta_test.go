@@ -1,0 +1,686 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"featgraph/internal/faultinject"
+	"featgraph/internal/sparse"
+)
+
+// ringCSR builds the deterministic n-vertex ring i→(i+1)%n used as the
+// test base graph.
+func ringCSR(t testing.TB, n int) *sparse.CSR {
+	t.Helper()
+	srcs := make([]int32, n)
+	dsts := make([]int32, n)
+	for i := 0; i < n; i++ {
+		srcs[i] = int32(i)
+		dsts[i] = int32((i + 1) % n)
+	}
+	c, err := sparse.FromCOO(&sparse.COO{NumRows: n, NumCols: n, Row: dsts, Col: srcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// edgeModel tracks the logical edge set alongside an engine so tests can
+// rebuild any version from scratch and demand bitwise agreement.
+type edgeModel struct {
+	n     int
+	edges map[[2]int32]float32 // (dst, src) → val
+}
+
+func newEdgeModel(c *sparse.CSR) *edgeModel {
+	m := &edgeModel{n: c.NumRows, edges: map[[2]int32]float32{}}
+	for r := 0; r < c.NumRows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			m.edges[[2]int32{int32(r), c.ColIdx[p]}] = c.Val[p]
+		}
+	}
+	return m
+}
+
+func (m *edgeModel) apply(b Batch) {
+	for _, d := range b.Delete {
+		delete(m.edges, [2]int32{d.Dst, d.Src})
+	}
+	for _, in := range b.Insert {
+		m.edges[[2]int32{in.Dst, in.Src}] = in.Val
+	}
+}
+
+// rebuild constructs the model's CSR from scratch in canonical (row-major)
+// order — the independent oracle every materialized snapshot must match
+// bitwise.
+func (m *edgeModel) rebuild(t testing.TB) *sparse.CSR {
+	t.Helper()
+	keys := make([][2]int32, 0, len(m.edges))
+	for k := range m.edges {
+		keys = append(keys, k)
+	}
+	// Row-major (dst, then src) order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && (keys[j][0] < keys[j-1][0] || (keys[j][0] == keys[j-1][0] && keys[j][1] < keys[j-1][1])); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	coo := &sparse.COO{NumRows: m.n, NumCols: m.n}
+	for _, k := range keys {
+		coo.Row = append(coo.Row, k[0])
+		coo.Col = append(coo.Col, k[1])
+		coo.Val = append(coo.Val, m.edges[k])
+	}
+	c, err := sparse.FromCOO(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// randomBatch derives a valid batch from the model: nIns absent edges
+// inserted, nDel present edges deleted.
+func (m *edgeModel) randomBatch(rng *rand.Rand, nIns, nDel int) Batch {
+	var b Batch
+	used := map[[2]int32]bool{}
+	for len(b.Insert) < nIns {
+		k := [2]int32{int32(rng.Intn(m.n)), int32(rng.Intn(m.n))}
+		if _, ok := m.edges[k]; ok || used[k] {
+			continue
+		}
+		used[k] = true
+		b.Insert = append(b.Insert, Edge{Src: k[1], Dst: k[0], Val: rng.Float32()})
+	}
+	present := make([][2]int32, 0, len(m.edges))
+	for k := range m.edges {
+		present = append(present, k)
+	}
+	// Map iteration order is random; sort for deterministic picks under a
+	// seeded rng.
+	for i := 1; i < len(present); i++ {
+		for j := i; j > 0 && (present[j][0] < present[j-1][0] || (present[j][0] == present[j-1][0] && present[j][1] < present[j-1][1])); j-- {
+			present[j], present[j-1] = present[j-1], present[j]
+		}
+	}
+	for len(b.Delete) < nDel && len(present) > 0 {
+		i := rng.Intn(len(present))
+		k := present[i]
+		present = append(present[:i], present[i+1:]...)
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		b.Delete = append(b.Delete, Edge{Src: k[1], Dst: k[0]})
+	}
+	return b
+}
+
+// requireSameCSR demands bitwise equality of two adjacency matrices.
+func requireSameCSR(t testing.TB, got, want *sparse.CSR, what string) {
+	t.Helper()
+	if got.NumRows != want.NumRows || got.NumCols != want.NumCols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", what, got.NumRows, got.NumCols, want.NumRows, want.NumCols)
+	}
+	if !reflect.DeepEqual(got.RowPtr, want.RowPtr) {
+		t.Fatalf("%s: RowPtr differs", what)
+	}
+	if !reflect.DeepEqual(got.ColIdx, want.ColIdx) {
+		t.Fatalf("%s: ColIdx differs", what)
+	}
+	if !reflect.DeepEqual(got.EID, want.EID) {
+		t.Fatalf("%s: EID differs", what)
+	}
+	if !reflect.DeepEqual(got.Val, want.Val) {
+		t.Fatalf("%s: Val differs", what)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	e, err := New(ringCSR(t, 8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cases := map[string]Batch{
+		"empty":             {},
+		"out of range src":  {Insert: []Edge{{Src: 99, Dst: 0}}},
+		"out of range dst":  {Insert: []Edge{{Src: 0, Dst: -1}}},
+		"insert existing":   {Insert: []Edge{{Src: 0, Dst: 1}}},
+		"insert twice":      {Insert: []Edge{{Src: 3, Dst: 0, Val: 1}, {Src: 3, Dst: 0, Val: 2}}},
+		"delete missing":    {Delete: []Edge{{Src: 5, Dst: 0}}},
+		"delete twice":      {Delete: []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}}},
+		"insert and delete": {Insert: []Edge{{Src: 0, Dst: 1}}, Delete: []Edge{{Src: 0, Dst: 1}}},
+	}
+	for name, b := range cases {
+		if _, err := e.Commit(b); err == nil {
+			t.Errorf("%s: batch accepted", name)
+		}
+	}
+	if v := e.Version(); v != 0 {
+		t.Fatalf("rejected batches advanced version to %d", v)
+	}
+	// A valid batch after all those rejections commits cleanly.
+	if v, err := e.Commit(Batch{Insert: []Edge{{Src: 3, Dst: 0, Val: 1}}}); err != nil || v != 1 {
+		t.Fatalf("valid commit: v=%d err=%v", v, err)
+	}
+}
+
+// TestEveryVersionMatchesRebuild is the core differential check: after a
+// stream of random batches, every pinned version's materialized CSR is
+// bitwise identical to a from-scratch rebuild of that version's edge set.
+func TestEveryVersionMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := ringCSR(t, 40)
+	e, err := New(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	model := newEdgeModel(base)
+
+	type pinned struct {
+		snap *Snapshot
+		want *sparse.CSR
+	}
+	versions := []pinned{{snap: e.Acquire(), want: model.rebuild(t)}}
+	for i := 0; i < 30; i++ {
+		b := model.randomBatch(rng, 1+rng.Intn(4), rng.Intn(3))
+		ver, err := e.Commit(b)
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		if ver != uint64(i+1) {
+			t.Fatalf("commit %d returned version %d", i, ver)
+		}
+		model.apply(b)
+		versions = append(versions, pinned{snap: e.Acquire(), want: model.rebuild(t)})
+	}
+	// Every pinned version stays addressable and correct even though the
+	// engine has long moved past it.
+	for v, p := range versions {
+		if p.snap.Version() != uint64(v) {
+			t.Fatalf("snapshot %d reports version %d", v, p.snap.Version())
+		}
+		requireSameCSR(t, p.snap.CSR(), p.want, fmt.Sprintf("version %d", v))
+		if p.snap.NumEdges() != p.want.NNZ() {
+			t.Fatalf("version %d: NumEdges %d != %d", v, p.snap.NumEdges(), p.want.NNZ())
+		}
+		p.snap.Release()
+	}
+}
+
+func TestReclaimHookFiresPerVersion(t *testing.T) {
+	var mu sync.Mutex
+	reclaimed := map[uint64]int{}
+	base := ringCSR(t, 16)
+	e, err := New(base, Config{OnReclaim: func(v uint64) {
+		mu.Lock()
+		reclaimed[v]++
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newEdgeModel(base)
+	rng := rand.New(rand.NewSource(3))
+	s1 := e.Acquire() // pin version 0
+	for i := 0; i < 5; i++ {
+		b := model.randomBatch(rng, 2, 1)
+		if _, err := e.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		model.apply(b)
+	}
+	// Version 0 is still pinned by s1: not reclaimed yet even though the
+	// engine is at version 5.
+	mu.Lock()
+	if reclaimed[0] != 0 {
+		mu.Unlock()
+		t.Fatal("version 0 reclaimed while pinned")
+	}
+	mu.Unlock()
+	s1.Release()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return reclaimed[0] == 1
+	}, "version 0 reclaim")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drops the engine's own references; every superseded version
+	// must eventually reclaim exactly once.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for v := uint64(0); v <= 5; v++ {
+			if reclaimed[v] != 1 {
+				return false
+			}
+		}
+		return true
+	}, "all versions reclaimed once")
+}
+
+func TestPinLatestServesMaterializedVersions(t *testing.T) {
+	base := ringCSR(t, 24)
+	e, err := New(base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	model := newEdgeModel(base)
+
+	adj, ver, release, err := e.PinLatest()
+	if err != nil || ver != 0 {
+		t.Fatalf("initial pin: ver=%d err=%v", ver, err)
+	}
+	requireSameCSR(t, adj, model.rebuild(t), "pinned v0")
+	release()
+
+	b := Batch{Insert: []Edge{{Src: 5, Dst: 0, Val: 2}}}
+	if _, err := e.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	model.apply(b)
+	// The serving pointer advances asynchronously; wait for promotion.
+	waitFor(t, func() bool {
+		_, v, rel, err := e.PinLatest()
+		if err != nil {
+			return false
+		}
+		rel()
+		return v == 1
+	}, "serving promotion to v1")
+	adj, ver, release, err = e.PinLatest()
+	if err != nil || ver != 1 {
+		t.Fatalf("pin after commit: ver=%d err=%v", ver, err)
+	}
+	requireSameCSR(t, adj, model.rebuild(t), "pinned v1")
+	if adj.Version() != 1 || adj.Identity() != e.ID() {
+		t.Fatalf("pinned CSR bound to (%d, %d), want (%d, 1)", adj.Identity(), adj.Version(), e.ID())
+	}
+	release()
+}
+
+func TestDurableCommitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := ringCSR(t, 32)
+	model := newEdgeModel(base)
+	rng := rand.New(rand.NewSource(11))
+
+	e, err := New(base, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		b := model.randomBatch(rng, 1+rng.Intn(3), rng.Intn(2))
+		if _, err := e.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		model.apply(b)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New on an existing store must refuse.
+	if _, err := New(base, Config{Dir: dir}); err == nil {
+		t.Fatal("New over an existing store must fail")
+	}
+
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Version() != 12 {
+		t.Fatalf("recovered version %d, want 12", re.Version())
+	}
+	s := re.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "recovered tip")
+	s.Release()
+
+	// The recovered engine keeps committing durably.
+	b := model.randomBatch(rng, 2, 1)
+	if v, err := re.Commit(b); err != nil || v != 13 {
+		t.Fatalf("post-recovery commit: v=%d err=%v", v, err)
+	}
+	model.apply(b)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Version() != 13 {
+		t.Fatalf("second recovery at %d, want 13", re2.Version())
+	}
+	s = re2.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "second recovery tip")
+	s.Release()
+}
+
+// TestRecoveryTruncatesTornTail appends a half-written record to the log
+// (what a crash mid-append leaves) and requires Open to discard exactly
+// the torn bytes and recover the last complete version.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	base := ringCSR(t, 16)
+	model := newEdgeModel(base)
+	e, err := New(base, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := Batch{Insert: []Edge{{Src: 4, Dst: 0, Val: 1}}}
+	if _, err := e.Commit(b1); err != nil {
+		t.Fatal(err)
+	}
+	model.apply(b1)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake the torn append: half of a valid v2 record.
+	rec := encodeRecord(2, Batch{Insert: []Edge{{Src: 7, Dst: 1, Val: 3}}})
+	f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec[:len(rec)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize := fileSize(t, walPath(dir))
+
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer re.Close()
+	if re.Version() != 1 {
+		t.Fatalf("recovered version %d, want 1", re.Version())
+	}
+	s := re.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "post-torn-tail tip")
+	s.Release()
+	if got := fileSize(t, walPath(dir)); got >= tornSize {
+		t.Fatalf("torn tail not truncated: %d >= %d", got, tornSize)
+	}
+}
+
+// TestRecoveryRejectsVersionGap: a log whose records skip a version is
+// hard corruption — truncating it would silently drop acknowledged
+// commits — so Open must fail loudly, not guess.
+func TestRecoveryRejectsVersionGap(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(ringCSR(t, 8), Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Commit(Batch{Insert: []Edge{{Src: 2, Dst: 0, Val: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a complete, CRC-valid record claiming version 5 (gap: 2..4
+	// missing).
+	rec := encodeRecord(5, Batch{Insert: []Edge{{Src: 3, Dst: 1, Val: 1}}})
+	f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("version-gap log must fail to open")
+	}
+}
+
+func TestCompactionShrinksLogAndPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	base := ringCSR(t, 32)
+	model := newEdgeModel(base)
+	rng := rand.New(rand.NewSource(5))
+	e, err := New(base, Config{Dir: dir, CompactRows: 1 << 30}) // no auto-compact
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b := model.randomBatch(rng, 2, 1)
+		if _, err := e.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		model.apply(b)
+	}
+	before := fileSize(t, walPath(dir))
+	e.Compact()
+	after := fileSize(t, walPath(dir))
+	if after >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, after)
+	}
+	// State after compaction is unchanged, committing continues, and
+	// recovery from (new base + emptied log) lands on the same graph.
+	s := e.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "post-compaction tip")
+	s.Release()
+	b := model.randomBatch(rng, 1, 1)
+	if _, err := e.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	model.apply(b)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Version() != 21 {
+		t.Fatalf("recovered version %d, want 21", re.Version())
+	}
+	s = re.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "post-compaction recovery")
+	s.Release()
+}
+
+// TestAutoCompactionUnderCommits drives enough commits past a tiny
+// CompactRows threshold that background compaction runs concurrently with
+// the writer, and checks the final state and its recovery.
+func TestAutoCompactionUnderCommits(t *testing.T) {
+	dir := t.TempDir()
+	base := ringCSR(t, 24)
+	model := newEdgeModel(base)
+	rng := rand.New(rand.NewSource(9))
+	e, err := New(base, Config{Dir: dir, CompactRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		b := model.randomBatch(rng, 2, 1)
+		if _, err := e.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		model.apply(b)
+	}
+	s := e.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "tip under auto-compaction")
+	s.Release()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Version() != 40 {
+		t.Fatalf("recovered version %d, want 40", re.Version())
+	}
+	s = re.Acquire()
+	requireSameCSR(t, s.CSR(), model.rebuild(t), "recovery after auto-compaction")
+	s.Release()
+}
+
+// TestInjectedCommitFaults arms an Err fault at each commit-path site and
+// requires: the commit fails cleanly, the engine state does not advance,
+// the next commit succeeds, and recovery agrees with the acknowledged
+// history only.
+func TestInjectedCommitFaults(t *testing.T) {
+	for _, site := range []string{faultinject.SiteDeltaWALAppend, faultinject.SiteDeltaWALFsync} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			base := ringCSR(t, 16)
+			model := newEdgeModel(base)
+			e, err := New(base, Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok := Batch{Insert: []Edge{{Src: 4, Dst: 0, Val: 1}}}
+			if _, err := e.Commit(ok); err != nil {
+				t.Fatal(err)
+			}
+			model.apply(ok)
+
+			disarm := faultinject.Arm(site, &faultinject.Fault{Kind: faultinject.Err, MaxFires: 1})
+			if _, err := e.Commit(Batch{Insert: []Edge{{Src: 9, Dst: 2, Val: 1}}}); err == nil {
+				t.Fatal("commit must fail under injected fault")
+			}
+			disarm()
+			if v := e.Version(); v != 1 {
+				t.Fatalf("failed commit advanced version to %d", v)
+			}
+			// The rolled-back log accepts the next commit.
+			next := Batch{Insert: []Edge{{Src: 11, Dst: 3, Val: 2}}}
+			if v, err := e.Commit(next); err != nil || v != 2 {
+				t.Fatalf("post-fault commit: v=%d err=%v", v, err)
+			}
+			model.apply(next)
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.Version() != 2 {
+				t.Fatalf("recovered version %d, want 2", re.Version())
+			}
+			s := re.Acquire()
+			requireSameCSR(t, s.CSR(), model.rebuild(t), "recovery after injected fault")
+			s.Release()
+		})
+	}
+}
+
+// TestInjectedCompactionFaults: a compaction whose base write or log
+// rewrite fails must leave the engine fully consistent (old base + full
+// log), and recovery must still see every acknowledged commit.
+func TestInjectedCompactionFaults(t *testing.T) {
+	sites := []string{
+		faultinject.SiteDurableTornWrite, // base AtomicWriteFile torn
+		faultinject.SiteDurableFsync,
+		faultinject.SiteDurableRename,
+		faultinject.SiteDeltaWALReset, // log rewrite staged-then-failed
+	}
+	for _, site := range sites {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			base := ringCSR(t, 16)
+			model := newEdgeModel(base)
+			rng := rand.New(rand.NewSource(21))
+			e, err := New(base, Config{Dir: dir, CompactRows: 1 << 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 6; i++ {
+				b := model.randomBatch(rng, 2, 0)
+				if _, err := e.Commit(b); err != nil {
+					t.Fatal(err)
+				}
+				model.apply(b)
+			}
+			disarm := faultinject.Arm(site, &faultinject.Fault{Kind: faultinject.Err, MaxFires: 1})
+			e.Compact() // must not corrupt anything whichever step failed
+			disarm()
+			s := e.Acquire()
+			requireSameCSR(t, s.CSR(), model.rebuild(t), "tip after failed compaction")
+			s.Release()
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.Version() != 6 {
+				t.Fatalf("recovered version %d, want 6", re.Version())
+			}
+			s = re.Acquire()
+			requireSameCSR(t, s.CSR(), model.rebuild(t), "recovery after failed compaction")
+			s.Release()
+		})
+	}
+}
+
+func TestClosedEngineRefusesWork(t *testing.T) {
+	e, err := New(ringCSR(t, 8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Acquire() // survives Close
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Commit(Batch{Insert: []Edge{{Src: 3, Dst: 0}}}); err != ErrClosed {
+		t.Fatalf("Commit after Close: %v", err)
+	}
+	if _, _, _, err := e.PinLatest(); err != ErrClosed {
+		t.Fatalf("PinLatest after Close: %v", err)
+	}
+	if e.Acquire() != nil {
+		t.Fatal("Acquire after Close must return nil")
+	}
+	// The outstanding snapshot still materializes correctly.
+	if s.CSR().NNZ() != 8 {
+		t.Fatal("outstanding snapshot broken by Close")
+	}
+	s.Release()
+	if err := e.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
+func waitFor(t testing.TB, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func fileSize(t testing.TB, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,138 @@
+package delta
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"featgraph/internal/sparse"
+)
+
+// Snapshot is an immutable handle on one committed version of a mutable
+// graph. It pins the version's base CSR and overlay map (both immutable
+// once published), so the topology it describes can never change under a
+// reader. CSR materializes the merged adjacency exactly once; Release
+// drops the pin, and when the last reference drains the engine reclaims
+// the version (firing the reclaim hook for precise cache invalidation).
+type Snapshot struct {
+	version uint64
+	edges   int
+	base    *sparse.CSR
+	overlay map[int32]*rowPatch
+	eng     *Engine
+
+	refs atomic.Int64
+	once sync.Once
+	mat  *sparse.CSR
+}
+
+// newSnapshot captures the engine's current (base, overlay, version)
+// under e.mu with one reference held for the caller. preMat, when
+// non-nil, is an already-materialized CSR for this exact version (the
+// base itself at a compaction boundary or at engine construction).
+func (e *Engine) newSnapshot(preMat *sparse.CSR) *Snapshot {
+	s := &Snapshot{
+		version: e.version,
+		edges:   e.edges,
+		base:    e.base,
+		overlay: e.overlay,
+		eng:     e,
+		mat:     preMat,
+	}
+	s.refs.Store(1)
+	mLive.Add(1)
+	return s
+}
+
+// Version returns the committed version this snapshot pins.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// NumVertices returns the vertex count.
+func (s *Snapshot) NumVertices() int { return s.base.NumRows }
+
+// NumEdges returns the edge count at this version.
+func (s *Snapshot) NumEdges() int { return s.edges }
+
+// Acquire adds a reference, so the snapshot can be handed to another
+// holder with its own Release.
+func (s *Snapshot) Acquire() *Snapshot {
+	s.refs.Add(1)
+	return s
+}
+
+// tryAcquire adds a reference unless the count already drained — the
+// lock-free handshake PinLatest needs against a concurrent serving swap.
+func (s *Snapshot) tryAcquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. When the count drains the version is
+// reclaimed: the engine fires its reclaim hook so caches keyed by
+// (identity, version) can invalidate precisely this version.
+func (s *Snapshot) Release() {
+	if s.refs.Add(-1) == 0 {
+		s.eng.reclaim(s)
+	}
+}
+
+// CSR returns the materialized adjacency of this version, merging base
+// and overlay on first call (later calls are free). Edge ids are
+// renumbered row-major per version, so edge-feature tensors must be
+// version-addressed too; the result is bound to (engine identity,
+// version) for cache keying. The returned matrix is shared and must be
+// treated as read-only.
+func (s *Snapshot) CSR() *sparse.CSR {
+	s.once.Do(func() {
+		if s.mat != nil {
+			return
+		}
+		s.mat = materialize(s.base, s.overlay, s.edges, s.eng.id, s.version)
+	})
+	return s.mat
+}
+
+// materialize merges base and overlay into a fresh canonical CSR:
+// row-major edge ids, column-sorted rows, bound to (ident, ver). Given
+// the same logical edge set it is deterministic down to the byte, which
+// is what lets recovery prove bitwise equality with the pre-crash graph.
+func materialize(base *sparse.CSR, overlay map[int32]*rowPatch, edges int, ident, ver uint64) *sparse.CSR {
+	nv := base.NumRows
+	rp := make([]int32, nv+1)
+	ci := make([]int32, edges)
+	val := make([]float32, edges)
+	pos := 0
+	for r := 0; r < nv; r++ {
+		if p, ok := overlay[int32(r)]; ok {
+			copy(ci[pos:], p.cols)
+			copy(val[pos:], p.vals)
+			pos += len(p.cols)
+		} else {
+			lo, hi := base.RowPtr[r], base.RowPtr[r+1]
+			copy(ci[pos:], base.ColIdx[lo:hi])
+			copy(val[pos:], base.Val[lo:hi])
+			pos += int(hi - lo)
+		}
+		rp[r+1] = int32(pos)
+	}
+	eid := make([]int32, edges)
+	for i := range eid {
+		eid[i] = int32(i)
+	}
+	out := &sparse.CSR{
+		NumRows: nv,
+		NumCols: base.NumCols,
+		RowPtr:  rp,
+		ColIdx:  ci,
+		EID:     eid,
+		Val:     val,
+	}
+	out.BindVersion(ident, ver)
+	return out
+}

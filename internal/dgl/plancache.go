@@ -38,15 +38,22 @@ func init() {
 // reuses the first model's compiled plans.
 //
 // Keying. A plan is identified by everything that determines its
-// compilation: the op kind, the adjacency identity (pointer — topology
-// objects are immutable once built), the identity of the input buffers the
-// kernel is bound to, the feature width, the aggregation operator, and the
-// full scheduling configuration (target, threads, partitions, FDS tile
-// factor, device). Buffer identity is part of the key because a compiled
-// kernel reads its inputs from the exact tensors it was built against;
-// two ops with distinct staging buffers can never share a plan, which is
-// what makes cache hits unconditionally safe. A shape change allocates new
-// buffers and therefore new keys: stale plans miss instead of corrupting.
+// compilation: the op kind, the topology address — (identity, version,
+// role) from sparse.CSR.Identity/Version, so two snapshots of one mutable
+// graph never collide and two materializations of the same snapshot
+// version share plans — the identity of the input buffers the kernel is
+// bound to, the feature width, the aggregation operator, and the full
+// scheduling configuration (target, threads, partitions, FDS tile factor,
+// device). A static CSR gets a process-unique lazy identity at version 0,
+// which reproduces the old pointer-keyed behavior exactly; CSRs published
+// by the delta engine carry (engine identity, snapshot version), so plans
+// follow the version, and InvalidateTopology drops precisely the plans of
+// a version whose last snapshot drained. Buffer identity is part of the
+// key because a compiled kernel reads its inputs from the exact tensors
+// it was built against; two ops with distinct staging buffers can never
+// share a plan, which is what makes cache hits unconditionally safe. A
+// shape change allocates new buffers and therefore new keys: stale plans
+// miss instead of corrupting.
 //
 // Eviction. The cache is a process-wide LRU bounded by PlanCacheCap;
 // inserting past the cap evicts the least-recently-used plan. Hit/miss/
@@ -71,10 +78,26 @@ type CacheStats struct {
 	Evictions uint64
 }
 
+// topoKey addresses one graph topology for cache keying: the identity and
+// snapshot version of the adjacency (sparse.CSR.Identity/Version) plus a
+// role bit separating a graph's forward adjacency from its transpose,
+// which share the adjacency's (identity, version) so that version-precise
+// invalidation catches both.
+type topoKey struct {
+	ident uint64
+	ver   uint64
+	role  uint8 // roleAdj or roleAdjT
+}
+
+const (
+	roleAdj  = uint8(0)
+	roleAdjT = uint8(1)
+)
+
 // planKey identifies one compiled kernel plan.
 type planKey struct {
 	kind     string         // op kind and role, e.g. "copyagg.fwd"
-	adj      *sparse.CSR    // adjacency identity
+	topo     topoKey        // topology address (identity, version, role)
 	in0, in1 *tensor.Tensor // bound input buffer identities (in1 may be nil)
 	d        int            // feature width
 	agg      core.AggOp
@@ -113,12 +136,26 @@ func (g *Graph) resetPlanCacheStats() {
 	g.PlanCache = CacheStats{}
 }
 
-// planKeyFor assembles the cache key for a plan of this graph.
+// planKeyFor assembles the cache key for a plan of this graph. adj must
+// be g.adj or g.adjT; the transpose is addressed by the adjacency's
+// (identity, version) with the role bit flipped, because it is a
+// deterministic derivation of the same topology version.
 func (g *Graph) planKeyFor(kind string, adj *sparse.CSR, in0, in1 *tensor.Tensor, d int, agg core.AggOp) planKey {
+	role := roleAdj
+	if adj == g.adjT {
+		role = roleAdjT
+	}
 	return planKey{
-		kind: kind, adj: adj, in0: in0, in1: in1, d: d, agg: agg,
+		kind: kind,
+		topo: topoKey{ident: g.adj.Identity(), ver: g.adj.Version(), role: role},
+		in0:  in0, in1: in1, d: d, agg: agg,
 		opts: g.coreOptions(), tile: g.cfg.FeatureTileFactor,
 	}
+}
+
+// topoKeyFor addresses an arbitrary adjacency (shard plans) at role 0.
+func topoKeyFor(adj *sparse.CSR) topoKey {
+	return topoKey{ident: adj.Identity(), ver: adj.Version(), role: roleAdj}
 }
 
 // plan returns the cached kernel for key, building and inserting it on a
@@ -201,18 +238,27 @@ func (g *Graph) mustPlan(key planKey, build func() (core.Kernel, error)) core.Ke
 }
 
 // InvalidatePlans drops every cached plan compiled against this graph's
-// adjacency or its transpose, returning how many were removed. Use it when
-// replacing a graph's feature shapes wholesale (old plans would otherwise
-// linger until LRU eviction; they can never be wrongly hit, since new
-// buffers produce new keys).
+// topology version (adjacency and transpose roles alike), returning how
+// many were removed. Use it when replacing a graph's feature shapes
+// wholesale (old plans would otherwise linger until LRU eviction; they
+// can never be wrongly hit, since new buffers produce new keys).
 func (g *Graph) InvalidatePlans() int {
+	return InvalidateTopology(g.adj.Identity(), g.adj.Version())
+}
+
+// InvalidateTopology drops every cached plan keyed to version ver of the
+// topology with the given identity, returning how many were removed. The
+// delta engine's reclaim hook calls this when a snapshot's last reference
+// drains — precise invalidation of exactly the dead version, leaving
+// plans for live versions of the same graph untouched.
+func InvalidateTopology(ident, ver uint64) int {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	removed := 0
 	for el := planCache.lru.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*planEntry)
-		if e.key.adj == g.adj || e.key.adj == g.adjT {
+		if e.key.topo.ident == ident && e.key.topo.ver == ver {
 			delete(planCache.entries, e.key)
 			planCache.lru.Remove(el)
 			removed++

@@ -47,11 +47,11 @@ func (c *ShardPlanCache) Plan(shard int, adj *sparse.CSR, build func() (core.Ker
 	if prev, ok := c.lastAdj[shard]; ok && prev != adj {
 		// The shard was evicted and re-materialized since this plan was
 		// built; drop the stale plan so it stops holding the old arrays.
-		planCacheDelete(planKey{kind: c.kind, shard: shard, adj: prev})
+		planCacheDelete(planKey{kind: c.kind, shard: shard, topo: topoKeyFor(prev)})
 	}
 	c.lastAdj[shard] = adj
 	c.mu.Unlock()
-	return cachePlan(&c.stats, planKey{kind: c.kind, shard: shard, adj: adj}, build)
+	return cachePlan(&c.stats, planKey{kind: c.kind, shard: shard, topo: topoKeyFor(adj)}, build)
 }
 
 // Invalidate drops every plan this adapter has cached, returning how many
@@ -61,7 +61,7 @@ func (c *ShardPlanCache) Invalidate() int {
 	defer c.mu.Unlock()
 	removed := 0
 	for shard, adj := range c.lastAdj {
-		key := planKey{kind: c.kind, shard: shard, adj: adj}
+		key := planKey{kind: c.kind, shard: shard, topo: topoKeyFor(adj)}
 		planCache.mu.Lock()
 		if el, ok := planCache.entries[key]; ok {
 			delete(planCache.entries, key)

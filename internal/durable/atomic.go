@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"featgraph/internal/faultinject"
 	"featgraph/internal/telemetry"
@@ -124,6 +125,20 @@ func syncDir(dir string) error {
 	}
 	defer d.Close()
 	return d.Sync()
+}
+
+// sweptDirs records directories already swept by SweepTempsOnce.
+var sweptDirs sync.Map // dir → *sync.Once
+
+// SweepTempsOnce sweeps stale temps from dir the first time this process
+// writes there, and is a no-op afterwards. Write paths without an explicit
+// open step (checkpoint saves, graph saves) call it before staging their
+// first file: orphans from a previous process's crash are collected, while
+// this process's own in-flight temps are never racily deleted — the sweep
+// happens-before any write this process issues to the directory.
+func SweepTempsOnce(dir string) {
+	once, _ := sweptDirs.LoadOrStore(dir, new(sync.Once))
+	once.(*sync.Once).Do(func() { SweepTemps(dir) })
 }
 
 // SweepTemps removes stale temp files stranded in dir by writes that never

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,12 @@ const (
 	// rather than a crashed goroutine. Hit and CorruptFloats ignore Err
 	// faults.
 	Err
+	// Kill SIGKILLs the whole process at the site — no deferred cleanup,
+	// no flushing, the same abruptness as a power cut. Crash-recovery
+	// tests arm it in a helper child process to die at an exact point in
+	// a commit protocol; whatever bytes earlier writes handed to the OS
+	// survive, anything buffered in the process is lost.
+	Kill
 )
 
 func (k Kind) String() string {
@@ -64,6 +71,8 @@ func (k Kind) String() string {
 		return "stall"
 	case Err:
 		return "err"
+	case Kill:
+		return "kill"
 	}
 	return "unknown"
 }
@@ -135,6 +144,25 @@ const (
 	SiteDurableFsync = "durable/fsync"
 	// SiteDurableRename fires at the temp→final rename.
 	SiteDurableRename = "durable/rename"
+
+	// Delta-log commit-path sites instrumented by internal/delta. Err
+	// faults make each step fail cleanly; Kill faults die there outright,
+	// which is how the kill-and-recover test reproduces a crash inside
+	// every window of the commit protocol.
+
+	// SiteDeltaWALAppend fires mid-record during a delta-log append: the
+	// first half of the record has been handed to the OS, the rest has
+	// not — the on-disk shape of a torn append.
+	SiteDeltaWALAppend = "delta/wal-append"
+	// SiteDeltaWALFsync fires after the record bytes are written, before
+	// the log file's fsync.
+	SiteDeltaWALFsync = "delta/wal-fsync"
+	// SiteDeltaBaseSwap fires during compaction, after the new durable
+	// base has been published but before the delta log is rewritten.
+	SiteDeltaBaseSwap = "delta/base-swap"
+	// SiteDeltaWALReset fires during compaction at the delta-log rewrite
+	// (retained tail staged, rename not yet landed).
+	SiteDeltaWALReset = "delta/wal-reset"
 )
 
 var (
@@ -239,6 +267,14 @@ func Hit(site string, done, quit <-chan struct{}) {
 		return
 	}
 	switch f.Kind {
+	case Kill:
+		// Die hard: SIGKILL bypasses deferred cleanup and signal handlers,
+		// then block until the signal lands so no further instruction of
+		// the commit protocol runs.
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			_ = p.Kill()
+		}
+		select {}
 	case Panic:
 		v := f.Value
 		if v == nil {

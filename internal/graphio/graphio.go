@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"featgraph/internal/durable"
 	"featgraph/internal/sparse"
@@ -366,6 +367,7 @@ func decodeShape(rank int, dim func(i int) (uint32, error)) ([]int, int, error) 
 // SaveGraph durably writes a graph to a file: a crash mid-save leaves any
 // previous file intact.
 func SaveGraph(path string, g *sparse.CSR) error {
+	durable.SweepTempsOnce(filepath.Dir(path))
 	return durable.AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteGraph(w, g)
 	})
@@ -384,6 +386,7 @@ func LoadGraph(path string) (*sparse.CSR, error) {
 
 // SaveTensor durably writes a tensor to a file.
 func SaveTensor(path string, t *tensor.Tensor) error {
+	durable.SweepTempsOnce(filepath.Dir(path))
 	return durable.AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteTensor(w, t)
 	})

@@ -3,6 +3,7 @@ package graphio
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -158,5 +159,34 @@ func TestFileHelpers(t *testing.T) {
 
 	if _, err := LoadGraph(filepath.Join(dir, "missing")); err == nil {
 		t.Fatal("missing file should error")
+	}
+}
+
+// TestSaveSweepsStaleTemps: the first save into a directory collects temp
+// files stranded there by a crashed previous process, for every save
+// entry point.
+func TestSaveSweepsStaleTemps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := sparse.Random(rng, 16, 16, 3)
+	x := tensor.New(3, 3)
+	cases := map[string]func(dir string) error{
+		"graph":   func(dir string) error { return SaveGraph(filepath.Join(dir, "g.fgg"), g) },
+		"tensor":  func(dir string) error { return SaveTensor(filepath.Join(dir, "x.fgt"), x) },
+		"sharded": func(dir string) error { return SaveSharded(filepath.Join(dir, "g.fgs"), g, 16) },
+	}
+	for name, save := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			stale := filepath.Join(dir, ".fgtmp-crashed-123")
+			if err := os.WriteFile(stale, []byte("orphan"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := save(dir); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(stale); !os.IsNotExist(err) {
+				t.Fatalf("stale temp survived the first save: %v", err)
+			}
+		})
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"featgraph/internal/admission"
@@ -122,6 +123,7 @@ func WriteSharded(w io.Writer, g *sparse.CSR, targetShardEdges int) error {
 // SaveSharded durably writes g to path in the sharded format (atomic
 // temp + fsync + rename, like every durable file in the repository).
 func SaveSharded(path string, g *sparse.CSR, targetShardEdges int) error {
+	durable.SweepTempsOnce(filepath.Dir(path))
 	return durable.AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteSharded(w, g, targetShardEdges)
 	})

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"featgraph/internal/durable"
 	"featgraph/internal/tensor"
@@ -67,6 +68,8 @@ func SaveCheckpoint(path string, epoch int, loss float64, m Model, opt *Adam) er
 	if err != nil {
 		return err
 	}
+	// First save into a directory clears temps stranded by a crash there.
+	durable.SweepTempsOnce(filepath.Dir(path))
 	return durable.AtomicWriteFile(path, func(w io.Writer) error {
 		dw, err := durable.NewWriter(w, ckptKind, ckptVersion, 1+3*len(params))
 		if err != nil {

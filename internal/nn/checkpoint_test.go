@@ -239,3 +239,21 @@ func TestAdamStateRoundTrip(t *testing.T) {
 		t.Fatal("SetState aliased the caller's tensors")
 	}
 }
+
+// TestCheckpointSaveSweepsStaleTemps: the first checkpoint save into a
+// directory collects temps stranded by a crashed previous process.
+func TestCheckpointSaveSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".fgtmp-crashed-ck")
+	if err := os.WriteFile(stale, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, g := trainSetup(t, 8)
+	m := newGCN(t, g, 2)
+	if err := SaveCheckpoint(filepath.Join(dir, "ck.fgc"), 1, 0.5, m, NewAdam(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived the first checkpoint save: %v", err)
+	}
+}

@@ -69,6 +69,25 @@ func New(adj *sparse.CSR, cfg Config) (*Sampler, error) {
 	return &Sampler{adj: adj, cfg: cfg}, nil
 }
 
+// NewTrusted is New minus the O(nnz) adjacency validation, for callers
+// holding a CSR whose well-formedness is already guaranteed — snapshots
+// materialized by the delta engine, which builds sorted, in-range rows by
+// construction. The serving path builds one sampler per graph version;
+// paying a full validation per committed version would put an O(edges)
+// stall on the commit pipeline for no new information.
+func NewTrusted(adj *sparse.CSR, cfg Config) (*Sampler, error) {
+	if adj == nil {
+		return nil, fmt.Errorf("sample: nil adjacency")
+	}
+	if adj.NumRows != adj.NumCols {
+		return nil, fmt.Errorf("sample: adjacency must be square, got %dx%d", adj.NumRows, adj.NumCols)
+	}
+	if len(cfg.Fanouts) == 0 {
+		return nil, fmt.Errorf("sample: at least one layer fanout required")
+	}
+	return &Sampler{adj: adj, cfg: cfg}, nil
+}
+
 // NumLayers returns the number of blocks Sample produces.
 func (s *Sampler) NumLayers() int { return len(s.cfg.Fanouts) }
 

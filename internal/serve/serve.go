@@ -83,6 +83,10 @@ type RunInfo struct {
 	PlanReused int
 	// BlockEdges totals sampled edges across the batch's blocks.
 	BlockEdges int
+	// GraphVersion is the snapshot version the batch executed against —
+	// every seed in a merged batch sees the same committed topology. 0
+	// for a static-graph batcher (New).
+	GraphVersion uint64
 	// Queued is this request's wait from submit to batch dispatch.
 	Queued time.Duration
 	// Kernel aggregates the batch's kernel-run stats (admission queueing,
@@ -133,9 +137,19 @@ type realTimer struct{ t *time.Timer }
 func (rt realTimer) C() <-chan time.Time { return rt.t.C }
 func (rt realTimer) Stop()               { rt.t.Stop() }
 
+// SnapshotSource supplies a live, versioned graph to a dynamic Batcher.
+// PinLatest pins the newest ready snapshot for one batch: the returned
+// adjacency must stay immutable until release is called. delta.Engine
+// satisfies this (structurally — serve does not import it).
+type SnapshotSource interface {
+	PinLatest() (adj *sparse.CSR, ver uint64, release func(), err error)
+	NumVertices() int
+}
+
 // Batcher coalesces concurrent inference requests into merged sampled
-// batches executed with shape-class-cached kernels. Create with New, feed
-// with Serve from any number of goroutines, and Close when done.
+// batches executed with shape-class-cached kernels. Create with New (fixed
+// graph) or NewDynamic (versioned snapshot source), feed with Serve from
+// any number of goroutines, and Close when done.
 type Batcher struct {
 	feats   *tensor.Tensor
 	model   Model
@@ -143,6 +157,15 @@ type Batcher struct {
 	cfg     Config
 	plans   *planPool
 	threads int
+
+	// Dynamic-graph state: src supplies per-batch snapshots; nv is the
+	// (fixed) vertex count. smpVer/smpCached memoize the sampler for the
+	// latest pinned version — versions are monotonic, so one entry
+	// suffices. Touched only by the dispatcher goroutine.
+	src       SnapshotSource
+	nv        int
+	smpVer    uint64
+	smpCached *sample.Sampler
 
 	reqs chan *pending
 	quit chan struct{}
@@ -169,8 +192,45 @@ func New(adj *sparse.CSR, feats *tensor.Tensor, model Model, cfg Config) (*Batch
 	if err != nil {
 		return nil, err
 	}
-	if feats == nil || feats.Dim(0) != adj.NumRows || feats.Dim(1) != model.InDim() {
-		return nil, fmt.Errorf("serve: features must be [%d, %d]", adj.NumRows, model.InDim())
+	b, err := build(feats, model, cfg, adj.NumRows)
+	if err != nil {
+		return nil, err
+	}
+	b.smp = smp
+	go b.dispatch()
+	return b, nil
+}
+
+// NewDynamic builds a Batcher over a versioned snapshot source (a
+// delta.Engine): each batch pins the newest ready snapshot, so every seed
+// in the batch sees one committed topology, commits never block serving,
+// and Result.Info.GraphVersion records which version answered. Samplers
+// are rebuilt per version without re-validating the adjacency (snapshots
+// are well-formed by construction).
+func NewDynamic(src SnapshotSource, feats *tensor.Tensor, model Model, cfg Config) (*Batcher, error) {
+	if err := model.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Fanouts) != len(model.Layers) {
+		return nil, fmt.Errorf("serve: %d fanouts for a %d-layer model", len(cfg.Fanouts), len(model.Layers))
+	}
+	if src == nil {
+		return nil, fmt.Errorf("serve: nil snapshot source")
+	}
+	b, err := build(feats, model, cfg, src.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	b.src = src
+	go b.dispatch()
+	return b, nil
+}
+
+// build assembles the parts New and NewDynamic share; nv is the graph's
+// vertex count for feature validation and request range checks.
+func build(feats *tensor.Tensor, model Model, cfg Config, nv int) (*Batcher, error) {
+	if feats == nil || feats.Dim(0) != nv || feats.Dim(1) != model.InDim() {
+		return nil, fmt.Errorf("serve: features must be [%d, %d]", nv, model.InDim())
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 512
@@ -181,20 +241,18 @@ func New(adj *sparse.CSR, feats *tensor.Tensor, model Model, cfg Config) (*Batch
 	if cfg.NumThreads <= 0 {
 		cfg.NumThreads = 4
 	}
-	b := &Batcher{
+	return &Batcher{
 		feats:    feats,
 		model:    model,
-		smp:      smp,
 		cfg:      cfg,
 		plans:    newPlanPool(cfg.NumThreads, cfg.Admission),
 		threads:  cfg.NumThreads,
+		nv:       nv,
 		reqs:     make(chan *pending, cfg.MaxQueue),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 		newTimer: func(d time.Duration) batchTimer { return realTimer{time.NewTimer(d)} },
-	}
-	go b.dispatch()
-	return b, nil
+	}, nil
 }
 
 // Serve submits one request and blocks until its result, a shed, an error,
@@ -207,7 +265,7 @@ func (b *Batcher) Serve(ctx context.Context, req Request) (Result, error) {
 	if len(req.Seeds) == 0 {
 		return Result{}, fmt.Errorf("serve: request has no seeds")
 	}
-	n := b.smp.NumVertices()
+	n := b.nv
 	seen := make(map[int32]struct{}, len(req.Seeds))
 	for _, s := range req.Seeds {
 		if s < 0 || int(s) >= n {
@@ -328,7 +386,15 @@ func (b *Batcher) dispatch() {
 				case <-timer.C():
 					break collect
 				case <-b.quit:
-					break collect
+					// Close interrupted an open window: fail the
+					// collected members immediately rather than running
+					// a final batch — Close promises no work starts
+					// after it, and every waiter gets ErrClosed.
+					timer.Stop()
+					for _, p := range batch {
+						p.finish(Result{}, ErrClosed)
+					}
+					return
 				}
 			}
 			timer.Stop()
@@ -379,9 +445,18 @@ func (b *Batcher) runBatch(batch []*pending) {
 		}
 	}
 
+	smp, gver, release, err := b.samplerForBatch()
+	if err != nil {
+		for _, p := range live {
+			p.finish(Result{}, fmt.Errorf("serve: batch of %d requests: %w", len(live), err))
+		}
+		return
+	}
 	bctx, cancel := b.batchCtx(live)
-	out, info, err := b.infer(bctx, merged)
+	out, info, err := b.infer(bctx, smp, merged)
 	cancel()
+	release()
+	info.GraphVersion = gver
 	if err != nil {
 		for _, p := range live {
 			p.finish(Result{}, fmt.Errorf("serve: batch of %d requests: %w", len(live), err))
@@ -422,11 +497,34 @@ func (b *Batcher) batchCtx(live []*pending) (context.Context, context.CancelFunc
 	return context.WithDeadline(context.Background(), earliest)
 }
 
+// samplerForBatch resolves the sampler one batch runs against. A static
+// batcher returns its fixed sampler; a dynamic one pins the newest ready
+// snapshot (held until release) and memoizes the sampler built for that
+// version. Called only from the dispatcher goroutine.
+func (b *Batcher) samplerForBatch() (*sample.Sampler, uint64, func(), error) {
+	if b.src == nil {
+		return b.smp, 0, func() {}, nil
+	}
+	adj, ver, release, err := b.src.PinLatest()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if b.smpCached == nil || b.smpVer != ver {
+		smp, err := sample.NewTrusted(adj, sample.Config{Fanouts: b.cfg.Fanouts, Seed: b.cfg.SampleSeed})
+		if err != nil {
+			release()
+			return nil, 0, nil, err
+		}
+		b.smpCached, b.smpVer = smp, ver
+	}
+	return b.smpCached, ver, release, nil
+}
+
 // infer runs the layered block computation for the merged seed list and
 // returns the [len(seeds), OutDim] output.
-func (b *Batcher) infer(ctx context.Context, seeds []int32) (*tensor.Tensor, RunInfo, error) {
+func (b *Batcher) infer(ctx context.Context, smp *sample.Sampler, seeds []int32) (*tensor.Tensor, RunInfo, error) {
 	var info RunInfo
-	blocks, err := b.smp.Sample(seeds)
+	blocks, err := smp.Sample(seeds)
 	if err != nil {
 		return nil, info, err
 	}

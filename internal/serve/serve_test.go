@@ -396,3 +396,104 @@ func TestServeSoak(t *testing.T) {
 		t.Fatalf("goroutine leak after Close: %d before, %d after", before, g)
 	}
 }
+
+// pinSource is a SnapshotSource that counts pins and releases, so tests
+// can assert the batcher never leaks a snapshot reference.
+type pinSource struct {
+	adj      *sparse.CSR
+	ver      atomic.Uint64
+	pins     atomic.Int64
+	releases atomic.Int64
+}
+
+func (s *pinSource) PinLatest() (*sparse.CSR, uint64, func(), error) {
+	s.pins.Add(1)
+	var done atomic.Bool
+	return s.adj, s.ver.Load(), func() {
+		if done.CompareAndSwap(false, true) {
+			s.releases.Add(1)
+		}
+	}, nil
+}
+
+func (s *pinSource) NumVertices() int { return s.adj.NumRows }
+
+// TestCloseDuringOpenWindow closes the batcher while a batching window is
+// open with collected waiters inside it. Every waiter must get ErrClosed
+// (no final batch runs after Close), the dispatcher must exit (no
+// goroutine leak), and every pinned snapshot must have been released.
+func TestCloseDuringOpenWindow(t *testing.T) {
+	adj, feats, model := testFixture(t, 40, 3, 4, 5, 3)
+	src := &pinSource{adj: adj}
+	src.ver.Store(1)
+	b, err := NewDynamic(src, feats, model, Config{
+		Fanouts:    []int{2, 2},
+		Window:     time.Hour, // the window must still be open at Close
+		MaxBatch:   64,
+		NumThreads: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+
+	// One warm-up batch proves the pin/release pairing on the happy path.
+	// MaxBatch 1 is not used here; a single request dispatches only when
+	// its window closes, so run it through a second batcher with no window.
+	warm, err := NewDynamic(src, feats, model, Config{Fanouts: []int{2, 2}, NumThreads: 2})
+	if err != nil {
+		t.Fatalf("NewDynamic warm: %v", err)
+	}
+	if res, err := warm.Serve(context.Background(), Request{Seeds: []int32{3}}); err != nil {
+		t.Fatalf("warm serve: %v", err)
+	} else if res.Info.GraphVersion != 1 {
+		t.Fatalf("warm serve ran against version %d, want 1", res.Info.GraphVersion)
+	}
+	warm.Close()
+	if p, r := src.pins.Load(), src.releases.Load(); p == 0 || p != r {
+		t.Fatalf("warm path leaked snapshot pins: %d pinned, %d released", p, r)
+	}
+
+	before := runtime.NumGoroutine()
+	const waiters = 6
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			_, err := b.Serve(context.Background(), Request{Seeds: []int32{int32(i)}})
+			errs <- err
+		}()
+	}
+	// Wait until the dispatcher has opened the window (the queue drains
+	// into the collecting batch).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.reqs) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the last dequeued request join the batch
+	b.Close()
+
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("waiter got %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter stuck after Close: goroutine leaked")
+		}
+	}
+	if p, r := src.pins.Load(), src.releases.Load(); p != r {
+		t.Fatalf("snapshot pins leaked across Close: %d pinned, %d released", p, r)
+	}
+	// Close is idempotent and post-Close submits fail fast.
+	b.Close()
+	if _, err := b.Serve(context.Background(), Request{Seeds: []int32{1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Serve: %v", err)
+	}
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after Close: %d before, %d after", before, g)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // COO is an edge-list (coordinate) representation. Entries may be in any
@@ -35,6 +36,68 @@ type CSR struct {
 	ColIdx  []int32
 	EID     []int32
 	Val     []float32
+
+	// ident and ver address this topology for caches that must survive
+	// graph mutation. A plain CSR gets a process-unique ident lazily
+	// (Identity) and stays at version 0; the delta engine binds every
+	// materialized snapshot of one mutable graph to a shared ident with
+	// a distinct version (BindVersion), so cache keys built from
+	// (Identity, Version) distinguish versions of one graph without
+	// relying on pointer identity. Guarded by identMu.
+	ident uint64
+	ver   uint64
+}
+
+// Topology identity state. A mutex (not per-CSR atomics) keeps the struct
+// free of noCopy fields; identity reads happen at cache-key assembly, far
+// off any per-edge path.
+var (
+	identMu  sync.Mutex
+	identSeq uint64
+)
+
+// ReserveIdentity allocates a fresh topology identity from the same space
+// lazy per-CSR identities draw from. The delta engine reserves one per
+// mutable graph and binds it to every materialized snapshot version.
+func ReserveIdentity() uint64 {
+	identMu.Lock()
+	defer identMu.Unlock()
+	identSeq++
+	return identSeq
+}
+
+// Identity returns the matrix's topology identity, assigning a fresh
+// process-unique one on first call. Two distinct CSR objects never share
+// an identity unless BindVersion deliberately bound them to one mutable
+// graph; clones and conversions (Clone, Transpose, ToCSC) start unbound
+// and receive their own identity lazily.
+func (c *CSR) Identity() uint64 {
+	identMu.Lock()
+	defer identMu.Unlock()
+	if c.ident == 0 {
+		identSeq++
+		c.ident = identSeq
+	}
+	return c.ident
+}
+
+// Version returns the snapshot version bound by BindVersion, or 0 for a
+// static topology.
+func (c *CSR) Version() uint64 { identMu.Lock(); defer identMu.Unlock(); return c.ver }
+
+// BindVersion stamps the matrix as version ver of the mutable graph with
+// the given reserved identity. Call before publishing the matrix to
+// readers; rebinding an already-bound or lazily-identified matrix panics,
+// because cache keys derived from the old identity would go stale
+// silently.
+func (c *CSR) BindVersion(ident, ver uint64) {
+	identMu.Lock()
+	defer identMu.Unlock()
+	if c.ident != 0 {
+		panic("sparse: BindVersion on a matrix that already has an identity")
+	}
+	c.ident = ident
+	c.ver = ver
 }
 
 // CSC is compressed sparse column: out-edges grouped by source vertex.
